@@ -1,0 +1,17 @@
+"""Shared configuration for the benchmark harness.
+
+Each module regenerates one of the paper's figures/tables (see the
+experiment index in DESIGN.md) and prints its series as a plain-text
+table at the end of the module, so ``pytest benchmarks/ --benchmark-only
+| tee bench_output.txt`` doubles as the reproduction record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks live outside the tests/ tree; make sure a bare
+    # ``pytest benchmarks/`` run does not silently skip on missing marks.
+    config.addinivalue_line("markers", "experiment(id): paper experiment id")

@@ -1,0 +1,82 @@
+"""E13 -- sharing generalized aggregates (Section VII).
+
+Bidding programs want sums, counts, means, and variances over sets of
+bid phrases; the same shared-plan machinery serves them.  We compare
+the combine-operation counts of a shared disjoint plan against per-query
+recomputation for sum/count, check the semilattice aggregates reuse the
+idempotent plan, and time the generic executor.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.aggregates.composite import MeanAggregate, VarianceAggregate
+from repro.aggregates.executor import GenericPlanExecutor
+from repro.aggregates.operators import (
+    max_operator,
+    min_operator,
+    sum_operator,
+)
+from repro.metrics.tables import ExperimentTable
+from repro.plans.baselines import no_sharing_plan
+from repro.plans.cost import expected_plan_cost
+from repro.plans.greedy_planner import greedy_shared_plan
+from repro.workloads.fig4 import fig4_instance
+
+
+@pytest.mark.experiment("Aggregates")
+def test_generalized_aggregate_sharing(benchmark):
+    instance = fig4_instance(0.8, num_queries=8, num_advertisers=16, seed=2)
+    disjoint_plan = greedy_shared_plan(instance, require_disjoint=True)
+    idempotent_plan = greedy_shared_plan(instance)
+    unshared = no_sharing_plan(instance)
+
+    table = ExperimentTable(
+        "Section VII: plan costs for generalized aggregates "
+        "(8 queries / 16 advertisers, sr=0.8)",
+        ["plan", "operators", "expected cost/round"],
+    )
+    table.add("unshared (any operator)", unshared.total_cost, expected_plan_cost(unshared))
+    table.add(
+        "shared, disjoint (sum/count/mean/var)",
+        disjoint_plan.total_cost,
+        expected_plan_cost(disjoint_plan),
+    )
+    table.add(
+        "shared, idempotent (top-k/max/min)",
+        idempotent_plan.total_cost,
+        expected_plan_cost(idempotent_plan),
+    )
+    table.show()
+
+    assert expected_plan_cost(disjoint_plan) <= expected_plan_cost(unshared) + 1e-9
+    assert (
+        expected_plan_cost(idempotent_plan)
+        <= expected_plan_cost(disjoint_plan) + 1e-9
+    )
+
+    rng = random.Random(5)
+    scores = {v: round(rng.uniform(0.1, 9.9), 2) for v in instance.variables}
+
+    # Correctness of every aggregate against direct computation.
+    sums = GenericPlanExecutor(disjoint_plan, sum_operator()).run_round(scores)
+    maxima = GenericPlanExecutor(idempotent_plan, max_operator()).run_round(scores)
+    minima = GenericPlanExecutor(idempotent_plan, min_operator()).run_round(scores)
+    means = MeanAggregate(disjoint_plan).run_round(scores)
+    variances = VarianceAggregate(disjoint_plan).run_round(scores)
+    for query in instance.queries:
+        values = [scores[v] for v in query.variables]
+        assert sums[query.name] == pytest.approx(sum(values))
+        assert maxima[query.name] == pytest.approx(max(values))
+        assert minima[query.name] == pytest.approx(min(values))
+        assert means[query.name] == pytest.approx(sum(values) / len(values))
+        mean = sum(values) / len(values)
+        assert variances[query.name] == pytest.approx(
+            sum((v - mean) ** 2 for v in values) / len(values), abs=1e-9
+        )
+
+    executor = GenericPlanExecutor(disjoint_plan, sum_operator())
+    benchmark(lambda: executor.run_round(scores))

@@ -1,0 +1,66 @@
+"""E3 -- Figure 4: expected plan cost vs query probability.
+
+Protocol (from the paper): 10 top-k queries over 20 advertisers, each
+advertiser's membership decided by a fair coin, duplicates discarded.
+We sweep the common query probability, averaging over seeds, and report
+the expected per-round cost of the greedy shared plan against the
+no-sharing, CSE-only, and fragment-only baselines.  The benchmark also
+times one full greedy planning run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.tables import ExperimentTable
+from repro.plans.baselines import cse_plan, fragment_only_plan, no_sharing_plan
+from repro.plans.cost import expected_plan_cost
+from repro.plans.greedy_planner import greedy_shared_plan
+from repro.workloads.fig4 import fig4_instance
+
+PROBABILITIES = [0.1, 0.3, 0.5, 0.7, 0.9, 1.0]
+SEEDS = range(4)
+
+
+@pytest.mark.experiment("Fig4")
+def test_fig4_cost_curve(benchmark):
+    table = ExperimentTable(
+        "Fig. 4 -- expected plan cost vs query probability "
+        "(10 queries / 20 advertisers / fair-coin membership)",
+        ["sr", "no sharing", "CSE", "fragments", "greedy shared", "saving"],
+    )
+    curves = {}
+    for probability in PROBABILITIES:
+        sums = [0.0, 0.0, 0.0, 0.0]
+        for seed in SEEDS:
+            instance = fig4_instance(probability, seed=seed)
+            sums[0] += expected_plan_cost(no_sharing_plan(instance))
+            sums[1] += expected_plan_cost(cse_plan(instance))
+            sums[2] += expected_plan_cost(fragment_only_plan(instance))
+            sums[3] += expected_plan_cost(greedy_shared_plan(instance))
+        n = len(list(SEEDS))
+        means = [s / n for s in sums]
+        curves[probability] = means
+        table.add(
+            probability,
+            means[0],
+            means[1],
+            means[2],
+            means[3],
+            f"{1 - means[3] / means[0]:.1%}",
+        )
+    table.show()
+
+    # Shape assertions: greedy < baselines at every probability, and the
+    # absolute gap grows with sr (more certain queries -> sharing pays
+    # off more often), matching the spread in the paper's figure.
+    gaps = []
+    for probability, means in curves.items():
+        unshared, cse, fragments, greedy = means
+        assert greedy < unshared
+        assert greedy < cse
+        assert greedy <= fragments + 1e-9
+        gaps.append(unshared - greedy)
+    assert gaps == sorted(gaps), "gap must grow with query probability"
+
+    benchmark(lambda: greedy_shared_plan(fig4_instance(0.5, seed=0)))

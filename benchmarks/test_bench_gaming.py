@@ -1,0 +1,78 @@
+"""E5 -- the Section IV gaming attack: revenue and forgiven clicks.
+
+Sweeps the click delay: the attack needs outstanding ads, so a zero
+delay is harmless, and longer delays make the naive policy forgive more
+click value while throttling stays clean.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.budgets.gaming import GamingAdvertiser, simulate_gaming
+from repro.metrics.tables import ExperimentTable
+
+ROUNDS = 120
+AUCTIONS_PER_ROUND = 5
+
+
+def population():
+    attacker = GamingAdvertiser(0, bid_cents=100, budget_cents=150, ctr=0.5)
+    honest = [
+        GamingAdvertiser(i, bid_cents=80, budget_cents=100_000, ctr=0.5)
+        for i in range(1, 4)
+    ]
+    return [attacker] + honest
+
+
+@pytest.mark.experiment("Gaming")
+def test_gaming_attack_vs_delay(benchmark):
+    table = ExperimentTable(
+        "Section IV gaming attack vs click delay "
+        f"({ROUNDS} rounds x {AUCTIONS_PER_ROUND} auctions)",
+        [
+            "delay",
+            "naive revenue ($)",
+            "naive forgiven ($)",
+            "throttled revenue ($)",
+            "throttled forgiven ($)",
+        ],
+    )
+    for delay in (0, 1, 3, 6):
+        reports = {
+            policy: simulate_gaming(
+                population(),
+                rounds=ROUNDS,
+                auctions_per_round=AUCTIONS_PER_ROUND,
+                click_delay_rounds=delay,
+                policy=policy,
+                seed=42,
+            )
+            for policy in ("naive", "throttled")
+        }
+        table.add(
+            delay,
+            reports["naive"].revenue_cents / 100,
+            reports["naive"].forgiven_cents / 100,
+            reports["throttled"].revenue_cents / 100,
+            reports["throttled"].forgiven_cents / 100,
+        )
+        assert reports["throttled"].forgiven_cents == 0
+        if delay >= 3:
+            assert reports["naive"].forgiven_cents > 0
+            assert (
+                reports["throttled"].revenue_cents
+                >= reports["naive"].revenue_cents
+            )
+    table.show()
+
+    benchmark(
+        lambda: simulate_gaming(
+            population(),
+            rounds=30,
+            auctions_per_round=AUCTIONS_PER_ROUND,
+            click_delay_rounds=3,
+            policy="throttled",
+            seed=42,
+        )
+    )

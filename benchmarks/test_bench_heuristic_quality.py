@@ -1,0 +1,111 @@
+"""E8 -- greedy heuristic quality vs the exhaustive optimum.
+
+The paper proves optimal planning is inapproximable in general but
+argues the two-stage greedy heuristic is good in practice (it runs
+greedy set cover, a (1 + ln n)-approximation, on the worst-case
+instances).  On random small instances we compare greedy plan sizes to
+the exhaustive optimum, and report the fragment-only ablation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.metrics.tables import ExperimentTable
+from repro.plans.baselines import fragment_only_plan, no_sharing_plan
+from repro.plans.cost import expected_plan_cost
+from repro.plans.greedy_planner import greedy_shared_plan
+from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+from repro.plans.optimal import optimal_plan
+
+
+def random_instance(seed: int) -> SharedAggregationInstance:
+    rng = random.Random(seed)
+    universe = [f"x{i}" for i in range(rng.randrange(4, 7))]
+    queries = []
+    used = set()
+    for index in range(rng.randrange(2, 4)):
+        size = rng.randrange(2, len(universe) + 1)
+        members = frozenset(rng.sample(universe, size))
+        if members in used:
+            continue
+        used.add(members)
+        queries.append(
+            AggregateQuery(f"q{index}", members, rng.choice([0.25, 0.5, 1.0]))
+        )
+    if not queries:
+        queries.append(AggregateQuery("q0", universe[:2], 1.0))
+    return SharedAggregationInstance(queries)
+
+
+@pytest.mark.experiment("HeuristicQuality")
+def test_greedy_vs_optimal(benchmark):
+    table = ExperimentTable(
+        "Greedy heuristic vs exhaustive optimum (random small instances)",
+        [
+            "seed",
+            "queries",
+            "vars",
+            "optimal size",
+            "greedy size",
+            "fragment-only size",
+            "no-sharing size",
+        ],
+    )
+    ratios = []
+    for seed in range(12):
+        instance = random_instance(seed)
+        best = optimal_plan(instance)
+        greedy = greedy_shared_plan(instance)
+        fragments = fragment_only_plan(instance)
+        unshared = no_sharing_plan(instance)
+        table.add(
+            seed,
+            len(instance.queries),
+            len(instance.variables),
+            best.total_cost,
+            greedy.total_cost,
+            fragments.total_cost,
+            unshared.total_cost,
+        )
+        assert best.total_cost <= greedy.total_cost
+        assert greedy.total_cost <= unshared.total_cost
+        extra_greedy = greedy.extra_cost
+        extra_best = best.extra_cost
+        # Greedy extra cost within the set-cover log factor of optimal.
+        n = len(instance.variables)
+        bound = (extra_best + 1) * (1 + math.log(max(2, n))) + 1
+        assert extra_greedy <= bound
+        ratios.append(
+            greedy.total_cost / best.total_cost if best.total_cost else 1.0
+        )
+    table.show()
+    print(f"\nmean greedy/optimal size ratio: {sum(ratios) / len(ratios):.3f}")
+    assert sum(ratios) / len(ratios) < 1.35
+
+    instance = random_instance(3)
+    benchmark(lambda: greedy_shared_plan(instance))
+
+
+@pytest.mark.experiment("HeuristicQuality")
+def test_ablation_fragments_vs_full_heuristic(benchmark):
+    """How much of the win comes from fragments alone (stage 1) versus
+    the greedy cross-fragment completion (stage 2)?"""
+    table = ExperimentTable(
+        "Ablation: fragments-only vs full heuristic (expected cost)",
+        ["seed", "no sharing", "fragments only", "full heuristic"],
+    )
+    for seed in range(8):
+        instance = random_instance(100 + seed)
+        unshared = expected_plan_cost(no_sharing_plan(instance))
+        fragments = expected_plan_cost(fragment_only_plan(instance))
+        full = expected_plan_cost(greedy_shared_plan(instance))
+        table.add(seed, unshared, fragments, full)
+        assert full <= fragments + 1e-9 <= unshared + 1e-9
+    table.show()
+
+    instance = random_instance(104)
+    benchmark(lambda: fragment_only_plan(instance))

@@ -1,0 +1,120 @@
+"""E11 -- the round-granularity tradeoff (Section II-B discussion).
+
+"Choosing a coarser granularity will lead to higher sharing between
+auctions (since more searches will occur per round), and thus greater
+overall efficiency, [but] it will also increase the latency."  We stream
+Poisson query arrivals through the batcher at several round lengths and
+measure (a) duplicate-auction collapse plus shared-plan scan savings per
+query, and (b) the mean queueing latency a query suffers waiting for its
+round to close.  The paper cites ~2.2 s as the tolerable median latency.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.rounds import RoundBatcher, TimestampedQuery
+from repro.metrics.tables import ExperimentTable
+from repro.plans.baselines import no_sharing_plan
+from repro.plans.executor import PlanExecutor
+from repro.plans.greedy_planner import greedy_shared_plan
+from repro.plans.instance import SharedAggregationInstance
+from repro.workloads.generator import MarketConfig, generate_market
+
+HORIZON_SECONDS = 120.0
+QUERIES_PER_SECOND = 3.0
+
+
+def poisson_stream(market, seed: int):
+    """Timestamped phrase arrivals: Poisson process, phrases by rate."""
+    rng = random.Random(seed)
+    phrases = sorted(market.search_rates)
+    weights = [market.search_rates[p] for p in phrases]
+    t = 0.0
+    out = []
+    while t < HORIZON_SECONDS:
+        t += rng.expovariate(QUERIES_PER_SECOND)
+        out.append(
+            TimestampedQuery(t, rng.choices(phrases, weights=weights)[0])
+        )
+    return out
+
+
+@pytest.mark.experiment("RoundGranularity")
+def test_round_length_tradeoff(benchmark):
+    market = generate_market(
+        MarketConfig(
+            num_categories=2,
+            phrases_per_category=3,
+            specialists_per_category=10,
+            generalists=8,
+            seed=6,
+        )
+    )
+    instance = SharedAggregationInstance.from_sets(
+        {p: list(ids) for p, ids in market.phrase_advertisers.items()},
+        market.search_rates,
+    )
+    shared = PlanExecutor(greedy_shared_plan(instance), 3)
+    unshared = PlanExecutor(no_sharing_plan(instance), 3)
+    scores = {a.advertiser_id: a.bid * a.ctr_factor for a in market.advertisers}
+    stream = poisson_stream(market, seed=1)
+
+    table = ExperimentTable(
+        "Round granularity: sharing vs latency "
+        f"(~{QUERIES_PER_SECOND:g} queries/s for {HORIZON_SECONDS:g} s)",
+        [
+            "round length (s)",
+            "queries",
+            "auctions resolved",
+            "shared scans/query",
+            "unshared scans/query",
+            "mean latency (s)",
+        ],
+    )
+    previous_scans_per_query = float("inf")
+    for round_length in (0.25, 2 / 3, 1.5, 3.0):
+        batcher = RoundBatcher(round_length)
+        total_queries = 0
+        total_auctions = 0
+        shared_scans = 0
+        unshared_scans = 0
+        latency_sum = 0.0
+        for batch in batcher.batch(stream):
+            phrases = list(batch.distinct_phrases)
+            total_queries += batch.total_queries
+            total_auctions += len(phrases)
+            shared_scans += shared.run_round(scores, phrases).advertisers_scanned
+            unshared_scans += unshared.run_round(
+                scores, phrases
+            ).advertisers_scanned
+            # A query waits until its round closes.
+            close_time = batch.start_time + round_length
+        for query in stream:
+            round_index = int(query.arrival_time // round_length)
+            close_time = (round_index + 1) * round_length
+            latency_sum += close_time - query.arrival_time
+        scans_per_query = shared_scans / total_queries
+        table.add(
+            round_length,
+            total_queries,
+            total_auctions,
+            scans_per_query,
+            unshared_scans / total_queries,
+            latency_sum / len(stream),
+        )
+        # Coarser rounds must amortize work better...
+        assert scans_per_query <= previous_scans_per_query + 1e-9
+        previous_scans_per_query = scans_per_query
+    table.show()
+    print(
+        "\nShape: scans per query fall as rounds coarsen (duplicate"
+        "\nauctions collapse and the shared plan amortizes), while mean"
+        "\nlatency grows linearly with the round length -- the paper's"
+        "\nSection II-B tradeoff."
+    )
+
+    batcher = RoundBatcher(2 / 3)
+    benchmark(lambda: sum(1 for _ in batcher.batch(stream)))

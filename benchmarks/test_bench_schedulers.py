@@ -1,0 +1,82 @@
+"""E12 -- refinement-scheduling policies (the paper's future work).
+
+Section VI: "we would like to explore in more detail how to schedule
+the refinement of these bounds to reduce the amount of work necessary
+to compare two throttled bids."  We compare the built-in schedulers on
+batches of close comparisons and report total expansions; every policy
+must return identical orders.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.budgets.comparison import BoundedBid, compare_throttled_bids
+from repro.budgets.schedulers import NAMED_SCHEDULERS
+from repro.budgets.throttle import ThrottleProblem
+from repro.metrics.tables import ExperimentTable
+
+NUM_PAIRS = 60
+
+
+def contender_pairs(seed: int):
+    """Pairs of advertisers whose throttled bids are deliberately close."""
+    rng = random.Random(seed)
+    pairs = []
+    for index in range(NUM_PAIRS):
+        budget = rng.randrange(40, 160)
+        base_bid = rng.randrange(20, 60)
+        ads_a = [
+            (rng.randrange(2, 45), rng.uniform(0.2, 0.8)) for _ in range(6)
+        ]
+        ads_b = [
+            (rng.randrange(2, 45), rng.uniform(0.2, 0.8)) for _ in range(6)
+        ]
+        a = ThrottleProblem(base_bid, budget, 2, ads_a)
+        b = ThrottleProblem(base_bid + rng.choice([-1, 0, 1]), budget, 2, ads_b)
+        pairs.append((a, b))
+    return pairs
+
+
+@pytest.mark.experiment("Schedulers")
+def test_scheduler_comparison(benchmark):
+    pairs = contender_pairs(seed=23)
+    table = ExperimentTable(
+        f"Refinement schedulers on {NUM_PAIRS} close comparisons",
+        ["scheduler", "total expansions", "max per comparison"],
+    )
+    orders = {}
+    for name, scheduler in NAMED_SCHEDULERS.items():
+        total = 0
+        worst = 0
+        outcome = []
+        for a_problem, b_problem in pairs:
+            a = BoundedBid(1, a_problem)
+            b = BoundedBid(2, b_problem)
+            outcome.append(compare_throttled_bids(a, b, scheduler=scheduler))
+            used = a.refinements + b.refinements
+            total += used
+            worst = max(worst, used)
+        orders[name] = outcome
+        table.add(name, total, worst)
+    table.show()
+
+    # Scheduling changes work, never answers.
+    baseline = orders["widest-first"]
+    for name, outcome in orders.items():
+        assert outcome == baseline, name
+
+    scheduler = NAMED_SCHEDULERS["widest-first"]
+
+    def run_widest_first():
+        total = 0
+        for a_problem, b_problem in pairs:
+            a = BoundedBid(1, a_problem)
+            b = BoundedBid(2, b_problem)
+            compare_throttled_bids(a, b, scheduler=scheduler)
+            total += a.refinements + b.refinements
+        return total
+
+    benchmark(run_widest_first)

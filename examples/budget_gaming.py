@@ -1,0 +1,62 @@
+"""The Section IV gaming attack, head to head with throttling.
+
+A nearly exhausted advertiser bids on a high-volume phrase; its clicks
+arrive with delay, so a naive system keeps letting it win and later
+forgives the clicks it cannot pay for.  Throttled winner determination
+(ranking by b-hat) closes the exploit.
+
+Run:  python examples/budget_gaming.py
+"""
+
+from __future__ import annotations
+
+from repro.budgets.gaming import GamingAdvertiser, simulate_gaming
+from repro.metrics.tables import ExperimentTable
+
+
+def main() -> None:
+    attacker = GamingAdvertiser(0, bid_cents=100, budget_cents=150, ctr=0.5)
+    honest = [
+        GamingAdvertiser(i, bid_cents=80, budget_cents=100_000, ctr=0.5)
+        for i in range(1, 4)
+    ]
+    population = [attacker] + honest
+
+    table = ExperimentTable(
+        "Gaming attack: naive vs throttled winner determination",
+        [
+            "policy",
+            "revenue ($)",
+            "forgiven ($)",
+            "attacker wins",
+            "attacker free clicks",
+        ],
+    )
+    for policy in ("naive", "throttled"):
+        report = simulate_gaming(
+            population,
+            rounds=200,
+            auctions_per_round=5,
+            click_delay_rounds=3,
+            policy=policy,
+            seed=42,
+        )
+        table.add(
+            policy,
+            report.revenue_cents / 100,
+            report.forgiven_cents / 100,
+            report.wins[0],
+            report.free_clicks[0],
+        )
+    table.show()
+    print(
+        "\nWith a $1.50 remaining budget and five simultaneous auctions,"
+        "\nthe throttled bid is at most 150/5 = 30 cents -- below the"
+        "\nhonest 80-cent bids -- so the attacker stops winning, no"
+        "\nclicks are forgiven, and the slots (hence revenue) go to"
+        "\nadvertisers who can pay."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""The Section II-B sharing example: hiking boots vs high-heels.
+
+200 general shoe stores bid on both phrases, 40 sports stores on
+"hiking boots" only, 30 fashion stores on "high-heels" only.  Resolving
+the two auctions separately scans 470 advertisers; the shared plan scans
+270 -- about 40% fewer -- and produces identical rankings.
+
+Run:  python examples/shoe_stores.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.metrics.tables import ExperimentTable
+from repro.plans.baselines import no_sharing_plan
+from repro.plans.cost import expected_plan_cost
+from repro.plans.executor import PlanExecutor
+from repro.plans.fragments import identify_fragments
+from repro.plans.greedy_planner import greedy_shared_plan
+from repro.workloads.scenarios import shoe_store_instance
+
+
+def main() -> None:
+    instance, groups = shoe_store_instance()
+    print("store populations:", {k: len(v) for k, v in groups.items()})
+
+    fragments = identify_fragments(instance)
+    print("\nfragments (variables grouped by query membership):")
+    for fragment in fragments:
+        print(f"  {fragment.query_names}: {len(fragment)} stores")
+
+    shared = greedy_shared_plan(instance, pair_strategy="cover")
+    unshared = no_sharing_plan(instance)
+
+    rng = random.Random(7)
+    scores = {v: rng.uniform(0.1, 5.0) for v in instance.variables}
+    shared_run = PlanExecutor(shared, 5).run_round(scores)
+    unshared_run = PlanExecutor(unshared, 5).run_round(scores)
+
+    assert shared_run.answers == unshared_run.answers, "sharing is exact"
+
+    table = ExperimentTable(
+        "Shoe stores (Section II-B): shared vs unshared",
+        ["plan", "advertisers scanned", "top-k merges", "expected cost"],
+    )
+    table.add(
+        "unshared",
+        unshared_run.advertisers_scanned,
+        unshared_run.merges_performed,
+        expected_plan_cost(unshared),
+    )
+    table.add(
+        "shared",
+        shared_run.advertisers_scanned,
+        shared_run.merges_performed,
+        expected_plan_cost(shared),
+    )
+    table.show()
+
+    saving = 1 - shared_run.advertisers_scanned / unshared_run.advertisers_scanned
+    print(f"\nscan reduction: {saving:.1%} (the paper reports ~40%)")
+    print("top-5 for 'hiking boots':", shared_run.answers["hiking boots"].advertiser_ids())
+    print("top-5 for 'high-heels':  ", shared_run.answers["high-heels"].advertiser_ids())
+
+
+if __name__ == "__main__":
+    main()

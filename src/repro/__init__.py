@@ -1,0 +1,69 @@
+"""Reproduction of *Shared Winner Determination in Sponsored Search Auctions*.
+
+This package reimplements the system described by Martin and Halpern
+(ICDE 2009).  It provides:
+
+- :mod:`repro.core` -- the sponsored-search auction substrate: advertisers,
+  bid phrases, click-through-rate models, single-auction winner
+  determination (separable and non-separable), pricing rules, and the
+  top-k merge operator that the sharing machinery aggregates with.
+- :mod:`repro.algebra` -- the abstract-aggregation-operator framework of
+  Sections II-C and VII: expressions over an abstract binary operator, the
+  axioms A1-A5, equivalence checking, and classification of algebraic
+  structures (Fig. 5 of the paper).
+- :mod:`repro.plans` -- shared top-k aggregation plans (Section II): the
+  plan DAG, the expected-materialization cost model, fragment
+  identification, greedy set cover, the paper's two-stage greedy planner,
+  baseline planners, an exhaustive optimal planner for small instances, the
+  Theorem 2/3 set-cover reductions, and a plan executor.
+- :mod:`repro.sharedsort` -- shared sorting (Section III): the threshold
+  algorithm, on-demand merge operators with caching, and the greedy shared
+  merge-sort plan builder.
+- :mod:`repro.budgets` -- budget uncertainty (Section IV): outstanding-ad
+  models, exact and bounded throttled-bid computation, the Hoeffding bound
+  refinement engine, bound-driven top-k, and the gaming-attack simulation.
+- :mod:`repro.engine` -- a round-based auction engine tying everything
+  together: query batching, shared winner determination, budget
+  management, and a delayed-click process.
+- :mod:`repro.workloads` -- synthetic workload generators standing in for
+  proprietary search/bid logs (see DESIGN.md for the substitution notes).
+- :mod:`repro.metrics` -- operation counters and experiment-table helpers
+  used by the benchmark harness.
+"""
+
+from repro.core.advertiser import Advertiser, BidPhrase
+from repro.core.auction import Allocation, AuctionOutcome, AuctionSpec
+from repro.core.ctr import MatrixCTRModel, SeparableCTRModel
+from repro.core.pricing import (
+    FirstPrice,
+    GeneralizedSecondPrice,
+    LadderedVCG,
+    PricingRule,
+)
+from repro.core.topk import TopKList, top_k_merge
+from repro.core.winner_determination import (
+    determine_winners,
+    determine_winners_nonseparable,
+    determine_winners_separable,
+)
+
+__all__ = [
+    "Advertiser",
+    "Allocation",
+    "AuctionOutcome",
+    "AuctionSpec",
+    "BidPhrase",
+    "FirstPrice",
+    "GeneralizedSecondPrice",
+    "LadderedVCG",
+    "MatrixCTRModel",
+    "PricingRule",
+    "SeparableCTRModel",
+    "TopKList",
+    "determine_winners",
+    "determine_winners_nonseparable",
+    "determine_winners_separable",
+    "top_k_merge",
+]
+
+__version__ = "0.1.0"

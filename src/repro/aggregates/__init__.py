@@ -1,0 +1,49 @@
+"""Concrete aggregation operators beyond top-k (Section VII).
+
+The paper's ongoing-work section considers sharing aggregates that
+bidding programs want -- sums, counts, averages, maxima over sets of bid
+phrases -- through the same abstract-operator lens.  This package
+provides:
+
+- :mod:`repro.aggregates.operators` -- concrete
+  :class:`~repro.aggregates.operators.AggregateOperator` instances (sum,
+  count, product, max, min, top-k, Bloom-filter union/intersection) with
+  their exact axiom profiles, each checked against the algebra layer;
+- :mod:`repro.aggregates.composite` -- derived statistics (mean,
+  variance) computed by combining shared primitive aggregates, as the
+  paper suggests;
+- :mod:`repro.aggregates.executor` -- a generic shared-plan executor
+  parameterized by the operator, so one plan DAG serves any semilattice
+  (or weaker) aggregate.
+"""
+
+from repro.aggregates.composite import MeanAggregate, VarianceAggregate
+from repro.aggregates.executor import GenericPlanExecutor
+from repro.aggregates.operators import (
+    AggregateOperator,
+    BloomFilter,
+    bloom_intersection_operator,
+    bloom_union_operator,
+    count_operator,
+    max_operator,
+    min_operator,
+    product_operator,
+    sum_operator,
+    top_k_operator,
+)
+
+__all__ = [
+    "AggregateOperator",
+    "BloomFilter",
+    "GenericPlanExecutor",
+    "MeanAggregate",
+    "VarianceAggregate",
+    "bloom_intersection_operator",
+    "bloom_union_operator",
+    "count_operator",
+    "max_operator",
+    "min_operator",
+    "product_operator",
+    "sum_operator",
+    "top_k_operator",
+]

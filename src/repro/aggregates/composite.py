@@ -1,0 +1,102 @@
+"""Derived statistics from shared primitive aggregates.
+
+Section VII: bidding programs want quantities like the average or
+variance of bids over a set of bid phrases.  Mean and variance are not
+themselves semilattice (or even associative-commutative-with-safe-
+sharing) operators, but both decompose into shareable primitives --
+``sum``, ``count``, and ``sum of squares`` -- evaluated over the same
+shared plan, which is exactly how the paper proposes combining
+aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Mapping, Optional
+
+from repro.aggregates.executor import GenericPlanExecutor
+from repro.aggregates.operators import AggregateOperator, count_operator, sum_operator
+from repro.algebra.axioms import Axiom, AxiomProfile
+from repro.errors import InvalidPlanError
+from repro.plans.dag import Plan
+
+__all__ = ["MeanAggregate", "VarianceAggregate"]
+
+Variable = Hashable
+
+
+def _sum_of_squares_operator() -> AggregateOperator[float]:
+    """Addition over squared scores -- an Abelian group like sum."""
+    return AggregateOperator(
+        name="sum-of-squares",
+        combine=lambda a, b: a + b,
+        lift=lambda score, _advertiser: float(score) * float(score),
+        profile=AxiomProfile({Axiom.A1, Axiom.A2, Axiom.A4, Axiom.A5}),
+        identity=0.0,
+    )
+
+
+@dataclass
+class MeanAggregate:
+    """Per-query mean of scores, computed from shared sum and count.
+
+    Args:
+        plan: A disjoint-operand plan (see
+            :class:`~repro.aggregates.executor.GenericPlanExecutor`).
+    """
+
+    plan: Plan
+
+    def __post_init__(self) -> None:
+        self._sum = GenericPlanExecutor(self.plan, sum_operator())
+        self._count = GenericPlanExecutor(self.plan, count_operator())
+
+    def run_round(
+        self,
+        scores: Mapping[Variable, float],
+        occurring: Optional[Iterable[str]] = None,
+    ) -> Dict[str, float]:
+        """Mean score per occurring query."""
+        sums = self._sum.run_round(scores, occurring)
+        counts = self._count.run_round(scores, occurring)
+        out: Dict[str, float] = {}
+        for name, total in sums.items():
+            count = counts[name]
+            if count <= 0:
+                raise InvalidPlanError(f"query {name!r} aggregated nothing")
+            out[name] = total / count
+        return out
+
+
+@dataclass
+class VarianceAggregate:
+    """Per-query population variance from shared sum/count/sum-of-squares."""
+
+    plan: Plan
+
+    def __post_init__(self) -> None:
+        self._sum = GenericPlanExecutor(self.plan, sum_operator())
+        self._count = GenericPlanExecutor(self.plan, count_operator())
+        self._squares = GenericPlanExecutor(self.plan, _sum_of_squares_operator())
+
+    def run_round(
+        self,
+        scores: Mapping[Variable, float],
+        occurring: Optional[Iterable[str]] = None,
+    ) -> Dict[str, float]:
+        """Population variance of scores per occurring query.
+
+        Computed as ``E[X^2] - E[X]^2``; tiny negative results from
+        floating-point cancellation are clamped to zero.
+        """
+        sums = self._sum.run_round(scores, occurring)
+        counts = self._count.run_round(scores, occurring)
+        squares = self._squares.run_round(scores, occurring)
+        out: Dict[str, float] = {}
+        for name, total in sums.items():
+            count = counts[name]
+            if count <= 0:
+                raise InvalidPlanError(f"query {name!r} aggregated nothing")
+            mean = total / count
+            out[name] = max(0.0, squares[name] / count - mean * mean)
+        return out

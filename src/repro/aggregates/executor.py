@@ -1,0 +1,116 @@
+"""A generic shared-plan executor parameterized by the operator.
+
+The Section II plan machinery only assumed a semilattice when deciding
+*equivalence* (Lemma 1); the DAG itself can carry any associative,
+commutative operator.  :class:`GenericPlanExecutor` evaluates a plan
+with an arbitrary :class:`~repro.aggregates.operators.AggregateOperator`
+whose profile includes A1 and A4 -- the combination required for
+variable-set labels to determine node values.
+
+For operators that are *not* idempotent (sum, count, product), correct
+evaluation additionally requires that every node's operand variable
+sets are disjoint, since ``x`` occurring on both sides would be counted
+twice; the executor checks this once at construction and rejects plans
+whose sharing relies on idempotence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, Mapping, Optional, TypeVar
+
+from repro.aggregates.operators import AggregateOperator
+from repro.errors import InvalidPlanError
+from repro.plans.dag import Plan
+
+__all__ = ["GenericPlanExecutor"]
+
+T = TypeVar("T")
+Variable = Hashable
+
+
+class GenericPlanExecutor(Generic[T]):
+    """Evaluates a shared plan under any associative-commutative operator.
+
+    Args:
+        plan: A validated complete plan.
+        operator: The aggregate to run; its profile must include A1 and
+            A4.  If it lacks A3 (idempotence), every internal node's
+            operands must be disjoint -- the planners in
+            :mod:`repro.plans` produce such plans whenever the instance's
+            queries are built from disjoint fragments, and the
+            constructor verifies it.
+    """
+
+    def __init__(self, plan: Plan, operator: AggregateOperator[T]) -> None:
+        plan.validate()
+        if not operator.profile.associative or not operator.profile.commutative:
+            raise InvalidPlanError(
+                f"operator {operator.name!r} must be associative and "
+                "commutative to run over variable-set-labeled plans"
+            )
+        if not operator.profile.idempotent:
+            for node in plan.internal_nodes():
+                assert node.left is not None and node.right is not None
+                left = plan.node(node.left).varset
+                right = plan.node(node.right).varset
+                if left & right:
+                    raise InvalidPlanError(
+                        f"operator {operator.name!r} is not idempotent but "
+                        f"plan node {node.node_id} merges overlapping "
+                        f"operands {sorted(left & right, key=repr)!r}"
+                    )
+        self.plan = plan
+        self.operator = operator
+
+    def run_round(
+        self,
+        scores: Mapping[Variable, float],
+        occurring: Optional[Iterable[str]] = None,
+    ) -> Dict[str, T]:
+        """Evaluate the occurring queries; returns ``{name: aggregate}``."""
+        plan = self.plan
+        instance = plan.instance
+        if occurring is None:
+            names = [q.name for q in instance.queries] + [
+                q.name for q in instance.trivial_queries
+            ]
+        else:
+            names = list(occurring)
+        cache: Dict[int, T] = {}
+
+        def materialize(node_id: int) -> T:
+            cached = cache.get(node_id)
+            if cached is not None:
+                return cached
+            node = plan.node(node_id)
+            if node.is_leaf:
+                variable = node.variable
+                try:
+                    score = scores[variable]
+                except KeyError:
+                    raise InvalidPlanError(
+                        f"no score provided for advertiser {variable!r}"
+                    ) from None
+                value = self.operator.lift(float(score), _as_int(variable))
+            else:
+                assert node.left is not None and node.right is not None
+                value = self.operator.combine(
+                    materialize(node.left), materialize(node.right)
+                )
+            cache[node_id] = value
+            return value
+
+        answers: Dict[str, T] = {}
+        for name in names:
+            query = instance.query_by_name(name)
+            node_id = plan.query_node(query)
+            if node_id is None:
+                raise InvalidPlanError(f"plan does not answer query {name!r}")
+            answers[name] = materialize(node_id)
+        return answers
+
+
+def _as_int(variable: Variable) -> int:
+    if isinstance(variable, int):
+        return variable
+    return abs(hash(variable)) % (2**31)

@@ -1,0 +1,239 @@
+"""Concrete aggregation operators and their axiom profiles.
+
+Each :class:`AggregateOperator` packages the binary combiner ``⊕``, a
+*lift* from a raw per-advertiser value into the aggregation carrier, the
+operator's axiom profile (which drives plan-sharing complexity per
+Fig. 5), and -- where one exists -- the identity element.
+
+The declared profiles are not taken on faith: the test suite projects
+each operator onto small finite carriers and checks the axioms
+exhaustively with :func:`repro.algebra.magmas.satisfied_axioms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Optional, Tuple, TypeVar
+
+from repro.algebra.axioms import Axiom, AxiomProfile
+from repro.core.topk import TopKList, top_k_merge
+from repro.errors import AlgebraError
+
+__all__ = [
+    "AggregateOperator",
+    "sum_operator",
+    "count_operator",
+    "product_operator",
+    "max_operator",
+    "min_operator",
+    "top_k_operator",
+    "BloomFilter",
+    "bloom_union_operator",
+    "bloom_intersection_operator",
+]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class AggregateOperator(Generic[T]):
+    """A concrete binary aggregation operator.
+
+    Attributes:
+        name: Human-readable operator name.
+        combine: The binary function ``⊕ : T x T -> T``.
+        lift: Maps one advertiser's raw value (a float score, typically a
+            bid) into the carrier ``T``.
+        profile: The exact axiom profile the operator satisfies.
+        identity: The identity element, or ``None`` when A2 fails.
+    """
+
+    name: str
+    combine: Callable[[T, T], T]
+    lift: Callable[[float, int], T]
+    profile: AxiomProfile
+    identity: Optional[T] = None
+
+    def __post_init__(self) -> None:
+        if (self.identity is not None) != self.profile.has_identity:
+            raise AlgebraError(
+                f"operator {self.name!r}: identity element and A2 in the "
+                "profile must agree"
+            )
+
+    def fold(self, values) -> T:
+        """Aggregate an iterable of carrier values left to right.
+
+        Raises:
+            AlgebraError: On an empty iterable with no identity element.
+        """
+        iterator = iter(values)
+        try:
+            accumulator = next(iterator)
+        except StopIteration:
+            if self.identity is None:
+                raise AlgebraError(
+                    f"operator {self.name!r} cannot aggregate nothing "
+                    "(no identity element)"
+                ) from None
+            return self.identity
+        for value in iterator:
+            accumulator = self.combine(accumulator, value)
+        return accumulator
+
+    def __repr__(self) -> str:
+        return f"AggregateOperator({self.name})"
+
+
+def sum_operator() -> AggregateOperator[float]:
+    """Real addition -- an Abelian group: {A1, A2, A4, A5}."""
+    return AggregateOperator(
+        name="sum",
+        combine=lambda a, b: a + b,
+        lift=lambda score, _advertiser: float(score),
+        profile=AxiomProfile({Axiom.A1, Axiom.A2, Axiom.A4, Axiom.A5}),
+        identity=0.0,
+    )
+
+
+def count_operator() -> AggregateOperator[int]:
+    """Counting (each advertiser lifts to 1) -- same profile as sum."""
+    return AggregateOperator(
+        name="count",
+        combine=lambda a, b: a + b,
+        lift=lambda _score, _advertiser: 1,
+        profile=AxiomProfile({Axiom.A1, Axiom.A2, Axiom.A4, Axiom.A5}),
+        identity=0,
+    )
+
+
+def product_operator() -> AggregateOperator[float]:
+    """Multiplication on positive reals -- Abelian group.
+
+    The lift clamps to a tiny positive value so zero scores do not
+    annihilate the group structure (division must stay defined).
+    """
+    return AggregateOperator(
+        name="product",
+        combine=lambda a, b: a * b,
+        lift=lambda score, _advertiser: max(float(score), 1e-12),
+        profile=AxiomProfile({Axiom.A1, Axiom.A2, Axiom.A4, Axiom.A5}),
+        identity=1.0,
+    )
+
+
+def max_operator() -> AggregateOperator[float]:
+    """Maximum -- a semilattice; with ``-inf`` adjoined, it has identity."""
+    return AggregateOperator(
+        name="max",
+        combine=lambda a, b: a if a >= b else b,
+        lift=lambda score, _advertiser: float(score),
+        profile=AxiomProfile({Axiom.A1, Axiom.A2, Axiom.A3, Axiom.A4}),
+        identity=float("-inf"),
+    )
+
+
+def min_operator() -> AggregateOperator[float]:
+    """Minimum -- a semilattice with identity ``+inf``."""
+    return AggregateOperator(
+        name="min",
+        combine=lambda a, b: a if a <= b else b,
+        lift=lambda score, _advertiser: float(score),
+        profile=AxiomProfile({Axiom.A1, Axiom.A2, Axiom.A3, Axiom.A4}),
+        identity=float("inf"),
+    )
+
+
+def top_k_operator(k: int) -> AggregateOperator[TopKList]:
+    """The paper's top-k merge, wrapped as an AggregateOperator."""
+    return AggregateOperator(
+        name=f"top-{k}",
+        combine=top_k_merge,
+        lift=lambda score, advertiser: TopKList(k, [(score, advertiser)]),
+        profile=AxiomProfile({Axiom.A1, Axiom.A2, Axiom.A3, Axiom.A4}),
+        identity=TopKList.empty(k),
+    )
+
+
+@dataclass(frozen=True)
+class BloomFilter:
+    """A fixed-width Bloom filter as an immutable bit mask.
+
+    Attributes:
+        bits: The filter contents as an int bit mask.
+        width: Number of bits.
+        num_hashes: Hash functions used per inserted element.
+    """
+
+    bits: int
+    width: int = 64
+    num_hashes: int = 3
+
+    @classmethod
+    def empty(cls, width: int = 64, num_hashes: int = 3) -> "BloomFilter":
+        """The empty filter (identity for union)."""
+        return cls(0, width, num_hashes)
+
+    @classmethod
+    def full(cls, width: int = 64, num_hashes: int = 3) -> "BloomFilter":
+        """The all-ones filter (identity for intersection)."""
+        return cls((1 << width) - 1, width, num_hashes)
+
+    @classmethod
+    def of(cls, element: int, width: int = 64, num_hashes: int = 3) -> "BloomFilter":
+        """A filter containing one element."""
+        bits = 0
+        for round_index in range(num_hashes):
+            position = hash((element, round_index)) % width
+            bits |= 1 << position
+        return cls(bits, width, num_hashes)
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Bitwise OR -- the union operator."""
+        self._check_compatible(other)
+        return BloomFilter(self.bits | other.bits, self.width, self.num_hashes)
+
+    def intersection(self, other: "BloomFilter") -> "BloomFilter":
+        """Bitwise AND -- the intersection operator."""
+        self._check_compatible(other)
+        return BloomFilter(self.bits & other.bits, self.width, self.num_hashes)
+
+    def might_contain(self, element: int) -> bool:
+        """Whether the filter possibly contains ``element``."""
+        return self.of(
+            element, self.width, self.num_hashes
+        ).bits & self.bits == self.of(element, self.width, self.num_hashes).bits
+
+    def _check_compatible(self, other: "BloomFilter") -> None:
+        if self.width != other.width or self.num_hashes != other.num_hashes:
+            raise AlgebraError("incompatible Bloom filter parameters")
+
+
+def bloom_union_operator(
+    width: int = 64, num_hashes: int = 3
+) -> AggregateOperator[BloomFilter]:
+    """Bloom-filter union -- a semilattice with the empty filter as identity."""
+    return AggregateOperator(
+        name="bloom-union",
+        combine=lambda a, b: a.union(b),
+        lift=lambda _score, advertiser: BloomFilter.of(
+            advertiser, width, num_hashes
+        ),
+        profile=AxiomProfile({Axiom.A1, Axiom.A2, Axiom.A3, Axiom.A4}),
+        identity=BloomFilter.empty(width, num_hashes),
+    )
+
+
+def bloom_intersection_operator(
+    width: int = 64, num_hashes: int = 3
+) -> AggregateOperator[BloomFilter]:
+    """Bloom-filter intersection -- semilattice, identity all-ones."""
+    return AggregateOperator(
+        name="bloom-intersection",
+        combine=lambda a, b: a.intersection(b),
+        lift=lambda _score, advertiser: BloomFilter.of(
+            advertiser, width, num_hashes
+        ),
+        profile=AxiomProfile({Axiom.A1, Axiom.A2, Axiom.A3, Axiom.A4}),
+        identity=BloomFilter.full(width, num_hashes),
+    )

@@ -1,0 +1,61 @@
+"""Abstract aggregation-operator algebra (Sections II-C and VII).
+
+The paper abstracts the binary top-k merge into an operator ``⊕`` on a set
+of values -- a *magma* -- and studies how the algebraic axioms the
+operator satisfies affect the complexity of optimal shared aggregation:
+
+- ``A1`` associativity, ``A2`` identity, ``A3`` idempotence,
+  ``A4`` commutativity, ``A5`` divisibility.
+
+This package provides:
+
+- :mod:`repro.algebra.axioms` -- the axiom enumeration, axiom profiles,
+  and the named algebraic structures they characterize (semigroup, monoid,
+  group, Abelian group, band, semilattice, quasigroup, loop).
+- :mod:`repro.algebra.magmas` -- finite magmas given by Cayley tables,
+  with exact axiom checking; used to property-test the abstraction against
+  concrete operators (min, max, top-k quotients, Bloom-filter unions...).
+- :mod:`repro.algebra.expressions` -- ``⊕``-expressions over variables,
+  canonical forms, and equivalence under any axiom profile (Lemma 1 is the
+  semilattice special case; the free-band word problem handles A1+A3).
+- :mod:`repro.algebra.complexity` -- the Fig. 5 complexity table: the
+  complexity of finding a min-cost shared plan as a function of the axiom
+  profile.
+"""
+
+from repro.algebra.axioms import (
+    ASSOCIATIVITY,
+    COMMUTATIVITY,
+    DIVISIBILITY,
+    IDENTITY,
+    IDEMPOTENCE,
+    Axiom,
+    AxiomProfile,
+    SEMILATTICE_WITH_IDENTITY,
+    structure_names,
+)
+from repro.algebra.complexity import Complexity, complexity_of, fig5_rows
+from repro.algebra.expressions import Expr, Op, Var, equivalent, variables_of
+from repro.algebra.magmas import FiniteMagma, satisfied_axioms
+
+__all__ = [
+    "ASSOCIATIVITY",
+    "Axiom",
+    "AxiomProfile",
+    "COMMUTATIVITY",
+    "Complexity",
+    "DIVISIBILITY",
+    "Expr",
+    "FiniteMagma",
+    "IDEMPOTENCE",
+    "IDENTITY",
+    "Op",
+    "SEMILATTICE_WITH_IDENTITY",
+    "Var",
+    "complexity_of",
+    "equivalent",
+    "fig5_rows",
+    "satisfied_axioms",
+    "structure_names",
+    "variables_of",
+]

@@ -1,0 +1,128 @@
+"""The axioms A1-A5 and the algebraic structures they characterize.
+
+Section VII of the paper lists five axioms of a binary operator ``⊕``:
+
+- A1 associativity: ``a ⊕ (b ⊕ c) = (a ⊕ b) ⊕ c``
+- A2 identity: ``∃e. a ⊕ e = e ⊕ a = a``
+- A3 idempotence: ``a ⊕ a = a``
+- A4 commutativity: ``a ⊕ b = b ⊕ a``
+- A5 divisibility: ``∀a,b ∃!c ∃!d. a ⊕ c = d ⊕ a = b``
+
+Subsets of these characterize the classical structures the paper names:
+semigroups {A1}, monoids {A1,A2}, groups {A1,A2,A5}, Abelian groups
+{A1,A2,A4,A5}, bands {A1,A3}, semilattices {A1,A3,A4}, quasigroups {A5},
+and loops {A2,A5}.  The top-k merge operator satisfies {A1,A2,A3,A4} -- a
+semilattice with identity -- which drives the NP-hardness results of
+Section II-C.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Iterable, List
+
+__all__ = [
+    "Axiom",
+    "AxiomProfile",
+    "ASSOCIATIVITY",
+    "IDENTITY",
+    "IDEMPOTENCE",
+    "COMMUTATIVITY",
+    "DIVISIBILITY",
+    "SEMILATTICE_WITH_IDENTITY",
+    "structure_names",
+]
+
+
+class Axiom(enum.Enum):
+    """One of the paper's five operator axioms."""
+
+    A1 = "associativity"
+    A2 = "identity"
+    A3 = "idempotence"
+    A4 = "commutativity"
+    A5 = "divisibility"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Axiom.{self.name}"
+
+
+ASSOCIATIVITY = Axiom.A1
+IDENTITY = Axiom.A2
+IDEMPOTENCE = Axiom.A3
+COMMUTATIVITY = Axiom.A4
+DIVISIBILITY = Axiom.A5
+
+
+class AxiomProfile(FrozenSet[Axiom]):
+    """An immutable set of axioms assumed to hold for ``⊕``.
+
+    Behaves as a frozenset of :class:`Axiom` with convenience predicates.
+    The empty profile means a bare magma (no equations assumed); the
+    profile {A1, A2, A3, A4} is the paper's abstraction of top-k merge.
+    """
+
+    def __new__(cls, axioms: Iterable[Axiom] = ()) -> "AxiomProfile":
+        return super().__new__(cls, axioms)  # type: ignore[arg-type]
+
+    @property
+    def associative(self) -> bool:
+        """Whether A1 is assumed."""
+        return Axiom.A1 in self
+
+    @property
+    def has_identity(self) -> bool:
+        """Whether A2 is assumed."""
+        return Axiom.A2 in self
+
+    @property
+    def idempotent(self) -> bool:
+        """Whether A3 is assumed."""
+        return Axiom.A3 in self
+
+    @property
+    def commutative(self) -> bool:
+        """Whether A4 is assumed."""
+        return Axiom.A4 in self
+
+    @property
+    def divisible(self) -> bool:
+        """Whether A5 is assumed."""
+        return Axiom.A5 in self
+
+    def __repr__(self) -> str:
+        names = "+".join(sorted(a.name for a in self)) or "magma"
+        return f"AxiomProfile({names})"
+
+
+SEMILATTICE_WITH_IDENTITY = AxiomProfile(
+    {Axiom.A1, Axiom.A2, Axiom.A3, Axiom.A4}
+)
+"""The profile of the top-k merge operator (Section II-C)."""
+
+
+_STRUCTURES: List[tuple[str, FrozenSet[Axiom]]] = [
+    ("semigroup", frozenset({Axiom.A1})),
+    ("monoid", frozenset({Axiom.A1, Axiom.A2})),
+    ("group", frozenset({Axiom.A1, Axiom.A2, Axiom.A5})),
+    ("Abelian group", frozenset({Axiom.A1, Axiom.A2, Axiom.A4, Axiom.A5})),
+    ("band", frozenset({Axiom.A1, Axiom.A3})),
+    ("semilattice", frozenset({Axiom.A1, Axiom.A3, Axiom.A4})),
+    ("quasigroup", frozenset({Axiom.A5})),
+    ("loop", frozenset({Axiom.A2, Axiom.A5})),
+]
+
+
+def structure_names(profile: AxiomProfile) -> List[str]:
+    """Names of the classical structures a profile guarantees.
+
+    Returns every named structure whose defining axioms are a subset of
+    ``profile``, most specific (largest requirement) first.  For example,
+    the top-k profile {A1,A2,A3,A4} is a semilattice, a band, a monoid,
+    and a semigroup.
+    """
+    matches = [
+        (name, axioms) for name, axioms in _STRUCTURES if axioms <= profile
+    ]
+    matches.sort(key=lambda pair: (-len(pair[1]), pair[0]))
+    return [name for name, _ in matches]

@@ -1,0 +1,137 @@
+"""The Fig. 5 complexity table for optimal shared aggregation.
+
+Section VII of the paper tabulates the complexity of finding a min-cost
+shared plan as a function of the operator's axiom profile.  Each row is a
+pattern over (A1, A2, A3, A4, A5) where an axiom is required to hold
+(``Y``), required to fail (``N``), or unconstrained (``*``):
+
+======  ======  ======  ======  ======  =============
+A1      A2      A3      A4      A5      Complexity
+======  ======  ======  ======  ======  =============
+N       \\*      \\*      \\*      N       PTIME
+N       N       N       \\*      Y       PTIME
+N       Y       N       \\*      Y       PTIME
+N       N       Y       \\*      Y       PTIME
+N       Y       Y       \\*      Y       O(1)
+Y       \\*      N       Y       N       NP-complete
+Y       \\*      N       Y       Y       NP-complete
+Y       \\*      Y       Y       N       NP-complete
+Y       \\*      Y       \\*      Y       O(1)
+======  ======  ======  ======  ======  =============
+
+The table is a *partial* characterization -- the paper notes rows with
+A1=Y, A4=N are open -- so :func:`complexity_of` returns
+:attr:`Complexity.UNKNOWN` for profiles no row matches.
+
+Intuition captured by the rows (and exercised by
+``benchmarks/test_bench_fig5.py``):
+
+- Without associativity, only syntactic subexpression reuse is possible
+  (after commutative/idempotent normalization), so optimal sharing is
+  common-subexpression elimination -- polynomial.
+- With associativity and commutativity, plan optimization embeds set
+  cover (Theorems 2 and 3) -- NP-complete, even inapproximable.
+- Idempotence plus divisibility collapses the structure: ``a ⊕ a = a``
+  and unique division force ``a ⊕ b = a ⊕ c => b = c``; combined with
+  associativity every element is the identity of its own subgroup, and
+  expressions collapse so completely that plans cost O(1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.algebra.axioms import Axiom, AxiomProfile
+
+__all__ = ["Complexity", "Fig5Row", "fig5_rows", "complexity_of"]
+
+
+class Complexity(enum.Enum):
+    """Complexity classes appearing in Fig. 5, plus UNKNOWN for open rows."""
+
+    PTIME = "PTIME"
+    NP_COMPLETE = "NP-complete"
+    CONSTANT = "O(1)"
+    UNKNOWN = "open"
+
+
+_Y, _N, _STAR = "Y", "N", "*"
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    """One row of the Fig. 5 table.
+
+    Attributes:
+        pattern: Five entries for (A1, A2, A3, A4, A5), each one of
+            ``"Y"``, ``"N"``, ``"*"``.
+        complexity: The complexity class for profiles matching the row.
+    """
+
+    pattern: Tuple[str, str, str, str, str]
+    complexity: Complexity
+
+    def matches(self, profile: AxiomProfile) -> bool:
+        """Whether an exact axiom profile matches this row's pattern."""
+        axioms = (Axiom.A1, Axiom.A2, Axiom.A3, Axiom.A4, Axiom.A5)
+        for required, axiom in zip(self.pattern, axioms):
+            holds = axiom in profile
+            if required == _Y and not holds:
+                return False
+            if required == _N and holds:
+                return False
+        return True
+
+
+_FIG5: List[Fig5Row] = [
+    Fig5Row((_N, _STAR, _STAR, _STAR, _N), Complexity.PTIME),
+    Fig5Row((_N, _N, _N, _STAR, _Y), Complexity.PTIME),
+    Fig5Row((_N, _Y, _N, _STAR, _Y), Complexity.PTIME),
+    Fig5Row((_N, _N, _Y, _STAR, _Y), Complexity.PTIME),
+    Fig5Row((_N, _Y, _Y, _STAR, _Y), Complexity.CONSTANT),
+    Fig5Row((_Y, _STAR, _N, _Y, _N), Complexity.NP_COMPLETE),
+    Fig5Row((_Y, _STAR, _N, _Y, _Y), Complexity.NP_COMPLETE),
+    Fig5Row((_Y, _STAR, _Y, _Y, _N), Complexity.NP_COMPLETE),
+    Fig5Row((_Y, _STAR, _Y, _STAR, _Y), Complexity.CONSTANT),
+]
+
+
+def fig5_rows() -> List[Fig5Row]:
+    """The nine rows of the paper's Fig. 5, in publication order."""
+    return list(_FIG5)
+
+
+def complexity_of(profile: AxiomProfile) -> Complexity:
+    """Complexity of optimal shared aggregation for an exact profile.
+
+    ``profile`` is interpreted as the *exact* set of axioms that hold (an
+    axiom absent from the profile is assumed to fail, matching the
+    table's ``N`` entries).  Profiles matched by no row -- the paper's
+    open cases, A1=Y with A4=N (rows "6 through 8 with A4=N") -- return
+    :attr:`Complexity.UNKNOWN`.
+
+    Note the row order matters for the overlapping patterns: the O(1) row
+    ``(Y, *, Y, *, Y)`` takes precedence over the NP-complete row
+    ``(Y, *, Y, Y, N)`` only through its A5 entry, so the rows are in
+    fact mutually exclusive and order-independent; we still scan in
+    publication order for fidelity.
+    """
+    for row in _FIG5:
+        if row.matches(profile):
+            return row.complexity
+    return Complexity.UNKNOWN
+
+
+def complexity_table() -> List[Tuple[Tuple[str, str, str, str, str], str]]:
+    """The table in a printable form, used by the Fig. 5 benchmark."""
+    return [(row.pattern, row.complexity.value) for row in _FIG5]
+
+
+def row_for(profile: AxiomProfile) -> Optional[Fig5Row]:
+    """The first Fig. 5 row matching an exact profile, or ``None``."""
+    for row in _FIG5:
+        if row.matches(profile):
+            return row
+    return None

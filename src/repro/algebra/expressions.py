@@ -1,0 +1,243 @@
+"""``⊕``-expressions and equivalence under axiom profiles.
+
+An ``⊕``-expression is built from variables by closing under the binary
+operator (Section II-C).  Two expressions are *A-equivalent* when their
+equality is provable from the assumed axioms.  This module decides
+A-equivalence for every profile over {A1, A3, A4} by computing canonical
+forms:
+
+==========================  =============================================
+profile                     canonical form
+==========================  =============================================
+(none)                      the syntax tree itself
+A4                          tree with the two children of every node in
+                            sorted order (free commutative groupoid)
+A3                          tree rewritten with ``x ⊕ x -> x`` innermost
+                            (free idempotent groupoid; the rewriting
+                            system is convergent)
+A3 + A4                     both of the above
+A1                          the flattened leaf *sequence* (free semigroup)
+A1 + A4                     the leaf *multiset* (free commutative
+                            semigroup)
+A1 + A3                     the free-band canonical form (content, first
+                            new letter, last-to-vanish letter, and
+                            recursive prefix/suffix forms)
+A1 + A3 + A4                the leaf *set* -- the paper's Lemma 1
+==========================  =============================================
+
+A2 (identity) does not change equivalence of variable-only expressions:
+as the paper notes, variables may or may not hold the identity at any
+round, so the identity element cannot be exploited.  A5 (divisibility)
+also adds no equations between ``⊕``-only terms: in the free group (or
+free quasigroup) on X, products of generators are equal iff they are
+equal as words, so A5's presence never merges plan nodes.  Both facts are
+covered by tests against finite witnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import FrozenSet, Hashable, Iterable, List, Sequence, Tuple, Union
+
+from repro.algebra.axioms import Axiom, AxiomProfile
+from repro.errors import AlgebraError
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Op",
+    "variables_of",
+    "leaf_sequence",
+    "canonical_key",
+    "equivalent",
+    "expression_from_variables",
+    "right_deep",
+    "balanced",
+]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A variable leaf -- one advertiser's bid in the paper's setting."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Op:
+    """An internal ``⊕`` node combining two sub-expressions."""
+
+    left: "Expr"
+    right: "Expr"
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} + {self.right!r})"
+
+
+Expr = Union[Var, Op]
+"""Type alias for ``⊕``-expressions."""
+
+
+def variables_of(expr: Expr) -> FrozenSet[str]:
+    """The set of variable names appearing in an expression."""
+    if isinstance(expr, Var):
+        return frozenset({expr.name})
+    stack: List[Expr] = [expr]
+    names: set[str] = set()
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Var):
+            names.add(node.name)
+        else:
+            stack.append(node.left)
+            stack.append(node.right)
+    return frozenset(names)
+
+
+def leaf_sequence(expr: Expr) -> Tuple[str, ...]:
+    """The in-order sequence of variable names (the flattened word)."""
+    out: List[str] = []
+    stack: List[Expr] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Var):
+            out.append(node.name)
+        else:
+            stack.append(node.right)
+            stack.append(node.left)
+    return tuple(out)
+
+
+def _free_band_canonical(word: Sequence[str]) -> Hashable:
+    """Canonical form of a word in the free band (A1 + A3, no A4).
+
+    Two words are equal in the free band iff they have the same content
+    (set of letters) and, recursively, the same decomposition
+    ``(prefix-form, a, b, suffix-form)`` where
+
+    - ``a`` is the letter whose *first* occurrence comes last; the prefix
+      is the part of the word before that first occurrence;
+    - ``b`` is the letter whose *last* occurrence comes first; the suffix
+      is the part of the word after that last occurrence.
+
+    This is the classical solution of the free-band word problem
+    (Green & Rees 1952).
+    """
+    content = sorted(set(word))
+    if len(content) == 1:
+        return content[0]
+    first_pos: dict[str, int] = {}
+    last_pos: dict[str, int] = {}
+    for index, letter in enumerate(word):
+        if letter not in first_pos:
+            first_pos[letter] = index
+        last_pos[letter] = index
+    a = max(first_pos, key=lambda x: first_pos[x])
+    b = min(last_pos, key=lambda x: last_pos[x])
+    prefix = word[: first_pos[a]]
+    suffix = word[last_pos[b] + 1 :]
+    return (
+        tuple(content),
+        a,
+        b,
+        _free_band_canonical(prefix),
+        _free_band_canonical(suffix),
+    )
+
+
+def _canonical_tree(expr: Expr, idempotent: bool, commutative: bool) -> Hashable:
+    """Canonical form for the non-associative profiles.
+
+    Children are canonicalized recursively; with A4 the pair is sorted by
+    its repr-comparable encoding, and with A3 a node whose children
+    canonicalize identically collapses to the child.
+    """
+    if isinstance(expr, Var):
+        return ("v", expr.name)
+    left = _canonical_tree(expr.left, idempotent, commutative)
+    right = _canonical_tree(expr.right, idempotent, commutative)
+    if idempotent and left == right:
+        return left
+    if commutative and _encode(right) < _encode(left):
+        left, right = right, left
+    return ("op", left, right)
+
+
+def _encode(key: Hashable) -> str:
+    """Stable total order on canonical keys (tuples of strings, nested)."""
+    return repr(key)
+
+
+def canonical_key(expr: Expr, profile: AxiomProfile) -> Hashable:
+    """A hashable canonical form deciding A-equivalence for ``profile``.
+
+    Two expressions are A-equivalent iff their canonical keys are equal.
+    Only A1, A3, and A4 influence the key; A2 and A5 are equivalence-
+    neutral for variable-only expressions (see the module docstring).
+    """
+    a1 = profile.associative
+    a3 = profile.idempotent
+    a4 = profile.commutative
+    if not a1:
+        return _canonical_tree(expr, idempotent=a3, commutative=a4)
+    word = leaf_sequence(expr)
+    if a3 and a4:
+        return frozenset(word)
+    if a4:
+        return tuple(sorted(word))
+    if a3:
+        return _free_band_canonical(word)
+    return word
+
+
+def equivalent(e1: Expr, e2: Expr, profile: AxiomProfile) -> bool:
+    """Decide whether two expressions are A-equivalent under ``profile``.
+
+    For the top-k profile (a semilattice), this reduces to the paper's
+    Lemma 1: equivalence iff equal variable sets.
+    """
+    return canonical_key(e1, profile) == canonical_key(e2, profile)
+
+
+def expression_from_variables(names: Iterable[str]) -> Expr:
+    """The canonical right-deep ``⊕``-expression over sorted variables.
+
+    This is the paper's ``e_S`` construction (proof of Theorem 2): fix an
+    arbitrary strict order on variables -- we use lexicographic order --
+    and aggregate them right-associatively.
+    """
+    ordered = sorted(set(names))
+    if not ordered:
+        raise AlgebraError("an expression needs at least one variable")
+    return right_deep([Var(name) for name in ordered])
+
+
+def right_deep(parts: Sequence[Expr]) -> Expr:
+    """Combine sub-expressions right-associatively: ``x1 ⊕ (x2 ⊕ ...)``."""
+    if not parts:
+        raise AlgebraError("cannot combine an empty sequence of expressions")
+    return reduce(lambda acc, part: Op(part, acc), reversed(parts[:-1]), parts[-1])
+
+
+def balanced(parts: Sequence[Expr]) -> Expr:
+    """Combine sub-expressions as a balanced binary tree.
+
+    Used by planners when the aggregation shape does not matter
+    semantically (associativity) but a logarithmic depth is preferred for
+    latency.
+    """
+    if not parts:
+        raise AlgebraError("cannot combine an empty sequence of expressions")
+    level: List[Expr] = list(parts)
+    while len(level) > 1:
+        nxt: List[Expr] = []
+        for index in range(0, len(level) - 1, 2):
+            nxt.append(Op(level[index], level[index + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

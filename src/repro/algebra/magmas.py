@@ -1,0 +1,173 @@
+"""Finite magmas with exact axiom checking.
+
+A finite magma is a set ``{0, ..., n-1}`` with a Cayley table for ``⊕``.
+These are the concrete witnesses the library uses to cross-check the
+abstract axiom machinery: :func:`satisfied_axioms` decides, by brute
+force, exactly which of A1-A5 hold, and the constructors below build the
+standard examples (min/max semilattices, modular-addition groups, the
+left-zero band, small quasigroups).
+
+The top-k merge operator of :mod:`repro.core.topk` lives on an infinite
+carrier; tests quotient it onto small finite carriers (lists drawn from a
+bounded id/score universe) to check its axioms exhaustively too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.algebra.axioms import Axiom, AxiomProfile
+from repro.errors import AlgebraError
+
+__all__ = [
+    "FiniteMagma",
+    "satisfied_axioms",
+    "min_semilattice",
+    "max_semilattice",
+    "cyclic_group",
+    "left_zero_band",
+    "boolean_or_monoid",
+    "subtraction_quasigroup",
+]
+
+
+@dataclass(frozen=True)
+class FiniteMagma:
+    """A finite magma defined by its Cayley table.
+
+    Attributes:
+        table: ``table[a][b]`` is ``a ⊕ b``; entries must be in
+            ``range(n)`` where ``n = len(table)``.
+        name: Optional human-readable label used in test output.
+    """
+
+    table: Tuple[Tuple[int, ...], ...]
+    name: str = "magma"
+
+    def __init__(self, table: Sequence[Sequence[int]], name: str = "magma") -> None:
+        rows = tuple(tuple(int(x) for x in row) for row in table)
+        n = len(rows)
+        if n == 0:
+            raise AlgebraError("a magma needs a non-empty carrier")
+        for row in rows:
+            if len(row) != n:
+                raise AlgebraError("Cayley table must be square")
+            if any(not 0 <= x < n for x in row):
+                raise AlgebraError(
+                    f"Cayley table entries must be in range({n}): {row!r}"
+                )
+        object.__setattr__(self, "table", rows)
+        object.__setattr__(self, "name", name)
+
+    @property
+    def order(self) -> int:
+        """Number of elements in the carrier."""
+        return len(self.table)
+
+    def op(self, a: int, b: int) -> int:
+        """Apply ``a ⊕ b``."""
+        return self.table[a][b]
+
+    def identity_element(self) -> Optional[int]:
+        """The two-sided identity, or ``None`` if there is none."""
+        n = self.order
+        for e in range(n):
+            if all(self.op(a, e) == a and self.op(e, a) == a for a in range(n)):
+                return e
+        return None
+
+    def is_associative(self) -> bool:
+        """Exhaustively check A1 (``O(n^3)``)."""
+        n = self.order
+        return all(
+            self.op(a, self.op(b, c)) == self.op(self.op(a, b), c)
+            for a in range(n)
+            for b in range(n)
+            for c in range(n)
+        )
+
+    def is_commutative(self) -> bool:
+        """Exhaustively check A4."""
+        n = self.order
+        return all(self.op(a, b) == self.op(b, a) for a in range(n) for b in range(n))
+
+    def is_idempotent(self) -> bool:
+        """Exhaustively check A3."""
+        return all(self.op(a, a) == a for a in range(self.order))
+
+    def is_divisible(self) -> bool:
+        """Exhaustively check A5: unique left and right division.
+
+        For every ``a, b`` there must be exactly one ``c`` with
+        ``a ⊕ c = b`` and exactly one ``d`` with ``d ⊕ a = b`` --
+        equivalently, the Cayley table is a Latin square.
+        """
+        n = self.order
+        for a in range(n):
+            row = self.table[a]
+            if len(set(row)) != n:
+                return False
+            column = [self.table[d][a] for d in range(n)]
+            if len(set(column)) != n:
+                return False
+        return True
+
+
+def satisfied_axioms(magma: FiniteMagma) -> AxiomProfile:
+    """Decide exactly which of A1-A5 a finite magma satisfies."""
+    axioms = set()
+    if magma.is_associative():
+        axioms.add(Axiom.A1)
+    if magma.identity_element() is not None:
+        axioms.add(Axiom.A2)
+    if magma.is_idempotent():
+        axioms.add(Axiom.A3)
+    if magma.is_commutative():
+        axioms.add(Axiom.A4)
+    if magma.is_divisible():
+        axioms.add(Axiom.A5)
+    return AxiomProfile(axioms)
+
+
+def min_semilattice(n: int) -> FiniteMagma:
+    """``min`` on ``{0..n-1}`` -- a semilattice with identity ``n-1``."""
+    table = [[min(a, b) for b in range(n)] for a in range(n)]
+    return FiniteMagma(table, name=f"min({n})")
+
+
+def max_semilattice(n: int) -> FiniteMagma:
+    """``max`` on ``{0..n-1}`` -- a semilattice with identity ``0``."""
+    table = [[max(a, b) for b in range(n)] for a in range(n)]
+    return FiniteMagma(table, name=f"max({n})")
+
+
+def cyclic_group(n: int) -> FiniteMagma:
+    """Addition mod ``n`` -- an Abelian group: {A1, A2, A4, A5}."""
+    table = [[(a + b) % n for b in range(n)] for a in range(n)]
+    return FiniteMagma(table, name=f"Z/{n}")
+
+
+def left_zero_band(n: int) -> FiniteMagma:
+    """``a ⊕ b = a`` -- an idempotent, associative, non-commutative band."""
+    if n < 2:
+        raise AlgebraError("left-zero band needs order >= 2 to be non-commutative")
+    table = [[a for _b in range(n)] for a in range(n)]
+    return FiniteMagma(table, name=f"left-zero({n})")
+
+
+def boolean_or_monoid() -> FiniteMagma:
+    """Logical OR on {0, 1} -- semilattice with identity 0 ({A1,A2,A3,A4})."""
+    return FiniteMagma([[0, 1], [1, 1]], name="or")
+
+
+def subtraction_quasigroup(n: int) -> FiniteMagma:
+    """``a ⊕ b = (a - b) mod n`` -- a quasigroup that is not associative.
+
+    For ``n >= 3`` this satisfies A5 but neither A1 nor A4, exercising the
+    pure-quasigroup rows of Fig. 5.
+    """
+    if n < 3:
+        raise AlgebraError("subtraction quasigroup needs order >= 3")
+    table = [[(a - b) % n for b in range(n)] for a in range(n)]
+    return FiniteMagma(table, name=f"sub({n})")

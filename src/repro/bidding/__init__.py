@@ -1,0 +1,36 @@
+"""Automated bidding programs (the dynamics motivating per-round plans).
+
+Section II-C: "the values of the variables change rapidly since
+advertisers are constantly updating their bids using external search
+engine optimizers or automated bidding programs ... to achieve complex
+advertising goals such as staying in a given slot during specific hours
+of the day, staying a certain number of slots above a competitor,
+dividing one's budget across a set of keywords so as to maximize the
+return-on-investment".
+
+This package implements those strategies as
+:class:`~repro.bidding.strategies.BiddingStrategy` objects that observe
+each round's outcome and adjust the advertiser's next-round bid, plus a
+:class:`~repro.bidding.runner.BiddingWar` harness that runs strategies
+inside the auction engine -- demonstrating why shared plans are built
+over advertiser *identities* and re-evaluated on fresh bids every round.
+"""
+
+from repro.bidding.runner import BiddingWar, BidTrace
+from repro.bidding.strategies import (
+    BiddingStrategy,
+    BudgetPacing,
+    OutbidCompetitor,
+    StaticBid,
+    TargetSlot,
+)
+
+__all__ = [
+    "BidTrace",
+    "BiddingStrategy",
+    "BiddingWar",
+    "BudgetPacing",
+    "OutbidCompetitor",
+    "StaticBid",
+    "TargetSlot",
+]

@@ -1,0 +1,139 @@
+"""Running bidding strategies against the shared auction engine.
+
+:class:`BiddingWar` wires strategies to advertisers on a single phrase
+and replays rounds: each round the engine resolves the auction on the
+*current* bids through a shared plan (bids change, the plan does not --
+exactly the paper's setting), then every strategy observes the outcome
+and posts its next bid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bidding.strategies import BiddingStrategy, RoundObservation
+from repro.core.advertiser import Advertiser
+from repro.core.ctr import SeparableCTRModel
+from repro.core.topk import ScoredAdvertiser, top_k_scan
+from repro.errors import InvalidAuctionError
+from repro.plans.executor import PlanExecutor
+from repro.plans.greedy_planner import greedy_shared_plan
+from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+
+__all__ = ["BidTrace", "BiddingWar"]
+
+
+@dataclass
+class BidTrace:
+    """Per-advertiser time series collected by a bidding war.
+
+    Attributes:
+        bids: Bid used each round.
+        slots: Slot won each round (``None`` when losing).
+        spend: Cumulative expected spend (price x CTR accrual).
+    """
+
+    bids: List[float] = field(default_factory=list)
+    slots: List[Optional[int]] = field(default_factory=list)
+    spend: List[float] = field(default_factory=list)
+
+
+class BiddingWar:
+    """Strategies competing on one phrase over many rounds.
+
+    Args:
+        strategies: ``{advertiser_id: strategy}``.
+        initial_bids: Starting bid per advertiser.
+        ctr_factors: ``c_i`` per advertiser.
+        slot_factors: The page's slot factors (defines ``k``).
+        rounds: Number of rounds the war will run (strategies use it for
+            pacing).
+
+    The war charges *expected* first-price spend (``bid x ctr`` per win)
+    rather than simulating clicks: bid dynamics are the object of study
+    here and click noise would only obscure them.
+    """
+
+    def __init__(
+        self,
+        strategies: Mapping[int, BiddingStrategy],
+        initial_bids: Mapping[int, float],
+        ctr_factors: Mapping[int, float],
+        slot_factors: Sequence[float],
+        rounds: int,
+    ) -> None:
+        if set(strategies) != set(initial_bids) or set(strategies) != set(
+            ctr_factors
+        ):
+            raise InvalidAuctionError(
+                "strategies, initial bids, and CTR factors must cover the "
+                "same advertisers"
+            )
+        if rounds <= 0:
+            raise InvalidAuctionError("a bidding war needs at least one round")
+        self.strategies = dict(strategies)
+        self.bids: Dict[int, float] = {
+            advertiser_id: float(bid) for advertiser_id, bid in initial_bids.items()
+        }
+        self.model = SeparableCTRModel(dict(ctr_factors), slot_factors)
+        self.rounds = rounds
+        self.traces: Dict[int, BidTrace] = {
+            advertiser_id: BidTrace() for advertiser_id in strategies
+        }
+        self._spend: Dict[int, float] = {a: 0.0 for a in strategies}
+        # One-phrase instance so the war exercises the shared machinery
+        # end to end (plan built once, bids re-bound every round).
+        instance = SharedAggregationInstance(
+            [AggregateQuery("war", list(strategies), 1.0)]
+        )
+        self._executor = PlanExecutor(
+            greedy_shared_plan(instance), self.model.num_slots
+        )
+
+    def run(self) -> Dict[int, BidTrace]:
+        """Run all rounds; returns the per-advertiser traces."""
+        k = self.model.num_slots
+        for round_index in range(self.rounds):
+            scores = {
+                advertiser_id: bid
+                * self.model.advertiser_factor(advertiser_id)
+                for advertiser_id, bid in self.bids.items()
+            }
+            ranking = self._executor.run_round(scores).answers["war"]
+            slot_of: Dict[int, int] = {
+                entry.advertiser_id: slot
+                for slot, entry in enumerate(ranking.entries[:k])
+            }
+            for advertiser_id, strategy in self.strategies.items():
+                slot = slot_of.get(advertiser_id)
+                if slot is not None:
+                    ctr = self.model.ctr(advertiser_id, slot)
+                    self._spend[advertiser_id] += (
+                        self.bids[advertiser_id] * ctr
+                    )
+                trace = self.traces[advertiser_id]
+                trace.bids.append(self.bids[advertiser_id])
+                trace.slots.append(slot)
+                trace.spend.append(self._spend[advertiser_id])
+            # Strategies observe and re-bid (the "rapidly changing
+            # variables" of Section II-C).
+            new_bids: Dict[int, float] = {}
+            for advertiser_id, strategy in self.strategies.items():
+                observation = RoundObservation(
+                    round_index=round_index,
+                    my_slot=slot_of.get(advertiser_id),
+                    ranking=ranking.advertiser_ids(),
+                    my_bid=self.bids[advertiser_id],
+                    my_spend=self._spend[advertiser_id],
+                    rounds_remaining=self.rounds - round_index - 1,
+                )
+                bid = strategy.next_bid(observation)
+                if bid < 0.0:
+                    raise InvalidAuctionError(
+                        f"strategy for advertiser {advertiser_id} returned a "
+                        f"negative bid {bid}"
+                    )
+                new_bids[advertiser_id] = bid
+            self.bids = new_bids
+        return self.traces

@@ -1,0 +1,190 @@
+"""Outstanding ads and click-probability decay.
+
+An *outstanding ad* has been displayed but neither clicked nor expired:
+the advertiser may still owe its price ``π_j`` with probability
+``ctr_j``.  The paper makes no assumption about ``ctr_j`` but notes it is
+reasonable to model it as decreasing with the time since display and
+reaching zero after a limit, which lets old outstanding ads be discarded.
+Three decay models are provided; all satisfy that contract.
+
+Money is handled in integer *cents* throughout this package: the paper's
+exact algorithm is ``O(min(2^l, β))`` "assuming that β is written in the
+lowest denomination of currency", and integer arithmetic keeps the DP
+exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, List, Protocol, Tuple
+
+from repro.errors import BudgetError
+
+__all__ = [
+    "ClickDecayModel",
+    "NoDecay",
+    "GeometricDecay",
+    "ExponentialDecay",
+    "OutstandingAd",
+    "OutstandingLedger",
+]
+
+
+class ClickDecayModel(Protocol):
+    """Maps a base click probability and elapsed time to current ``ctr_j``."""
+
+    def probability(self, base_ctr: float, elapsed_rounds: int) -> float:
+        """Current probability the outstanding ad still gets clicked."""
+        ...
+
+    @property
+    def horizon(self) -> int:
+        """Rounds after which the probability is exactly zero.
+
+        A horizon lets the ledger discard ads that have received no
+        click in a long time, as the paper suggests.
+        """
+        ...
+
+
+@dataclass(frozen=True)
+class NoDecay:
+    """Click probability stays at the base CTR until the horizon."""
+
+    horizon: int = 1_000_000
+
+    def probability(self, base_ctr: float, elapsed_rounds: int) -> float:
+        if elapsed_rounds >= self.horizon:
+            return 0.0
+        return base_ctr
+
+
+@dataclass(frozen=True)
+class GeometricDecay:
+    """Each elapsed round multiplies the click probability by ``ratio``."""
+
+    ratio: float = 0.5
+    horizon: int = 32
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ratio <= 1.0:
+            raise BudgetError(f"decay ratio must be in [0, 1], got {self.ratio}")
+        if self.horizon <= 0:
+            raise BudgetError("decay horizon must be positive")
+
+    def probability(self, base_ctr: float, elapsed_rounds: int) -> float:
+        if elapsed_rounds >= self.horizon:
+            return 0.0
+        return base_ctr * self.ratio**elapsed_rounds
+
+
+@dataclass(frozen=True)
+class ExponentialDecay:
+    """Continuous-rate decay ``exp(-rate * elapsed)`` with a hard horizon."""
+
+    rate: float = 0.3
+    horizon: int = 32
+
+    def __post_init__(self) -> None:
+        if self.rate < 0.0:
+            raise BudgetError(f"decay rate must be non-negative, got {self.rate}")
+        if self.horizon <= 0:
+            raise BudgetError("decay horizon must be positive")
+
+    def probability(self, base_ctr: float, elapsed_rounds: int) -> float:
+        if elapsed_rounds >= self.horizon:
+            return 0.0
+        return base_ctr * math.exp(-self.rate * elapsed_rounds)
+
+
+@dataclass(frozen=True)
+class OutstandingAd:
+    """One displayed-but-unresolved ad.
+
+    Attributes:
+        price_cents: ``π_j`` -- the price (in cents) the advertiser will
+            pay if the ad is clicked.
+        base_ctr: Click probability at display time.
+        displayed_round: Round index when the ad was shown.
+    """
+
+    price_cents: int
+    base_ctr: float
+    displayed_round: int = 0
+
+    def __post_init__(self) -> None:
+        if self.price_cents < 0:
+            raise BudgetError(f"price must be non-negative, got {self.price_cents}")
+        if not 0.0 <= self.base_ctr <= 1.0:
+            raise BudgetError(f"CTR must be in [0, 1], got {self.base_ctr}")
+
+    def current_ctr(self, decay: ClickDecayModel, current_round: int) -> float:
+        """``ctr_j`` given the time elapsed since display."""
+        elapsed = max(0, current_round - self.displayed_round)
+        return decay.probability(self.base_ctr, elapsed)
+
+
+@dataclass
+class OutstandingLedger:
+    """Per-advertiser bookkeeping of outstanding ads.
+
+    Attributes:
+        decay: The click-decay model applied to all ads in the ledger.
+        ads: The live outstanding ads, oldest first.
+    """
+
+    decay: ClickDecayModel = field(default_factory=NoDecay)
+    ads: List[OutstandingAd] = field(default_factory=list)
+
+    def record_display(
+        self, price_cents: int, base_ctr: float, round_index: int
+    ) -> OutstandingAd:
+        """Add a newly displayed ad and return it."""
+        ad = OutstandingAd(price_cents, base_ctr, round_index)
+        self.ads.append(ad)
+        return ad
+
+    def resolve(self, ad: OutstandingAd) -> None:
+        """Remove an ad that was clicked (debt settled) or cancelled."""
+        try:
+            self.ads.remove(ad)
+        except ValueError:
+            raise BudgetError("ad is not outstanding in this ledger") from None
+
+    def prune(self, current_round: int) -> int:
+        """Drop ads whose click probability has decayed to zero.
+
+        Returns the number of ads discarded.
+        """
+        before = len(self.ads)
+        self.ads = [
+            ad
+            for ad in self.ads
+            if ad.current_ctr(self.decay, current_round) > 0.0
+        ]
+        return before - len(self.ads)
+
+    def snapshot(self, current_round: int) -> List[Tuple[int, float]]:
+        """The ``(π_j, ctr_j)`` pairs for the throttling computation.
+
+        Ads with zero current probability are omitted (they contribute
+        nothing to ``S_l``).
+        """
+        out: List[Tuple[int, float]] = []
+        for ad in self.ads:
+            ctr = ad.current_ctr(self.decay, current_round)
+            if ctr > 0.0:
+                out.append((ad.price_cents, ctr))
+        return out
+
+    def max_liability_cents(self, current_round: int) -> int:
+        """``ω_l`` -- the worst-case total still owed."""
+        return sum(price for price, _ in self.snapshot(current_round))
+
+    def expected_liability_cents(self, current_round: int) -> float:
+        """``μ_l = E[S_l]`` -- the expected total still owed."""
+        return sum(price * ctr for price, ctr in self.snapshot(current_round))
+
+    def __len__(self) -> int:
+        return len(self.ads)

@@ -1,0 +1,95 @@
+"""Refinement scheduling policies for bound-driven comparisons.
+
+The paper's future-work section asks how to *schedule* the refinement of
+throttled-bid bounds so comparisons resolve with as little work as
+possible.  A scheduler decides, given two contenders with overlapping
+intervals, which one expands its next outstanding ad.  Implemented
+policies:
+
+- :func:`widest_first` -- refine the wider interval (default; the widest
+  interval is the biggest obstacle to separation).
+- :func:`round_robin` -- alternate strictly, ignoring interval state.
+- :func:`largest_price_first` -- refine the contender whose *next*
+  expansion removes the largest outstanding price from its Hoeffding
+  term (the paper's intuition for the expansion order, applied across
+  contenders).
+- :func:`most_uncertain_mass` -- refine the contender with the larger
+  product of interval width and remaining unexpanded liability.
+
+All schedulers are exact: they only change how fast the comparison
+resolves, never its answer (tests enforce this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.budgets.comparison import BoundedBid
+
+__all__ = [
+    "Scheduler",
+    "widest_first",
+    "round_robin",
+    "largest_price_first",
+    "most_uncertain_mass",
+    "NAMED_SCHEDULERS",
+]
+
+Scheduler = Callable[[BoundedBid, BoundedBid, int], BoundedBid]
+"""Given the two contenders and the refinement step index, pick which to
+refine next.  Contenders passed to a scheduler always both have
+refinement capacity left (non-exact)."""
+
+
+def widest_first(first: BoundedBid, second: BoundedBid, _step: int) -> BoundedBid:
+    """Refine the contender with the wider current interval."""
+    return first if first.bounds.width >= second.bounds.width else second
+
+
+def round_robin(first: BoundedBid, second: BoundedBid, step: int) -> BoundedBid:
+    """Alternate strictly between the two contenders."""
+    return first if step % 2 == 0 else second
+
+
+def _next_unexpanded_price(bid: BoundedBid) -> int:
+    """Price of the next ad the contender would expand (0 if none).
+
+    Expansion order is largest price first over the ads sorted by
+    ascending price, so the next ad is at index ``-(depth + 1)``.
+    """
+    ads = sorted(bid.problem.outstanding, key=lambda ad: (ad[0], ad[1]))
+    index = len(ads) - bid.depth - 1
+    if index < 0:
+        return 0
+    return ads[index][0]
+
+
+def largest_price_first(
+    first: BoundedBid, second: BoundedBid, _step: int
+) -> BoundedBid:
+    """Refine whichever contender's next expansion removes more price mass."""
+    if _next_unexpanded_price(first) >= _next_unexpanded_price(second):
+        return first
+    return second
+
+
+def _uncertain_mass(bid: BoundedBid) -> float:
+    ads = sorted(bid.problem.outstanding, key=lambda ad: (ad[0], ad[1]))
+    remaining = sum(price for price, _ctr in ads[: len(ads) - bid.depth])
+    return bid.bounds.width * max(1, remaining)
+
+
+def most_uncertain_mass(
+    first: BoundedBid, second: BoundedBid, _step: int
+) -> BoundedBid:
+    """Refine the contender with more width times unexpanded liability."""
+    return first if _uncertain_mass(first) >= _uncertain_mass(second) else second
+
+
+NAMED_SCHEDULERS: dict[str, Scheduler] = {
+    "widest-first": widest_first,
+    "round-robin": round_robin,
+    "largest-price-first": largest_price_first,
+    "most-uncertain-mass": most_uncertain_mass,
+}
+"""The built-in schedulers, keyed by the names benchmarks report."""

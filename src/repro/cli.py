@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map to the paper's experiments and the library's main
+entry points:
+
+- ``example`` -- the Figures 1-3 worked auction.
+- ``fig4`` -- the Fig. 4 cost-vs-probability sweep.
+- ``shoes`` -- the Section II-B shoe-store sharing example.
+- ``gaming`` -- the Section IV gaming attack, naive vs throttled.
+- ``engine`` -- run a generated market through the round engine.
+- ``plan`` -- build a shared plan for a JSON query spec and print (or
+  save) its serialized form.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.metrics.tables import ExperimentTable
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Shared winner determination in sponsored search auctions "
+            "(Martin & Halpern, ICDE 2009) -- reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("example", help="the Figures 1-3 worked auction")
+
+    fig4 = sub.add_parser("fig4", help="Fig. 4 cost-vs-probability sweep")
+    fig4.add_argument("--seeds", type=int, default=3, help="instances per point")
+
+    shoes = sub.add_parser("shoes", help="Section II-B shoe-store example")
+    shoes.add_argument("--general", type=int, default=200)
+    shoes.add_argument("--sports", type=int, default=40)
+    shoes.add_argument("--fashion", type=int, default=30)
+
+    gaming = sub.add_parser("gaming", help="Section IV gaming attack")
+    gaming.add_argument("--rounds", type=int, default=120)
+    gaming.add_argument("--delay", type=int, default=3)
+
+    engine = sub.add_parser("engine", help="run a generated market")
+    engine.add_argument("--rounds", type=int, default=50)
+    engine.add_argument(
+        "--mode",
+        choices=["shared", "unshared", "shared-sort"],
+        default="shared",
+    )
+    engine.add_argument("--seed", type=int, default=0)
+
+    plan = sub.add_parser(
+        "plan", help="build and serialize a shared plan from JSON"
+    )
+    plan.add_argument(
+        "spec",
+        help=(
+            "path to a JSON file: {\"queries\": {name: [vars...]}, "
+            "\"search_rates\": {name: rate}}; '-' reads stdin"
+        ),
+    )
+    plan.add_argument("--output", help="write the plan JSON here")
+    return parser
+
+
+def _cmd_example() -> int:
+    from repro.core import GeneralizedSecondPrice, determine_winners
+    from repro.workloads.scenarios import paper_example_auction
+
+    spec = paper_example_auction()
+    allocation = determine_winners(spec)
+    outcome = GeneralizedSecondPrice().run(spec)
+    table = ExperimentTable(
+        "Figures 1-3: winner determination + GSP",
+        ["slot", "advertiser", "score b*c", "GSP price"],
+    )
+    for slot, advertiser_id in enumerate(allocation.slot_to_advertiser):
+        advertiser = spec.advertiser_by_id(advertiser_id)
+        score = advertiser.bid * spec.ctr_model.advertiser_factor(
+            advertiser_id
+        )
+        table.add(
+            slot + 1,
+            "ABC"[advertiser_id],
+            score,
+            outcome.prices[advertiser_id],
+        )
+    table.show()
+    return 0
+
+
+def _cmd_fig4(seeds: int) -> int:
+    from repro.plans.baselines import no_sharing_plan
+    from repro.plans.cost import expected_plan_cost
+    from repro.plans.greedy_planner import greedy_shared_plan
+    from repro.workloads.fig4 import fig4_instance
+
+    table = ExperimentTable(
+        "Fig. 4: expected plan cost vs query probability",
+        ["sr", "no sharing", "greedy shared"],
+    )
+    for probability in (0.1, 0.3, 0.5, 0.7, 0.9, 1.0):
+        unshared = 0.0
+        shared = 0.0
+        for seed in range(seeds):
+            instance = fig4_instance(probability, seed=seed)
+            unshared += expected_plan_cost(no_sharing_plan(instance))
+            shared += expected_plan_cost(greedy_shared_plan(instance))
+        table.add(probability, unshared / seeds, shared / seeds)
+    table.show()
+    return 0
+
+
+def _cmd_shoes(general: int, sports: int, fashion: int) -> int:
+    import random
+
+    from repro.plans.baselines import no_sharing_plan
+    from repro.plans.executor import PlanExecutor
+    from repro.plans.greedy_planner import greedy_shared_plan
+    from repro.workloads.scenarios import shoe_store_instance
+
+    instance, _groups = shoe_store_instance(general, sports, fashion)
+    rng = random.Random(0)
+    scores = {v: rng.uniform(0.1, 5.0) for v in instance.variables}
+    shared = PlanExecutor(
+        greedy_shared_plan(instance, pair_strategy="cover"), 5
+    ).run_round(scores)
+    unshared = PlanExecutor(no_sharing_plan(instance), 5).run_round(scores)
+    table = ExperimentTable(
+        "Shoe stores: advertisers scanned",
+        ["plan", "scans"],
+    )
+    table.add("unshared", unshared.advertisers_scanned)
+    table.add("shared", shared.advertisers_scanned)
+    table.show()
+    return 0
+
+
+def _cmd_gaming(rounds: int, delay: int) -> int:
+    from repro.budgets.gaming import GamingAdvertiser, simulate_gaming
+
+    population = [
+        GamingAdvertiser(0, bid_cents=100, budget_cents=150, ctr=0.5)
+    ] + [
+        GamingAdvertiser(i, bid_cents=80, budget_cents=100_000, ctr=0.5)
+        for i in range(1, 4)
+    ]
+    table = ExperimentTable(
+        f"Gaming attack ({rounds} rounds, delay {delay})",
+        ["policy", "revenue ($)", "forgiven ($)", "attacker wins"],
+    )
+    for policy in ("naive", "throttled"):
+        report = simulate_gaming(
+            population, rounds, 5, delay, policy, seed=42
+        )
+        table.add(
+            policy,
+            report.revenue_cents / 100,
+            report.forgiven_cents / 100,
+            report.wins[0],
+        )
+    table.show()
+    return 0
+
+
+def _cmd_engine(rounds: int, mode: str, seed: int) -> int:
+    from repro.engine import SharedAuctionEngine
+    from repro.workloads.generator import MarketConfig, generate_market
+
+    market = generate_market(MarketConfig(seed=seed))
+    engine = SharedAuctionEngine(
+        market.advertisers,
+        slot_factors=[0.3, 0.2, 0.1],
+        search_rates=market.search_rates,
+        mode=mode,
+        seed=seed,
+    )
+    report = engine.run(rounds)
+    table = ExperimentTable(
+        f"Engine run: mode={mode}, {rounds} rounds",
+        ["auctions", "merges", "scans", "revenue ($)", "forgiven ($)"],
+    )
+    table.add(
+        report.auctions,
+        report.merges,
+        report.scans,
+        report.revenue_cents / 100,
+        report.forgiven_cents / 100,
+    )
+    table.show()
+    return 0
+
+
+def _cmd_plan(spec_path: str, output: Optional[str]) -> int:
+    from repro.plans.greedy_planner import greedy_shared_plan
+    from repro.plans.cost import expected_plan_cost
+    from repro.plans.instance import SharedAggregationInstance
+    from repro.plans.serialize import dumps
+
+    if spec_path == "-":
+        raw = sys.stdin.read()
+    else:
+        with open(spec_path) as handle:
+            raw = handle.read()
+    spec = json.loads(raw)
+    instance = SharedAggregationInstance.from_sets(
+        spec["queries"], spec.get("search_rates", 1.0)
+    )
+    plan = greedy_shared_plan(instance)
+    serialized = dumps(plan)
+    if output:
+        with open(output, "w") as handle:
+            handle.write(serialized)
+        print(
+            f"plan: {plan.total_cost} operators, expected cost "
+            f"{expected_plan_cost(plan):.4f}; written to {output}"
+        )
+    else:
+        print(serialized)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "example":
+        return _cmd_example()
+    if args.command == "fig4":
+        return _cmd_fig4(args.seeds)
+    if args.command == "shoes":
+        return _cmd_shoes(args.general, args.sports, args.fashion)
+    if args.command == "gaming":
+        return _cmd_gaming(args.rounds, args.delay)
+    if args.command == "engine":
+        return _cmd_engine(args.rounds, args.mode, args.seed)
+    if args.command == "plan":
+        return _cmd_plan(args.spec, args.output)
+    raise AssertionError(f"unhandled command {args.command!r}")

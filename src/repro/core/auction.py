@@ -1,0 +1,150 @@
+"""Auction specifications, allocations, and outcomes.
+
+An :class:`AuctionSpec` binds one bid phrase to the advertisers competing
+for the page's ``k`` slots and to a CTR model.  Winner determination
+(:mod:`repro.core.winner_determination`) maps a spec to an
+:class:`Allocation`; a pricing rule (:mod:`repro.core.pricing`) extends the
+allocation to an :class:`AuctionOutcome` with per-click prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence, Tuple
+
+from repro.core.advertiser import Advertiser
+from repro.core.ctr import CTRModel
+from repro.errors import InvalidAuctionError
+
+__all__ = ["AuctionSpec", "Allocation", "AuctionOutcome"]
+
+
+@dataclass(frozen=True)
+class AuctionSpec:
+    """One sponsored-search auction: a phrase, its bidders, and slots.
+
+    Attributes:
+        phrase: The bid-phrase text the auction is keyed on.
+        advertisers: Advertisers whose bid-phrase sets matched the phrase
+            (the set ``I_q``).  Duplicate advertiser ids are rejected.
+        ctr_model: The click-through-rate model used for this auction.
+        num_slots: Number of ad slots ``k``; defaults to the CTR model's
+            slot count.
+    """
+
+    phrase: str
+    advertisers: Tuple[Advertiser, ...]
+    ctr_model: CTRModel
+    num_slots: int = 0
+
+    def __init__(
+        self,
+        phrase: str,
+        advertisers: Sequence[Advertiser],
+        ctr_model: CTRModel,
+        num_slots: int | None = None,
+    ) -> None:
+        ads = tuple(advertisers)
+        ids = [a.advertiser_id for a in ads]
+        if len(set(ids)) != len(ids):
+            raise InvalidAuctionError(f"duplicate advertiser ids in auction: {ids!r}")
+        k = ctr_model.num_slots if num_slots is None else num_slots
+        if k <= 0:
+            raise InvalidAuctionError(f"auction needs at least one slot, got {k}")
+        if k > ctr_model.num_slots:
+            raise InvalidAuctionError(
+                f"auction asks for {k} slots but CTR model only covers "
+                f"{ctr_model.num_slots}"
+            )
+        object.__setattr__(self, "phrase", phrase)
+        object.__setattr__(self, "advertisers", ads)
+        object.__setattr__(self, "ctr_model", ctr_model)
+        object.__setattr__(self, "num_slots", k)
+
+    def advertiser_by_id(self, advertiser_id: int) -> Advertiser:
+        """Look up a participating advertiser by id."""
+        for advertiser in self.advertisers:
+            if advertiser.advertiser_id == advertiser_id:
+                return advertiser
+        raise InvalidAuctionError(
+            f"advertiser {advertiser_id} is not in auction {self.phrase!r}"
+        )
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """The result of winner determination: slot -> advertiser id.
+
+    Attributes:
+        slot_to_advertiser: ``slot_to_advertiser[j]`` is the advertiser id
+            assigned to slot ``j`` (0-indexed), or ``None`` for an unfilled
+            slot (fewer bidders than slots).
+        expected_value: The objective value
+            ``sum_j ctr_{alpha(j), j} * b_{alpha(j)}`` of the assignment --
+            the total expected amount of bids realized.
+    """
+
+    slot_to_advertiser: Tuple[int | None, ...]
+    expected_value: float
+
+    def winners(self) -> Tuple[int, ...]:
+        """Advertiser ids that won a slot, in slot order."""
+        return tuple(a for a in self.slot_to_advertiser if a is not None)
+
+    def slot_of(self, advertiser_id: int) -> int | None:
+        """Slot index won by ``advertiser_id``, or ``None`` if it lost."""
+        for j, winner in enumerate(self.slot_to_advertiser):
+            if winner == advertiser_id:
+                return j
+        return None
+
+    def __len__(self) -> int:
+        return len(self.slot_to_advertiser)
+
+
+@dataclass(frozen=True)
+class AuctionOutcome:
+    """An allocation plus the per-click prices a pricing rule computed.
+
+    Attributes:
+        spec: The auction this outcome resolves.
+        allocation: The winner-determination result.
+        prices: Mapping from winning advertiser id to the price charged if
+            the user clicks that ad.  Every pricing rule in this library
+            guarantees ``prices[i] <= b_i`` (the paper notes all deployed
+            rules satisfy this).
+    """
+
+    spec: AuctionSpec
+    allocation: Allocation
+    prices: Mapping[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for advertiser_id, price in self.prices.items():
+            bid = self.spec.advertiser_by_id(advertiser_id).bid
+            if price > bid + 1e-12:
+                raise InvalidAuctionError(
+                    f"price {price} exceeds bid {bid} for advertiser "
+                    f"{advertiser_id}; pricing rules must never overcharge"
+                )
+
+    def price_of(self, advertiser_id: int) -> float:
+        """Price per click for a winning advertiser."""
+        try:
+            return self.prices[advertiser_id]
+        except KeyError:
+            raise InvalidAuctionError(
+                f"advertiser {advertiser_id} did not win auction "
+                f"{self.spec.phrase!r}"
+            ) from None
+
+    def expected_revenue(self) -> float:
+        """Expected revenue: ``sum_j ctr_{alpha(j), j} * price_{alpha(j)}``."""
+        total = 0.0
+        for j, advertiser_id in enumerate(self.allocation.slot_to_advertiser):
+            if advertiser_id is None:
+                continue
+            total += self.spec.ctr_model.ctr(advertiser_id, j) * self.prices.get(
+                advertiser_id, 0.0
+            )
+        return total

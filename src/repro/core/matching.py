@@ -1,0 +1,149 @@
+"""Maximum-weight bipartite matching via the Hungarian algorithm.
+
+Section V of the paper describes the non-separable winner-determination
+technique from Martin, Gehrke & Halpern (ICDE 2008): build the complete
+advertiser-slot bipartite graph weighted by expected realized bid
+``ctr_ij * b_i``, prune to the advertisers with the top-k weights per
+slot, and run the Hungarian algorithm on the pruned ``O(k^2) x k`` graph.
+
+This module implements the Hungarian algorithm from scratch (Kuhn 1955,
+in the potential/augmenting-path formulation, ``O(n^3)``) for rectangular
+maximum-weight matchings where every right-hand vertex (slot) must be
+matched if possible but weights may be skipped when beneficial is not
+needed here: all weights are non-negative, so a maximum-weight perfect
+matching on the padded square matrix is also value-maximal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import InvalidAuctionError
+
+__all__ = ["hungarian_max_weight", "hungarian_min_cost"]
+
+
+def hungarian_min_cost(cost: Sequence[Sequence[float]]) -> List[int]:
+    """Solve the square assignment problem, minimizing total cost.
+
+    Args:
+        cost: An ``n x n`` cost matrix; ``cost[i][j]`` is the cost of
+            assigning row ``i`` to column ``j``.
+
+    Returns:
+        A list ``assignment`` of length ``n`` where ``assignment[i]`` is
+        the column assigned to row ``i``.
+
+    Raises:
+        InvalidAuctionError: If the matrix is empty or not square.
+
+    The implementation is the classic ``O(n^3)`` shortest-augmenting-path
+    formulation with row/column potentials (sometimes presented as the
+    Jonker-Volgenant variant of Kuhn's Hungarian method).
+    """
+    n = len(cost)
+    if n == 0:
+        raise InvalidAuctionError("cost matrix must be non-empty")
+    for row in cost:
+        if len(row) != n:
+            raise InvalidAuctionError("cost matrix must be square")
+
+    INF = float("inf")
+    # Potentials and matching arrays are 1-indexed with a dummy 0 column.
+    u = [0.0] * (n + 1)
+    v = [0.0] * (n + 1)
+    # way[j] = previous column on the alternating path to column j.
+    match_col = [0] * (n + 1)  # match_col[j] = row matched to column j
+
+    for i in range(1, n + 1):
+        match_col[0] = i
+        j0 = 0
+        minv = [INF] * (n + 1)
+        used = [False] * (n + 1)
+        way = [0] * (n + 1)
+        while True:
+            used[j0] = True
+            i0 = match_col[j0]
+            delta = INF
+            j1 = 0
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                cur = cost[i0 - 1][j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(n + 1):
+                if used[j]:
+                    u[match_col[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if match_col[j0] == 0:
+                break
+        # Augment along the alternating path.
+        while j0:
+            j1 = way[j0]
+            match_col[j0] = match_col[j1]
+            j0 = j1
+
+    assignment = [0] * n
+    for j in range(1, n + 1):
+        if match_col[j]:
+            assignment[match_col[j] - 1] = j - 1
+    return assignment
+
+
+def hungarian_max_weight(
+    weights: Sequence[Sequence[float]],
+) -> Tuple[List[int | None], float]:
+    """Maximum-weight matching of rows (advertisers) to columns (slots).
+
+    The matrix may be rectangular with more rows than columns (more
+    advertisers than slots) or vice versa.  Rows left unmatched get
+    ``None``.  Negative weights are treated as "never assign" (clamped to
+    a zero-value dummy), which is the right semantics for expected
+    realized bids, all of which are non-negative.
+
+    Args:
+        weights: ``m x k`` weight matrix, ``weights[i][j]`` the value of
+            assigning row ``i`` to column ``j``.
+
+    Returns:
+        ``(assignment, total)`` where ``assignment[i]`` is the column for
+        row ``i`` or ``None``, and ``total`` is the matching's weight.
+    """
+    m = len(weights)
+    if m == 0:
+        raise InvalidAuctionError("weight matrix must be non-empty")
+    k = len(weights[0])
+    for row in weights:
+        if len(row) != k:
+            raise InvalidAuctionError("weight matrix rows must have equal length")
+    n = max(m, k)
+    big = 0.0
+    for row in weights:
+        for w in row:
+            if w > big:
+                big = w
+    # Pad to a square matrix of costs: cost = big - weight so that
+    # minimizing cost maximizes weight; dummy cells cost `big` (weight 0).
+    cost = [[big] * n for _ in range(n)]
+    for i in range(m):
+        for j in range(k):
+            w = weights[i][j]
+            if w > 0.0:
+                cost[i][j] = big - w
+    assignment_sq = hungarian_min_cost(cost)
+    assignment: List[int | None] = [None] * m
+    total = 0.0
+    for i in range(m):
+        j = assignment_sq[i]
+        if j < k and weights[i][j] > 0.0:
+            assignment[i] = j
+            total += weights[i][j]
+    return assignment, total

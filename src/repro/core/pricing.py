@@ -1,0 +1,151 @@
+"""Pricing rules for sponsored-search auctions.
+
+All deployed pricing rules run winner determination first and then price
+the winners (the paper's motivation for making winner determination fast).
+Three rules are provided:
+
+- :class:`FirstPrice` -- winners pay their own bid.
+- :class:`GeneralizedSecondPrice` -- the Google/Yahoo rule: the winner of
+  slot ``j`` pays the minimum bid that would keep it in slot ``j``, i.e.
+  the score of the next-ranked advertiser divided by the winner's CTR
+  factor (Edelman-Ostrovsky-Schwarz 2005, Varian 2006).
+- :class:`LadderedVCG` -- the truthful "laddered" pricing of
+  Aggarwal-Goel-Motwani (EC 2006) for separable CTRs.
+
+Every rule guarantees ``price <= bid`` -- the invariant the paper calls
+out; :class:`repro.core.auction.AuctionOutcome` re-checks it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List
+
+from repro.core.auction import Allocation, AuctionOutcome, AuctionSpec
+from repro.core.ctr import SeparableCTRModel
+from repro.core.topk import ScoredAdvertiser
+from repro.core.winner_determination import determine_winners
+from repro.errors import InvalidAuctionError
+
+__all__ = [
+    "PricingRule",
+    "FirstPrice",
+    "GeneralizedSecondPrice",
+    "LadderedVCG",
+]
+
+
+class PricingRule(ABC):
+    """A pricing rule prices the winners of an allocation.
+
+    Subclasses implement :meth:`price`, mapping a spec and its allocation
+    to per-click prices for each winner.  :meth:`run` is the convenience
+    entry point: winner determination followed by pricing.
+    """
+
+    @abstractmethod
+    def price(self, spec: AuctionSpec, allocation: Allocation) -> Dict[int, float]:
+        """Return ``{advertiser_id: price_per_click}`` for the winners."""
+
+    def run(self, spec: AuctionSpec) -> AuctionOutcome:
+        """Resolve the auction: winner determination, then pricing."""
+        allocation = determine_winners(spec)
+        prices = self.price(spec, allocation)
+        return AuctionOutcome(spec, allocation, prices)
+
+
+class FirstPrice(PricingRule):
+    """Winners pay exactly what they bid."""
+
+    def price(self, spec: AuctionSpec, allocation: Allocation) -> Dict[int, float]:
+        return {
+            advertiser_id: spec.advertiser_by_id(advertiser_id).bid
+            for advertiser_id in allocation.winners()
+        }
+
+
+def _separable_ranking(spec: AuctionSpec) -> List[ScoredAdvertiser]:
+    """All advertisers scored by ``b_i * c_i``, best first."""
+    model = spec.ctr_model
+    if not isinstance(model, SeparableCTRModel):
+        raise InvalidAuctionError(
+            "GSP and laddered-VCG pricing require separable CTRs"
+        )
+    scored = [
+        ScoredAdvertiser(
+            a.bid * model.advertiser_factor(a.advertiser_id), a.advertiser_id
+        )
+        for a in spec.advertisers
+    ]
+    scored.sort(key=lambda e: e.sort_key, reverse=True)
+    return scored
+
+
+class GeneralizedSecondPrice(PricingRule):
+    """Generalized second pricing (GSP).
+
+    The advertiser in slot ``j`` pays the smallest bid that would have
+    kept its position: ``score_{j+1} / c_i`` where ``score_{j+1}`` is the
+    ``(j+1)``-th highest ``b * c`` among participants (0 if none).  This
+    never exceeds the winner's own bid because its own score is at least
+    ``score_{j+1}``.
+    """
+
+    def price(self, spec: AuctionSpec, allocation: Allocation) -> Dict[int, float]:
+        ranking = _separable_ranking(spec)
+        model = spec.ctr_model
+        assert isinstance(model, SeparableCTRModel)
+        prices: Dict[int, float] = {}
+        for j, advertiser_id in enumerate(allocation.slot_to_advertiser):
+            if advertiser_id is None:
+                continue
+            next_score = ranking[j + 1].score if j + 1 < len(ranking) else 0.0
+            c_i = model.advertiser_factor(advertiser_id)
+            if c_i <= 0.0:
+                prices[advertiser_id] = 0.0
+            else:
+                prices[advertiser_id] = min(
+                    spec.advertiser_by_id(advertiser_id).bid, next_score / c_i
+                )
+        return prices
+
+
+class LadderedVCG(PricingRule):
+    """Truthful laddered pricing (Aggarwal-Goel-Motwani 2006).
+
+    For the advertiser in slot ``j`` (1-indexed ranks here, with slots
+    ordered by non-increasing slot factor ``d``), the expected payment per
+    impression is the "ladder"::
+
+        pay_j = sum_{t=j}^{min(K, n-1)} (d_t - d_{t+1}) * score_{t+1}
+
+    with ``d_{K+1} = 0``, where ``score_{t+1}`` is the ``(t+1)``-th highest
+    ``b * c``.  The per-click price divides by the winner's expected CTR in
+    the slot, ``c_i * d_j``.  This rule is dominant-strategy truthful under
+    separability.
+    """
+
+    def price(self, spec: AuctionSpec, allocation: Allocation) -> Dict[int, float]:
+        ranking = _separable_ranking(spec)
+        model = spec.ctr_model
+        assert isinstance(model, SeparableCTRModel)
+        k = spec.num_slots
+        d = list(model.slot_factors[:k]) + [0.0]
+        prices: Dict[int, float] = {}
+        for j, advertiser_id in enumerate(allocation.slot_to_advertiser):
+            if advertiser_id is None:
+                continue
+            expected_payment = 0.0
+            for t in range(j, k):
+                next_score = ranking[t + 1].score if t + 1 < len(ranking) else 0.0
+                expected_payment += (d[t] - d[t + 1]) * next_score
+            c_i = model.advertiser_factor(advertiser_id)
+            denom = c_i * d[j]
+            if denom <= 0.0:
+                prices[advertiser_id] = 0.0
+            else:
+                prices[advertiser_id] = min(
+                    spec.advertiser_by_id(advertiser_id).bid,
+                    expected_payment / denom,
+                )
+        return prices

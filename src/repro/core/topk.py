@@ -1,0 +1,233 @@
+"""Bounded top-k lists and the binary top-k merge operator.
+
+The paper's shared-aggregation machinery (Section II) is built on a single
+primitive: the binary *top-k merge*, which takes two ``k``-lists (lists of
+at most ``k`` scored advertisers) and returns the top ``k`` elements of
+their union.  This operator is associative, commutative, and idempotent,
+and has the empty list as identity -- the axioms A1-A4 that drive the
+complexity results.
+
+:class:`TopKList` is an immutable value type so it can be used as a node
+label and hashed into caches.  Ties in score are broken by ascending
+advertiser id, which makes the operator a *total, deterministic* function
+and lets property tests assert the algebraic axioms exactly rather than up
+to tie-order.
+
+Note on idempotence: merging a list with itself deduplicates by
+advertiser id (an advertiser cannot win two slots -- the integer program's
+third constraint), so ``merge(a, a) == a`` holds exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.errors import InvalidAuctionError
+
+__all__ = ["ScoredAdvertiser", "TopKList", "top_k_merge", "top_k_scan"]
+
+
+@dataclass(frozen=True, order=True)
+class ScoredAdvertiser:
+    """An advertiser id paired with its ranking score ``b_i * c_i``.
+
+    Ordering: higher score first; ties broken by *lower* advertiser id.
+    The dataclass ordering is ascending on ``(score, advertiser_id)``, so
+    ranking code uses :attr:`sort_key` which inverts the id tie-break.
+    """
+
+    score: float
+    advertiser_id: int
+
+    @property
+    def sort_key(self) -> Tuple[float, int]:
+        """Key under which *larger* means *ranked better*.
+
+        ``(-score, advertiser_id)`` ascending is the canonical rank order;
+        this property returns ``(score, -advertiser_id)`` so ``max`` picks
+        the best element.
+        """
+        return (self.score, -self.advertiser_id)
+
+    def beats(self, other: "ScoredAdvertiser") -> bool:
+        """Return whether this entry ranks strictly above ``other``."""
+        return self.sort_key > other.sort_key
+
+
+class TopKList:
+    """An immutable list of at most ``k`` scored advertisers, best first.
+
+    Instances are canonical: entries are sorted best-first, deduplicated by
+    advertiser id (keeping the best score per id), and truncated to ``k``.
+    Two ``TopKList`` objects compare equal iff they have the same ``k`` and
+    the same entries, so the type supports exact algebraic-axiom checks.
+
+    Args:
+        k: Capacity; the number of ad slots.  Must be positive.
+        entries: Any iterable of :class:`ScoredAdvertiser` (or
+            ``(score, advertiser_id)`` tuples).
+    """
+
+    __slots__ = ("_k", "_entries")
+
+    def __init__(
+        self,
+        k: int,
+        entries: Iterable[ScoredAdvertiser | Tuple[float, int]] = (),
+    ) -> None:
+        if k <= 0:
+            raise InvalidAuctionError(f"k must be positive, got {k}")
+        normalized: dict[int, ScoredAdvertiser] = {}
+        for entry in entries:
+            if not isinstance(entry, ScoredAdvertiser):
+                score, advertiser_id = entry
+                entry = ScoredAdvertiser(float(score), int(advertiser_id))
+            previous = normalized.get(entry.advertiser_id)
+            if previous is None or entry.beats(previous):
+                normalized[entry.advertiser_id] = entry
+        ranked = sorted(normalized.values(), key=lambda e: e.sort_key, reverse=True)
+        self._k = k
+        self._entries: Tuple[ScoredAdvertiser, ...] = tuple(ranked[:k])
+
+    @property
+    def k(self) -> int:
+        """Capacity of the list (number of slots)."""
+        return self._k
+
+    @property
+    def entries(self) -> Tuple[ScoredAdvertiser, ...]:
+        """The retained entries, best first."""
+        return self._entries
+
+    @classmethod
+    def empty(cls, k: int) -> "TopKList":
+        """Return the identity element for ``top_k_merge`` at capacity k."""
+        return cls(k)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ScoredAdvertiser]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> ScoredAdvertiser:
+        return self._entries[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TopKList):
+            return NotImplemented
+        return self._k == other._k and self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash((self._k, self._entries))
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{e.advertiser_id}:{e.score:g}" for e in self._entries
+        )
+        return f"TopKList(k={self._k}, [{body}])"
+
+    def advertiser_ids(self) -> Tuple[int, ...]:
+        """The advertiser ids in rank order."""
+        return tuple(e.advertiser_id for e in self._entries)
+
+    def threshold(self) -> float:
+        """Score of the worst retained entry, or ``-inf`` if not full.
+
+        An incoming entry can change the list only if it beats this value
+        (or the list still has room).
+        """
+        if len(self._entries) < self._k:
+            return float("-inf")
+        return self._entries[-1].score
+
+    def insert(self, entry: ScoredAdvertiser | Tuple[float, int]) -> "TopKList":
+        """Return a new list with ``entry`` merged in."""
+        if not isinstance(entry, ScoredAdvertiser):
+            score, advertiser_id = entry
+            entry = ScoredAdvertiser(float(score), int(advertiser_id))
+        return TopKList(self._k, (*self._entries, entry))
+
+
+def top_k_merge(left: TopKList, right: TopKList) -> TopKList:
+    """The paper's binary top-k aggregation operator ``⊕``.
+
+    Returns the top ``k`` of the union of the two input k-lists.  The
+    operator is associative (A1), commutative (A4), idempotent (A3), and
+    has :meth:`TopKList.empty` as identity (A2); those properties are what
+    Section II-C abstracts into the semilattice-with-identity axioms.
+
+    Raises:
+        InvalidAuctionError: If the two lists have different capacities.
+    """
+    if left.k != right.k:
+        raise InvalidAuctionError(
+            f"cannot merge top-k lists with different k: {left.k} vs {right.k}"
+        )
+    # Linear merge of two sorted runs, dedup by advertiser id on the fly.
+    merged: list[ScoredAdvertiser] = []
+    seen: set[int] = set()
+    li, ri = 0, 0
+    lentries, rentries = left.entries, right.entries
+    while len(merged) < left.k and (li < len(lentries) or ri < len(rentries)):
+        if ri >= len(rentries):
+            candidate = lentries[li]
+            li += 1
+        elif li >= len(lentries):
+            candidate = rentries[ri]
+            ri += 1
+        elif lentries[li].sort_key >= rentries[ri].sort_key:
+            candidate = lentries[li]
+            li += 1
+        else:
+            candidate = rentries[ri]
+            ri += 1
+        if candidate.advertiser_id not in seen:
+            seen.add(candidate.advertiser_id)
+            merged.append(candidate)
+    result = TopKList.__new__(TopKList)
+    result._k = left.k  # type: ignore[attr-defined]
+    result._entries = tuple(merged)  # type: ignore[attr-defined]
+    return result
+
+
+def top_k_scan(
+    k: int, scored: Iterable[ScoredAdvertiser | Tuple[float, int]]
+) -> TopKList:
+    """Single-scan top-k over a stream of scored advertisers.
+
+    This is the unshared baseline of Section II-A: one pass keeping a
+    size-k heap, ``O(n log k)`` time for distinct advertiser ids.  An
+    advertiser appearing multiple times keeps only its best score (it can
+    win at most one slot); duplicate appearances of the current heap
+    members are resolved through the final canonicalization.
+    """
+    heap: list[Tuple[Tuple[float, int], ScoredAdvertiser]] = []
+    members: dict[int, Tuple[float, int]] = {}
+    for entry in scored:
+        if not isinstance(entry, ScoredAdvertiser):
+            score, advertiser_id = entry
+            entry = ScoredAdvertiser(float(score), int(advertiser_id))
+        previous = members.get(entry.advertiser_id)
+        if previous is not None:
+            # Duplicate id: only an improved score matters; rebuild the
+            # heap without the stale entry (rare in auction streams).
+            if entry.sort_key <= previous:
+                continue
+            survivors = [
+                item for item in heap if item[1].advertiser_id != entry.advertiser_id
+            ]
+            heap = survivors
+            heapq.heapify(heap)
+            del members[entry.advertiser_id]
+        item = (entry.sort_key, entry)
+        if len(heap) < k:
+            heapq.heappush(heap, item)
+            members[entry.advertiser_id] = entry.sort_key
+        elif item > heap[0]:
+            evicted = heapq.heapreplace(heap, item)
+            del members[evicted[1].advertiser_id]
+            members[entry.advertiser_id] = entry.sort_key
+    return TopKList(k, (entry for _, entry in heap))

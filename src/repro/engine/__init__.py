@@ -1,0 +1,23 @@
+"""Round-based auction engine tying the pieces together.
+
+The engine is the "search provider" substrate: it batches incoming bid
+phrases into rounds (:mod:`repro.engine.rounds`), resolves each round's
+auctions with a shared plan or per-phrase scans
+(:mod:`repro.engine.pipeline`), manages budgets and outstanding ads
+(:mod:`repro.engine.budget_manager`), and simulates delayed user clicks
+(:mod:`repro.engine.click_model`).
+"""
+
+from repro.engine.budget_manager import BudgetManager
+from repro.engine.click_model import ClickEvent, DelayedClickModel
+from repro.engine.pipeline import EngineReport, SharedAuctionEngine
+from repro.engine.rounds import RoundBatcher
+
+__all__ = [
+    "BudgetManager",
+    "ClickEvent",
+    "DelayedClickModel",
+    "EngineReport",
+    "RoundBatcher",
+    "SharedAuctionEngine",
+]

@@ -1,0 +1,146 @@
+"""Per-advertiser budget accounting with outstanding-ad tracking.
+
+The budget manager is the engine's source of truth for how much each
+advertiser can still spend.  It tracks settled charges against the daily
+budget and maintains an :class:`repro.budgets.OutstandingLedger` per
+advertiser so the throttled bid ``b̂_i`` can be formed for winner
+determination (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.budgets.outstanding import ClickDecayModel, NoDecay, OutstandingLedger
+from repro.budgets.throttle import ThrottleProblem
+from repro.errors import BudgetError
+
+__all__ = ["BudgetManager", "ChargeResult"]
+
+
+@dataclass(frozen=True)
+class ChargeResult:
+    """Outcome of charging one click.
+
+    Attributes:
+        charged_cents: Amount actually collected.
+        forgiven_cents: Shortfall beyond the remaining budget.
+    """
+
+    charged_cents: int
+    forgiven_cents: int
+
+
+class BudgetManager:
+    """Tracks budgets, settled spend, and outstanding ads.
+
+    Args:
+        budgets_cents: Daily budget per advertiser id.  Advertisers not
+            present are treated as unbudgeted (infinite budget).
+        decay: Click-decay model for outstanding ads.
+    """
+
+    UNBUDGETED_CENTS = 10**12
+    """Stand-in budget for unbudgeted advertisers (effectively infinite)."""
+
+    def __init__(
+        self,
+        budgets_cents: Dict[int, int],
+        decay: ClickDecayModel | None = None,
+    ) -> None:
+        for advertiser_id, budget in budgets_cents.items():
+            if budget < 0:
+                raise BudgetError(
+                    f"budget for advertiser {advertiser_id} must be >= 0"
+                )
+        self._budgets = dict(budgets_cents)
+        self._spent: Dict[int, int] = {}
+        self._decay = decay if decay is not None else NoDecay()
+        self._ledgers: Dict[int, OutstandingLedger] = {}
+
+    def _ledger(self, advertiser_id: int) -> OutstandingLedger:
+        ledger = self._ledgers.get(advertiser_id)
+        if ledger is None:
+            ledger = OutstandingLedger(decay=self._decay)
+            self._ledgers[advertiser_id] = ledger
+        return ledger
+
+    def budget_cents(self, advertiser_id: int) -> int:
+        """The advertiser's daily budget (huge sentinel if unbudgeted)."""
+        return self._budgets.get(advertiser_id, self.UNBUDGETED_CENTS)
+
+    def remaining_cents(self, advertiser_id: int) -> int:
+        """``β_i`` -- budget minus settled charges (never negative)."""
+        remaining = self.budget_cents(advertiser_id) - self._spent.get(
+            advertiser_id, 0
+        )
+        return max(0, remaining)
+
+    def spent_cents(self, advertiser_id: int) -> int:
+        """Total settled charges so far."""
+        return self._spent.get(advertiser_id, 0)
+
+    def record_display(
+        self,
+        advertiser_id: int,
+        price_cents: int,
+        ctr: float,
+        round_index: int,
+    ) -> None:
+        """Register a displayed ad as outstanding debt."""
+        self._ledger(advertiser_id).record_display(
+            price_cents, ctr, round_index
+        )
+
+    def settle_click(
+        self, advertiser_id: int, price_cents: int, display_round: int
+    ) -> ChargeResult:
+        """Charge a click, forgiving any shortfall.
+
+        Also clears the matching outstanding ad (by price and display
+        round) if one is still tracked.
+        """
+        ledger = self._ledger(advertiser_id)
+        for ad in ledger.ads:
+            if (
+                ad.price_cents == price_cents
+                and ad.displayed_round == display_round
+            ):
+                ledger.resolve(ad)
+                break
+        remaining = self.remaining_cents(advertiser_id)
+        charged = min(price_cents, remaining)
+        self._spent[advertiser_id] = self.spent_cents(advertiser_id) + charged
+        return ChargeResult(charged, price_cents - charged)
+
+    def expire_outstanding(self, round_index: int) -> int:
+        """Drop outstanding ads whose click probability decayed to zero."""
+        return sum(
+            ledger.prune(round_index) for ledger in self._ledgers.values()
+        )
+
+    def throttle_problem(
+        self,
+        advertiser_id: int,
+        bid_cents: int,
+        num_auctions: int,
+        round_index: int,
+    ) -> ThrottleProblem:
+        """Build the Section IV throttle inputs for one advertiser."""
+        remaining = self.remaining_cents(advertiser_id)
+        outstanding = self._ledger(advertiser_id).snapshot(round_index)
+        return ThrottleProblem(
+            bid_cents=min(bid_cents, remaining),
+            budget_cents=remaining,
+            num_auctions=num_auctions,
+            outstanding=outstanding,
+        )
+
+    def outstanding_counts(self) -> Dict[int, int]:
+        """Outstanding-ad count per advertiser (for reports)."""
+        return {
+            advertiser_id: len(ledger)
+            for advertiser_id, ledger in self._ledgers.items()
+            if len(ledger)
+        }

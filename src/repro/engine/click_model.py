@@ -1,0 +1,121 @@
+"""Simulated user clicks with delayed arrival.
+
+The paper's budget machinery exists because clicks arrive *after* the ad
+is displayed.  :class:`DelayedClickModel` samples, for each displayed ad,
+whether the user eventually clicks (Bernoulli with the ad's
+click-through rate) and when the click arrives (a geometric number of
+rounds, capped at a horizon after which the click is abandoned --
+matching the decay-to-zero assumption of Section IV).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import InvalidAuctionError
+
+__all__ = ["ClickEvent", "DelayedClickModel"]
+
+
+@dataclass(frozen=True)
+class ClickEvent:
+    """A click scheduled to arrive in a future round.
+
+    Attributes:
+        advertiser_id: Whose ad was clicked.
+        phrase: The auction's bid phrase.
+        price_cents: Price the pricing rule set for this click.
+        display_round: Round the ad was shown.
+        arrival_round: Round the click arrives (payment is attempted).
+    """
+
+    advertiser_id: int
+    phrase: str
+    price_cents: int
+    display_round: int
+    arrival_round: int
+
+
+class DelayedClickModel:
+    """Samples click outcomes and delays for displayed ads.
+
+    Args:
+        mean_delay_rounds: Mean of the geometric delay (0 means clicks
+            arrive in the next round).
+        horizon_rounds: Clicks that would arrive later than this many
+            rounds after display are dropped (never happen).
+        rng: Seeded random source.
+    """
+
+    def __init__(
+        self,
+        mean_delay_rounds: float,
+        horizon_rounds: int,
+        rng: random.Random,
+    ) -> None:
+        if mean_delay_rounds < 0.0:
+            raise InvalidAuctionError("mean delay must be non-negative")
+        if horizon_rounds <= 0:
+            raise InvalidAuctionError("click horizon must be positive")
+        self.mean_delay_rounds = mean_delay_rounds
+        self.horizon_rounds = horizon_rounds
+        self._rng = rng
+        self._pending: List[ClickEvent] = []
+
+    def record_display(
+        self,
+        advertiser_id: int,
+        phrase: str,
+        price_cents: int,
+        ctr: float,
+        display_round: int,
+    ) -> bool:
+        """Sample one displayed ad; returns whether a click was scheduled."""
+        if not 0.0 <= ctr <= 1.0:
+            raise InvalidAuctionError(f"CTR must be in [0, 1], got {ctr}")
+        if self._rng.random() >= ctr:
+            return False
+        delay = self._sample_delay()
+        if delay > self.horizon_rounds:
+            return False
+        self._pending.append(
+            ClickEvent(
+                advertiser_id,
+                phrase,
+                price_cents,
+                display_round,
+                display_round + delay,
+            )
+        )
+        return True
+
+    def _sample_delay(self) -> int:
+        if self.mean_delay_rounds == 0.0:
+            return 1
+        p = 1.0 / (1.0 + self.mean_delay_rounds)
+        delay = 1
+        while self._rng.random() > p:
+            delay += 1
+            if delay > self.horizon_rounds:
+                break
+        return delay
+
+    def arrivals(self, round_index: int) -> List[ClickEvent]:
+        """Pop and return the clicks arriving at ``round_index`` or before."""
+        due = [c for c in self._pending if c.arrival_round <= round_index]
+        self._pending = [
+            c for c in self._pending if c.arrival_round > round_index
+        ]
+        return sorted(due, key=lambda c: (c.arrival_round, c.advertiser_id))
+
+    def flush(self) -> List[ClickEvent]:
+        """Pop all remaining scheduled clicks (end of simulation)."""
+        due, self._pending = self._pending, []
+        return sorted(due, key=lambda c: (c.arrival_round, c.advertiser_id))
+
+    @property
+    def pending_count(self) -> int:
+        """Clicks scheduled but not yet delivered."""
+        return len(self._pending)

@@ -1,0 +1,373 @@
+"""The end-to-end shared winner-determination engine.
+
+:class:`SharedAuctionEngine` is the full pipeline of the paper: phrases
+are batched into rounds; per round, advertiser scores ``b̂_i * c_i`` are
+formed (with Section IV throttling against outstanding ads), the
+occurring phrases' top-(k+1) rankings are computed through a shared
+aggregation plan built offline by the Section II heuristic (or by
+independent per-phrase scans, for the unshared baseline), slots are
+allocated, clicks are priced with a configurable rule, displayed ads
+become outstanding debt, and simulated clicks arrive with delay and are
+settled against budgets.
+
+The engine asks the plan for *k + 1* entries so generalized second
+pricing can see the runner-up score without a second pass.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.budgets.outstanding import ClickDecayModel, NoDecay
+from repro.budgets.throttle import exact_throttled_bid
+from repro.core.advertiser import Advertiser
+from repro.core.ctr import SeparableCTRModel
+from repro.core.topk import ScoredAdvertiser, TopKList, top_k_scan
+from repro.engine.budget_manager import BudgetManager
+from repro.engine.click_model import DelayedClickModel
+from repro.errors import InvalidAuctionError
+from repro.plans.executor import PlanExecutor
+from repro.plans.greedy_planner import greedy_shared_plan
+from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+
+__all__ = ["SharedAuctionEngine", "EngineReport", "RoundReport"]
+
+
+@dataclass
+class RoundReport:
+    """Work and money counters for one round.
+
+    Attributes:
+        round_index: The round number.
+        occurring_phrases: Phrases auctioned this round.
+        merges: Top-k merge operations performed (shared mode).
+        scans: Advertiser entries scanned (leaf reads in shared mode;
+            full per-phrase scans in unshared mode).
+        revenue_cents: Click payments settled this round.
+        forgiven_cents: Click value forgiven this round.
+        displays: Ads displayed this round.
+        clicks: Clicks that arrived this round.
+    """
+
+    round_index: int
+    occurring_phrases: Tuple[str, ...]
+    merges: int = 0
+    scans: int = 0
+    revenue_cents: int = 0
+    forgiven_cents: int = 0
+    displays: int = 0
+    clicks: int = 0
+
+
+@dataclass
+class EngineReport:
+    """Aggregate counters over a whole run."""
+
+    rounds: int = 0
+    auctions: int = 0
+    merges: int = 0
+    scans: int = 0
+    revenue_cents: int = 0
+    forgiven_cents: int = 0
+    displays: int = 0
+    clicks: int = 0
+    history: List[RoundReport] = field(default_factory=list)
+
+    def absorb(self, report: RoundReport) -> None:
+        """Fold one round's counters into the totals."""
+        self.rounds += 1
+        self.auctions += len(report.occurring_phrases)
+        self.merges += report.merges
+        self.scans += report.scans
+        self.revenue_cents += report.revenue_cents
+        self.forgiven_cents += report.forgiven_cents
+        self.displays += report.displays
+        self.clicks += report.clicks
+        self.history.append(report)
+
+
+class SharedAuctionEngine:
+    """Round-based sponsored-search engine with shared winner determination.
+
+    Args:
+        advertisers: The advertiser population; phrase interests and CTR
+            factors are read from each advertiser.
+        slot_factors: The separable slot factors ``d_j`` (non-increasing);
+            their count is the number of slots ``k``.
+        search_rates: ``{phrase: sr_q}`` for every phrase that can occur.
+            Phrases mentioned by advertisers but absent here default to
+            rate 1.0.
+        mode: ``"shared"`` resolves rounds through a greedy shared
+            aggregation plan (Section II; requires phrase-independent
+            CTR factors); ``"shared-sort"`` runs the Section III
+            pipeline -- shared on-demand merge-sort of bids plus the
+            threshold algorithm per phrase -- honoring per-phrase CTR
+            factors (:attr:`Advertiser.phrase_ctr_factors`);
+            ``"unshared"`` scans each phrase's advertisers independently.
+        throttle: Apply Section IV bid throttling against outstanding ads.
+        decay: Click-decay model for outstanding ads.
+        mean_click_delay_rounds: Mean click arrival delay.
+        click_horizon_rounds: Rounds after which an unclicked ad expires.
+        seed: Seed for phrase occurrence and click simulation.
+    """
+
+    def __init__(
+        self,
+        advertisers: Sequence[Advertiser],
+        slot_factors: Sequence[float],
+        search_rates: Mapping[str, float],
+        mode: str = "shared",
+        throttle: bool = True,
+        decay: Optional[ClickDecayModel] = None,
+        mean_click_delay_rounds: float = 2.0,
+        click_horizon_rounds: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if mode not in ("shared", "unshared", "shared-sort"):
+            raise InvalidAuctionError(f"unknown engine mode {mode!r}")
+        self.advertisers = tuple(advertisers)
+        self.mode = mode
+        self.throttle = throttle
+        self._by_id = {a.advertiser_id: a for a in self.advertisers}
+        if len(self._by_id) != len(self.advertisers):
+            raise InvalidAuctionError("duplicate advertiser ids")
+        self.ctr_model = SeparableCTRModel(
+            {a.advertiser_id: a.ctr_factor for a in self.advertisers},
+            slot_factors,
+        )
+        self.k = len(tuple(slot_factors))
+        phrase_map: Dict[str, List[int]] = {}
+        for advertiser in self.advertisers:
+            for phrase in advertiser.phrases:
+                phrase_map.setdefault(phrase, []).append(
+                    advertiser.advertiser_id
+                )
+        self.phrase_advertisers: Dict[str, Tuple[int, ...]] = {
+            phrase: tuple(sorted(ids)) for phrase, ids in phrase_map.items()
+        }
+        self.search_rates: Dict[str, float] = {
+            phrase: float(search_rates.get(phrase, 1.0))
+            for phrase in self.phrase_advertisers
+        }
+        budgets = {
+            a.advertiser_id: int(round(a.daily_budget * 100))
+            for a in self.advertisers
+            if a.daily_budget != float("inf")
+        }
+        self.budget_manager = BudgetManager(
+            budgets, decay if decay is not None else NoDecay()
+        )
+        self._rng = random.Random(seed)
+        self.click_model = DelayedClickModel(
+            mean_click_delay_rounds, click_horizon_rounds, self._rng
+        )
+        self._executor: Optional[PlanExecutor] = None
+        self._sort_plan = None
+        if mode == "shared":
+            instance = SharedAggregationInstance(
+                AggregateQuery(
+                    phrase, ids, self.search_rates[phrase]
+                )
+                for phrase, ids in self.phrase_advertisers.items()
+            )
+            strategy = "cover" if len(instance.variables) > 64 else "full"
+            plan = greedy_shared_plan(instance, pair_strategy=strategy)
+            # k + 1 so GSP can read the runner-up score.
+            self._executor = PlanExecutor(plan, self.k + 1)
+            # Phrases with identical advertiser sets are A-equivalent and
+            # deduplicate to one plan query; map each phrase to the
+            # surviving query's name.
+            by_varset = {
+                q.variables: q.name
+                for q in instance.queries + instance.trivial_queries
+            }
+            self._phrase_alias: Dict[str, str] = {
+                phrase: by_varset[frozenset(ids)]
+                for phrase, ids in self.phrase_advertisers.items()
+            }
+        elif mode == "shared-sort":
+            from repro.sharedsort.plan import build_shared_sort_plan
+
+            self._sort_plan = build_shared_sort_plan(
+                self.phrase_advertisers, self.search_rates
+            )
+            # Precomputed per-phrase descending c_i^q orders (Section III
+            # treats CTR factors as recalculated only occasionally).
+            self._ctr_orders: Dict[str, List[int]] = {
+                phrase: sorted(
+                    ids,
+                    key=lambda i: (
+                        -self._by_id[i].ctr_factor_for(phrase),
+                        i,
+                    ),
+                )
+                for phrase, ids in self.phrase_advertisers.items()
+            }
+        self._round_index = 0
+
+    # ------------------------------------------------------------------
+    # round resolution
+    # ------------------------------------------------------------------
+    def sample_occurring_phrases(self) -> List[str]:
+        """Draw this round's phrases: independent Bernoulli per phrase."""
+        return [
+            phrase
+            for phrase in sorted(self.phrase_advertisers)
+            if self._rng.random() < self.search_rates[phrase]
+        ]
+
+    def run_round(
+        self, occurring: Optional[Iterable[str]] = None
+    ) -> RoundReport:
+        """Resolve one round end to end.
+
+        Args:
+            occurring: The phrases that occur; sampled from the search
+                rates when omitted.
+        """
+        round_index = self._round_index
+        self._round_index += 1
+        phrases = (
+            sorted(occurring)
+            if occurring is not None
+            else self.sample_occurring_phrases()
+        )
+        unknown = [p for p in phrases if p not in self.phrase_advertisers]
+        if unknown:
+            raise InvalidAuctionError(f"no advertisers bid on {unknown!r}")
+        report = RoundReport(round_index, tuple(phrases))
+
+        # 1. Deliver due clicks and settle payments.
+        for click in self.click_model.arrivals(round_index):
+            charge = self.budget_manager.settle_click(
+                click.advertiser_id, click.price_cents, click.display_round
+            )
+            report.revenue_cents += charge.charged_cents
+            report.forgiven_cents += charge.forgiven_cents
+            report.clicks += 1
+        self.budget_manager.expire_outstanding(round_index)
+
+        if not phrases:
+            return report
+
+        # 2. Per-round effective scores b̂_i * c_i.
+        auctions_of: Dict[int, int] = {}
+        for phrase in phrases:
+            for advertiser_id in self.phrase_advertisers[phrase]:
+                auctions_of[advertiser_id] = auctions_of.get(advertiser_id, 0) + 1
+        scores: Dict[int, float] = {}
+        effective_bid_cents: Dict[int, float] = {}
+        for advertiser_id, m in auctions_of.items():
+            advertiser = self._by_id[advertiser_id]
+            bid_cents = int(round(advertiser.bid * 100))
+            if self.throttle:
+                problem = self.budget_manager.throttle_problem(
+                    advertiser_id, bid_cents, m, round_index
+                )
+                effective = exact_throttled_bid(problem)
+            else:
+                effective = float(
+                    min(bid_cents, self.budget_manager.remaining_cents(advertiser_id))
+                )
+            effective_bid_cents[advertiser_id] = effective
+            scores[advertiser_id] = effective / 100.0 * advertiser.ctr_factor
+
+        # 3. Rankings: shared plan, shared sort + TA, or per-phrase scans.
+        rankings: Dict[str, TopKList] = {}
+        if self.mode == "shared":
+            assert self._executor is not None
+            canonical = sorted({self._phrase_alias[p] for p in phrases})
+            result = self._executor.run_round(scores, canonical)
+            rankings = {
+                phrase: result.answers[self._phrase_alias[phrase]]
+                for phrase in phrases
+            }
+            report.merges += result.merges_performed
+            report.scans += result.advertisers_scanned
+        elif self.mode == "shared-sort":
+            assert self._sort_plan is not None
+            from repro.sharedsort.threshold import threshold_top_k
+
+            # Section III: bids are shared across phrases; CTR factors
+            # may differ per phrase, so each phrase runs the threshold
+            # algorithm over the shared descending-bid streams.
+            bids = {
+                advertiser_id: value / 100.0
+                for advertiser_id, value in effective_bid_cents.items()
+            }
+            live = self._sort_plan.instantiate(bids)
+            for phrase in phrases:
+                ids = self.phrase_advertisers[phrase]
+                factors = {
+                    i: self._by_id[i].ctr_factor_for(phrase) for i in ids
+                }
+                ta = threshold_top_k(
+                    self.k + 1,
+                    live.stream_for_phrase(phrase),
+                    self._ctr_orders[phrase],
+                    bids,
+                    factors,
+                )
+                rankings[phrase] = ta.ranking
+                report.scans += ta.sorted_accesses
+            report.merges += live.total_pulls()
+        else:
+            for phrase in phrases:
+                ids = self.phrase_advertisers[phrase]
+                report.scans += len(ids)
+                rankings[phrase] = top_k_scan(
+                    self.k + 1,
+                    (ScoredAdvertiser(scores[i], i) for i in ids),
+                )
+
+        # 4. Allocate, price (GSP), display.
+        for phrase in phrases:
+            ranking = rankings[phrase]
+            entries = ranking.entries
+            for slot in range(min(self.k, len(entries))):
+                entry = entries[slot]
+                advertiser = self._by_id[entry.advertiser_id]
+                if entry.score <= 0.0:
+                    continue
+                next_score = (
+                    entries[slot + 1].score if slot + 1 < len(entries) else 0.0
+                )
+                c_i = (
+                    advertiser.ctr_factor_for(phrase)
+                    if self.mode == "shared-sort"
+                    else advertiser.ctr_factor
+                )
+                if c_i <= 0.0:
+                    continue
+                price_cents = min(
+                    effective_bid_cents[entry.advertiser_id],
+                    next_score / c_i * 100.0,
+                )
+                price = int(round(price_cents))
+                if price <= 0:
+                    continue
+                ctr = min(1.0, c_i * self.ctr_model.slot_factors[slot])
+                self.budget_manager.record_display(
+                    entry.advertiser_id, price, ctr, round_index
+                )
+                self.click_model.record_display(
+                    entry.advertiser_id, phrase, price, ctr, round_index
+                )
+                report.displays += 1
+        return report
+
+    def run(self, rounds: int) -> EngineReport:
+        """Run several rounds, then flush and settle remaining clicks."""
+        report = EngineReport()
+        for _ in range(rounds):
+            report.absorb(self.run_round())
+        for click in self.click_model.flush():
+            charge = self.budget_manager.settle_click(
+                click.advertiser_id, click.price_cents, click.display_round
+            )
+            report.revenue_cents += charge.charged_cents
+            report.forgiven_cents += charge.forgiven_cents
+            report.clicks += 1
+        return report

@@ -1,0 +1,64 @@
+"""Exception hierarchy shared across the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch library errors without also swallowing programming errors such as
+:class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidAuctionError",
+    "InvalidPlanError",
+    "PlanConstructionError",
+    "AlgebraError",
+    "BudgetError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidAuctionError(ReproError):
+    """An auction specification is malformed.
+
+    Raised for conditions such as a non-positive slot count, duplicate
+    advertiser identifiers, or click-through rates outside ``[0, 1]``.
+    """
+
+
+class InvalidPlanError(ReproError):
+    """A shared plan DAG violates the structural rules of Section II-C.
+
+    The rules are: every node has in-degree 0 or 2; in-degree-0 nodes are
+    labeled with variables; in-degree-2 nodes are labeled with the
+    aggregation of their two inputs; and every query expression must be
+    equivalent to the label of some node.
+    """
+
+
+class PlanConstructionError(ReproError):
+    """A planner could not produce a valid plan for the given instance."""
+
+
+class AlgebraError(ReproError):
+    """An algebraic operation was applied outside its domain.
+
+    For example, checking axiom satisfaction on an empty carrier set, or
+    requesting the identity element of a structure that has none.
+    """
+
+
+class BudgetError(ReproError):
+    """A budget-uncertainty computation received inconsistent inputs.
+
+    For example, a negative remaining budget, a click probability outside
+    ``[0, 1]``, or a throttle query with zero auctions in the round.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with impossible parameters."""

@@ -1,0 +1,26 @@
+"""Query-to-bid-phrase matching (the paper's assumed front end).
+
+Section II-B assumes the two-stage method of Radlinski et al.: a raw
+search query is first mapped into the lower-dimensional space of bid
+phrases, then matched to advertisers' phrases by *exact* match.  This
+package supplies that substrate so the engine can consume raw query
+streams:
+
+- :mod:`repro.matching.normalize` -- deterministic query normalization
+  (case folding, punctuation stripping, token de-duplication, stopword
+  removal);
+- :mod:`repro.matching.rewriter` -- the two-stage rewriter: a phrase
+  dictionary indexed by token, candidate generation by token overlap,
+  Jaccard scoring with a threshold, then exact match downstream.
+"""
+
+from repro.matching.normalize import normalize_query, tokenize
+from repro.matching.rewriter import PhraseDictionary, RewriteResult, TwoStageRewriter
+
+__all__ = [
+    "PhraseDictionary",
+    "RewriteResult",
+    "TwoStageRewriter",
+    "normalize_query",
+    "tokenize",
+]

@@ -1,0 +1,62 @@
+"""Deterministic query normalization.
+
+Normalization must be a pure function of the text: the same raw query
+always lands on the same phrase, or advertisers could not reason about
+which auctions their bid phrases enter.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, List, Tuple
+
+__all__ = ["STOPWORDS", "tokenize", "normalize_query"]
+
+STOPWORDS: FrozenSet[str] = frozenset(
+    {
+        "a",
+        "an",
+        "and",
+        "buy",
+        "cheap",
+        "for",
+        "in",
+        "of",
+        "online",
+        "or",
+        "the",
+        "to",
+        "with",
+    }
+)
+"""Tokens dropped during normalization.
+
+Includes commercial filler ("buy", "cheap", "online") that rarely
+distinguishes bid phrases; the list is intentionally small and fixed so
+rewriting stays predictable.
+"""
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase and split into alphanumeric tokens, in order."""
+    return _TOKEN_PATTERN.findall(text.lower())
+
+
+def normalize_query(text: str) -> Tuple[str, ...]:
+    """Normalize a raw query into its canonical token tuple.
+
+    Steps: lowercase, strip punctuation, drop stopwords, de-duplicate
+    while keeping first-occurrence order.  The token *tuple* (not a
+    joined string) is the canonical form so phrase matching can compare
+    token sets without re-splitting.
+    """
+    seen = set()
+    out: List[str] = []
+    for token in tokenize(text):
+        if token in STOPWORDS or token in seen:
+            continue
+        seen.add(token)
+        out.append(token)
+    return tuple(out)

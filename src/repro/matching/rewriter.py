@@ -1,0 +1,156 @@
+"""The two-stage query rewriter.
+
+Stage 1 maps a normalized query into the bid-phrase space: candidate
+phrases are generated from an inverted token index and scored by Jaccard
+similarity between token sets; the best candidate above a threshold
+wins (ties broken lexicographically for determinism).  Stage 2 -- exact
+match of the chosen phrase against advertisers' phrase sets -- is what
+the auction engine already does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import InvalidAuctionError
+from repro.matching.normalize import normalize_query
+
+__all__ = ["PhraseDictionary", "RewriteResult", "TwoStageRewriter"]
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """Outcome of rewriting one raw query.
+
+    Attributes:
+        query: The raw query text.
+        phrase: The matched bid phrase, or ``None`` when nothing cleared
+            the threshold (the query then triggers no sponsored auction).
+        score: Jaccard similarity of the winning match (0.0 on miss).
+        exact: Whether the query normalized to exactly the phrase's
+            tokens.
+    """
+
+    query: str
+    phrase: Optional[str]
+    score: float
+    exact: bool
+
+
+class PhraseDictionary:
+    """The searchable set of known bid phrases.
+
+    Args:
+        phrases: The bid-phrase texts advertisers registered.
+
+    Phrases are indexed both by their full normalized token set (exact
+    lookups) and by individual tokens (candidate generation).
+    """
+
+    def __init__(self, phrases: Iterable[str]) -> None:
+        self._token_sets: Dict[str, FrozenSet[str]] = {}
+        self._by_tokens: Dict[FrozenSet[str], str] = {}
+        self._inverted: Dict[str, Set[str]] = {}
+        for phrase in phrases:
+            tokens = frozenset(normalize_query(phrase))
+            if not tokens:
+                raise InvalidAuctionError(
+                    f"bid phrase {phrase!r} normalizes to nothing"
+                )
+            self._token_sets[phrase] = tokens
+            # First registration of a token set wins (deterministic).
+            self._by_tokens.setdefault(tokens, phrase)
+            for token in tokens:
+                self._inverted.setdefault(token, set()).add(phrase)
+        if not self._token_sets:
+            raise InvalidAuctionError("phrase dictionary cannot be empty")
+
+    def __len__(self) -> int:
+        return len(self._token_sets)
+
+    def __contains__(self, phrase: str) -> bool:
+        return phrase in self._token_sets
+
+    def exact(self, tokens: FrozenSet[str]) -> Optional[str]:
+        """The phrase whose token set equals ``tokens``, if any."""
+        return self._by_tokens.get(tokens)
+
+    def candidates(self, tokens: FrozenSet[str]) -> List[str]:
+        """Phrases sharing at least one token with the query, sorted."""
+        found: Set[str] = set()
+        for token in tokens:
+            found |= self._inverted.get(token, set())
+        return sorted(found)
+
+    def tokens_of(self, phrase: str) -> FrozenSet[str]:
+        """Normalized token set of a registered phrase."""
+        try:
+            return self._token_sets[phrase]
+        except KeyError:
+            raise InvalidAuctionError(f"unknown phrase {phrase!r}") from None
+
+
+class TwoStageRewriter:
+    """Stage-1 rewriting with Jaccard scoring over a phrase dictionary.
+
+    Args:
+        dictionary: The registered bid phrases.
+        threshold: Minimum Jaccard similarity for a non-exact match
+            (exact token-set matches always succeed).  Must be in
+            ``(0, 1]``.
+    """
+
+    def __init__(self, dictionary: PhraseDictionary, threshold: float = 0.5) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise InvalidAuctionError(
+                f"threshold must be in (0, 1], got {threshold}"
+            )
+        self.dictionary = dictionary
+        self.threshold = threshold
+
+    def rewrite(self, query: str) -> RewriteResult:
+        """Map one raw query to its bid phrase (or to no auction)."""
+        tokens = frozenset(normalize_query(query))
+        if not tokens:
+            return RewriteResult(query, None, 0.0, False)
+        exact = self.dictionary.exact(tokens)
+        if exact is not None:
+            return RewriteResult(query, exact, 1.0, True)
+        best_phrase: Optional[str] = None
+        best_score = 0.0
+        for phrase in self.dictionary.candidates(tokens):
+            phrase_tokens = self.dictionary.tokens_of(phrase)
+            score = _jaccard(tokens, phrase_tokens)
+            if score > best_score or (
+                score == best_score
+                and best_phrase is not None
+                and phrase < best_phrase
+            ):
+                best_score = score
+                best_phrase = phrase
+        if best_phrase is None or best_score < self.threshold:
+            return RewriteResult(query, None, best_score, False)
+        return RewriteResult(query, best_phrase, best_score, False)
+
+    def rewrite_stream(
+        self, queries: Iterable[Tuple[float, str]]
+    ) -> List[Tuple[float, str]]:
+        """Rewrite a timestamped query stream, dropping misses.
+
+        Returns ``(arrival_time, phrase)`` pairs ready for
+        :class:`repro.engine.rounds.RoundBatcher`.
+        """
+        out: List[Tuple[float, str]] = []
+        for arrival_time, query in queries:
+            result = self.rewrite(query)
+            if result.phrase is not None:
+                out.append((arrival_time, result.phrase))
+        return out
+
+
+def _jaccard(a: FrozenSet[str], b: FrozenSet[str]) -> float:
+    union = len(a | b)
+    if union == 0:
+        return 0.0
+    return len(a & b) / union

@@ -1,0 +1,12 @@
+"""Operation counters and experiment-table helpers.
+
+The library avoids wall-clock assertions in tests: algorithms expose
+operation counters (merges, scans, sorted/random accesses, bound
+expansions) and the benchmark harness renders them -- alongside real
+timings from pytest-benchmark -- as the tables and series the paper
+reports.
+"""
+
+from repro.metrics.tables import ExperimentTable, format_table
+
+__all__ = ["ExperimentTable", "format_table"]

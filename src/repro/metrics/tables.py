@@ -1,0 +1,69 @@
+"""Plain-text experiment tables.
+
+Benchmarks print their series in a fixed-width format so the
+bench_output log doubles as the reproduction record referenced from
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = ["ExperimentTable", "format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as an aligned fixed-width table.
+
+    Floats are shown with four significant decimals; everything else via
+    ``str``.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    separator = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(v.rjust(widths[i]) for i, v in enumerate(row))
+        for row in text_rows
+    ]
+    return "\n".join([line, separator, *body])
+
+
+@dataclass
+class ExperimentTable:
+    """An accumulating table with a title, printed at the end of a bench.
+
+    Attributes:
+        title: Experiment identifier, e.g. ``"Fig.4: expected plan cost"``.
+        headers: Column names.
+        rows: Accumulated rows.
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add(self, *values: object) -> None:
+        """Append one row."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} columns, got {len(values)}"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        """The table as printable text, preceded by its title."""
+        return f"\n== {self.title} ==\n" + format_table(self.headers, self.rows)
+
+    def show(self) -> None:
+        """Print the table (used at the end of each benchmark module)."""
+        print(self.render())

@@ -1,0 +1,74 @@
+"""The expected-materialization cost model (Section II-B).
+
+A node is *materialized* in a round if it is used to compute the result
+of some bid phrase that occurs in that round.  With phrase occurrences
+independent Bernoulli trials of probability ``sr_q``, the probability a
+node ``v`` is materialized is ``1 - prod_{q : v ⇝ q} (1 - sr_q)``, and by
+linearity of expectation the expected cost of a plan per round is the sum
+of that over the plan's internal (operator) nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Set
+
+from repro.plans.dag import Plan
+
+__all__ = [
+    "node_materialization_probability",
+    "expected_plan_cost",
+    "per_node_expected_cost",
+    "expected_cost_upper_bound_no_sharing",
+]
+
+
+def node_materialization_probability(
+    downstream_query_names: Iterable[str], search_rates: Mapping[str, float]
+) -> float:
+    """``1 - prod (1 - sr_q)`` over the queries a node feeds."""
+    survival = 1.0
+    for name in downstream_query_names:
+        survival *= 1.0 - search_rates[name]
+    return 1.0 - survival
+
+
+def per_node_expected_cost(plan: Plan) -> Dict[int, float]:
+    """Expected materialization probability of each internal node.
+
+    Leaves are excluded: the cost model counts aggregation operators
+    (nodes with in-degree 2) only.
+    """
+    search_rates = plan.instance.search_rates()
+    downstream = plan.downstream_queries()
+    costs: Dict[int, float] = {}
+    for node in plan.internal_nodes():
+        costs[node.node_id] = node_materialization_probability(
+            downstream[node.node_id], search_rates
+        )
+    return costs
+
+
+def expected_plan_cost(plan: Plan) -> float:
+    """Expected number of internal nodes materialized per round.
+
+    This is the objective the planners minimize:
+    ``sum_v (1 - prod_{q : v ⇝ q} (1 - sr_q))`` over operator nodes ``v``.
+    Internal nodes that feed no query contribute nothing (they are never
+    materialized), though well-formed planner output contains none.
+    """
+    return sum(per_node_expected_cost(plan).values())
+
+
+def expected_cost_upper_bound_no_sharing(
+    query_sizes: Mapping[str, int], search_rates: Mapping[str, float]
+) -> float:
+    """Closed-form expected cost of the no-sharing baseline.
+
+    Computing query ``q`` alone takes ``|X_q| - 1`` binary aggregations,
+    each used only by ``q``, so the expected cost is
+    ``sum_q sr_q * (|X_q| - 1)``.  Useful as a quick upper bound without
+    building the baseline plan.
+    """
+    return sum(
+        search_rates[name] * (size - 1) for name, size in query_sizes.items()
+    )

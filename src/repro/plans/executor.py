@@ -1,0 +1,177 @@
+"""Executing a shared plan on live bids, round by round.
+
+The planners fix the plan *offline*; each round, bids have changed and a
+subset of the bid phrases occurs.  The executor materializes -- lazily
+and memoized within the round -- exactly the nodes needed for the queries
+that occurred, mirroring the paper's cost model: a node is materialized
+iff it is used to compute some occurring query.
+
+The executor counts materialized operator nodes so tests can check the
+closed-form expected cost against the empirical average over random
+rounds, and benchmarks can report actual work saved by sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.topk import ScoredAdvertiser, TopKList, top_k_merge
+from repro.errors import InvalidPlanError
+from repro.plans.dag import Plan
+
+__all__ = ["PlanExecutor", "ExecutionResult"]
+
+Variable = Hashable
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing a plan for one round.
+
+    Attributes:
+        answers: Per occurring query, the top-k list of its advertisers.
+        nodes_materialized: Operator nodes evaluated this round (the
+            paper's per-round cost).
+        merges_performed: Same as ``nodes_materialized`` -- one merge per
+            operator node -- kept separate in case subclasses batch.
+        advertisers_scanned: Leaf values read this round (used by the
+            scan-count comparisons, e.g. the shoe-store example E2).
+    """
+
+    answers: Dict[str, TopKList] = field(default_factory=dict)
+    nodes_materialized: int = 0
+    merges_performed: int = 0
+    advertisers_scanned: int = 0
+
+
+class PlanExecutor:
+    """Evaluates a plan's queries for rounds of live scores.
+
+    Args:
+        plan: A validated complete plan.
+        k: The top-k capacity (number of ad slots).
+    """
+
+    def __init__(self, plan: Plan, k: int) -> None:
+        plan.validate()
+        if k <= 0:
+            raise InvalidPlanError(f"k must be positive, got {k}")
+        self.plan = plan
+        self.k = k
+
+    def run_round(
+        self,
+        scores: Mapping[Variable, float],
+        occurring: Optional[Iterable[str]] = None,
+    ) -> ExecutionResult:
+        """Execute one round.
+
+        Args:
+            scores: Current ``b_i * c_i`` score per variable (advertiser).
+                Every leaf of an occurring query must have a score.
+            occurring: Names of the queries occurring this round; defaults
+                to all of the instance's queries.
+
+        Returns:
+            The per-query top-k answers and work counters.
+        """
+        plan = self.plan
+        instance = plan.instance
+        if occurring is None:
+            names = [q.name for q in instance.queries] + [
+                q.name for q in instance.trivial_queries
+            ]
+        else:
+            names = list(occurring)
+        result = ExecutionResult()
+        cache: Dict[int, TopKList] = {}
+
+        def materialize(node_id: int) -> TopKList:
+            """Evaluate a node, memoized for the round.
+
+            ``advertisers_scanned`` counts *reads of leaf values by
+            operator nodes* (plus direct leaf answers to trivial
+            queries): a leaf feeding two distinct operator nodes is
+            scanned twice, which is what makes the unshared baseline's
+            scan count additive per query while shared plans read each
+            fragment's advertisers once -- matching the paper's 470 vs
+            270 bookkeeping in the shoe-store example.
+            """
+            cached = cache.get(node_id)
+            if cached is not None:
+                return cached
+            node = plan.node(node_id)
+            if node.is_leaf:
+                variable = node.variable
+                try:
+                    score = scores[variable]
+                except KeyError:
+                    raise InvalidPlanError(
+                        f"no score provided for advertiser {variable!r}"
+                    ) from None
+                value = TopKList(self.k, [(float(score), _as_int(variable))])
+            else:
+                assert node.left is not None and node.right is not None
+                for child in (node.left, node.right):
+                    if plan.node(child).is_leaf:
+                        result.advertisers_scanned += 1
+                value = top_k_merge(
+                    materialize(node.left), materialize(node.right)
+                )
+                result.nodes_materialized += 1
+                result.merges_performed += 1
+            cache[node_id] = value
+            return value
+
+        for name in names:
+            query = instance.query_by_name(name)
+            node_id = plan.query_node(query)
+            if node_id is None:
+                raise InvalidPlanError(f"plan does not answer query {name!r}")
+            if plan.node(node_id).is_leaf:
+                result.advertisers_scanned += 1
+            result.answers[name] = materialize(node_id)
+        return result
+
+    def average_cost(
+        self,
+        scores: Mapping[Variable, float],
+        rounds: int,
+        rng,
+    ) -> float:
+        """Empirical mean materialized-node count over simulated rounds.
+
+        Each round, every query occurs independently with its search
+        rate; the returned average estimates the plan's expected cost and
+        is compared against the closed form in property tests.
+
+        Args:
+            scores: Scores used for every round (values do not affect the
+                cost, only the answers).
+            rounds: Number of simulated rounds.
+            rng: A ``random.Random``-like source with a ``random()``
+                method.
+        """
+        instance = self.plan.instance
+        total = 0
+        for _ in range(rounds):
+            occurring = [
+                q.name
+                for q in instance.queries
+                if rng.random() < q.search_rate
+            ]
+            total += self.run_round(scores, occurring).nodes_materialized
+        return total / rounds if rounds else 0.0
+
+
+def _as_int(variable: Variable) -> int:
+    """Map a variable to the integer advertiser id TopKList expects.
+
+    Integer variables pass through; other hashables get a stable hash-
+    derived id (collisions are acceptable for cost-counting runs, and
+    auction runs always use integer advertiser ids).
+    """
+    if isinstance(variable, int):
+        return variable
+    return abs(hash(variable)) % (2**31)

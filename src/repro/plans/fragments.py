@@ -1,0 +1,91 @@
+"""Fragment identification -- stage 1 of the planning heuristic.
+
+Section II-D.1: associate with each variable the bit string recording
+which query expressions it occurs in, and group variables with identical
+bit strings.  The groups are equivalence classes called *fragments*
+(after Krishnamurthy, Wu & Franklin's on-the-fly stream sharing).
+Aggregating within a fragment is always safe -- no sharing boundary ever
+splits a fragment -- and already provides basic multi-query optimization
+because no fragment is computed twice.
+
+Although there are ``2^m`` possible bit strings for ``m`` queries, at
+most ``n`` fragments are non-empty for ``n`` variables; grouping is a
+hash of bit strings, ``O(m * n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Tuple
+
+from repro.plans.instance import SharedAggregationInstance
+
+__all__ = ["Fragment", "identify_fragments", "fragment_cover_counts"]
+
+Variable = Hashable
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """An equivalence class of variables occurring in the same queries.
+
+    Attributes:
+        signature: The membership bit string -- entry ``i`` is ``True``
+            iff the fragment's variables occur in the ``i``-th
+            (name-sorted) query of the instance.
+        variables: The variables in the class.
+        query_names: Names of the queries the fragment belongs to, in the
+            instance's query order.
+    """
+
+    signature: Tuple[bool, ...]
+    variables: FrozenSet[Variable]
+    query_names: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+
+def identify_fragments(instance: SharedAggregationInstance) -> List[Fragment]:
+    """Group the instance's variables into fragments.
+
+    Variables that occur in *no* non-trivial query (they appear only in
+    trivial single-variable queries) are excluded: they need no
+    aggregation.  Fragments are returned sorted by signature (as a bool
+    tuple) for determinism.
+    """
+    groups: Dict[Tuple[bool, ...], set[Variable]] = {}
+    for variable in instance.variables:
+        signature = instance.membership_signature(variable)
+        if not any(signature):
+            continue
+        groups.setdefault(signature, set()).add(variable)
+    names = [q.name for q in instance.queries]
+    fragments = [
+        Fragment(
+            signature,
+            frozenset(variables),
+            tuple(n for n, bit in zip(names, signature) if bit),
+        )
+        for signature, variables in groups.items()
+    ]
+    fragments.sort(key=lambda f: f.signature, reverse=True)
+    return fragments
+
+
+def fragment_cover_counts(
+    instance: SharedAggregationInstance, fragments: List[Fragment]
+) -> Dict[str, int]:
+    """Number of fragments making up each query's variable set.
+
+    Because fragments partition each query's variables exactly, query
+    ``q`` is the disjoint union of the fragments whose signature has
+    ``q``'s bit set; the count is the size of the (unique) exact cover of
+    ``X_q`` by fragments.  This is the starting value of ``|C_q|`` for
+    the greedy completion stage.
+    """
+    counts = {q.name: 0 for q in instance.queries}
+    for fragment in fragments:
+        for name in fragment.query_names:
+            counts[name] += 1
+    return counts

@@ -1,0 +1,272 @@
+"""The paper's two-stage greedy planning heuristic (Section II-D).
+
+Stage 1 groups variables into fragments and aggregates within each
+fragment (no sharing boundary ever splits a fragment).  Stage 2 completes
+the plan greedily: at each step it aggregates the pair of existing nodes
+with the greatest *expected greedy coverage gain* -- the decrease in
+``sum_q sr_q * |C_q|``, where ``C_q`` is the cover of query ``q``'s
+variable set prescribed by the greedy set-cover algorithm over the
+current nodes -- preferring pairs whose union *is* a missing query
+(their extra cost is zero, since a query node counts toward base cost).
+
+Termination: steps that complete a query node happen at most ``|E|``
+times; other steps are only taken when they strictly decrease the total
+expected greedy coverage.  If no pair yields a positive gain, the
+remaining queries are completed directly by aggregating their greedy
+covers pairwise (the "no further sharing" completion the paper uses to
+motivate the gain measure), which always terminates.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanConstructionError
+from repro.plans.dag import Plan
+from repro.plans.fragments import identify_fragments
+from repro.plans.instance import SharedAggregationInstance
+from repro.plans.set_cover import greedy_set_cover, greedy_set_partition
+
+__all__ = ["greedy_shared_plan", "GreedyPlannerStats"]
+
+Variable = Hashable
+VarSet = FrozenSet[Variable]
+
+
+class GreedyPlannerStats:
+    """Counters describing one planner run (for ablations and tests).
+
+    Attributes:
+        fragment_nodes: Internal nodes created by stage 1.
+        completion_steps: Stage-2 iterations that created a node.
+        query_completions: Steps whose new node answered a missing query.
+        direct_completions: Queries finished by the no-further-sharing
+            fallback.
+        pairs_evaluated: Candidate pairs whose gain was computed.
+    """
+
+    def __init__(self) -> None:
+        self.fragment_nodes = 0
+        self.completion_steps = 0
+        self.query_completions = 0
+        self.direct_completions = 0
+        self.pairs_evaluated = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"GreedyPlannerStats(fragment_nodes={self.fragment_nodes}, "
+            f"completion_steps={self.completion_steps}, "
+            f"query_completions={self.query_completions}, "
+            f"direct_completions={self.direct_completions}, "
+            f"pairs_evaluated={self.pairs_evaluated})"
+        )
+
+
+def _aggregate_balanced(plan: Plan, node_ids: Sequence[int]) -> int:
+    """Aggregate nodes as a balanced binary tree; returns the root id."""
+    level = list(node_ids)
+    if not level:
+        raise PlanConstructionError("cannot aggregate an empty node list")
+    while len(level) > 1:
+        nxt: List[int] = []
+        for index in range(0, len(level) - 1, 2):
+            nxt.append(plan.add_internal(level[index], level[index + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def greedy_shared_plan(
+    instance: SharedAggregationInstance,
+    pair_strategy: str = "full",
+    stats: Optional[GreedyPlannerStats] = None,
+    require_disjoint: bool = False,
+) -> Plan:
+    """Build a shared plan with the paper's greedy heuristic.
+
+    Args:
+        instance: The shared-aggregation problem.
+        pair_strategy: ``"full"`` evaluates every pair of nodes that are
+            both subsets of a common missing query (the paper's
+            formulation); ``"cover"`` restricts to pairs drawn from the
+            current greedy covers (a much cheaper variant for large
+            instances -- the pairs outside the covers rarely win since
+            they don't reduce any ``|C_q|`` directly).
+        stats: Optional stats collector.
+        require_disjoint: Build a plan in which every internal node's
+            operands are disjoint, as required by non-idempotent
+            aggregates (sum, count, product) -- covers become partitions
+            and overlapping pair merges are never proposed.  Top-k and
+            other idempotent operators do not need this.
+
+    Returns:
+        A validated complete plan.
+    """
+    if pair_strategy not in ("full", "cover"):
+        raise PlanConstructionError(
+            f"unknown pair strategy {pair_strategy!r}; use 'full' or 'cover'"
+        )
+    collected = stats if stats is not None else GreedyPlannerStats()
+    plan = Plan(instance)
+
+    # ------------------------------------------------------------------
+    # Stage 1: aggregate within fragments.
+    # ------------------------------------------------------------------
+    before = plan.total_cost
+    for fragment in identify_fragments(instance):
+        leaves = [plan.leaf_of(v) for v in sorted(fragment.variables, key=repr)]
+        if len(leaves) > 1:
+            _aggregate_balanced(plan, leaves)
+    collected.fragment_nodes = plan.total_cost - before
+
+    # ------------------------------------------------------------------
+    # Stage 2: greedy completion by expected greedy coverage gain.
+    # ------------------------------------------------------------------
+    guard = 0
+    max_steps = 4 * sum(len(q.variables) for q in instance.queries) + 16
+    while True:
+        missing = plan.missing_queries()
+        if not missing:
+            break
+        guard += 1
+        if guard > max_steps:
+            # Degenerate gain landscape: finish without further sharing.
+            _complete_directly(plan, collected, require_disjoint)
+            break
+
+        cover_fn = greedy_set_partition if require_disjoint else greedy_set_cover
+        candidate_sets = _candidate_varsets(plan)
+        covers: Dict[str, List[VarSet]] = {}
+        for query in missing:
+            usable = [c for c in candidate_sets if c <= query.variables]
+            covers[query.name] = cover_fn(query.variables, usable)
+
+        best = _best_pair(
+            plan, missing, candidate_sets, covers, pair_strategy, collected,
+            require_disjoint=require_disjoint,
+        )
+        if best is None:
+            _complete_directly(plan, collected, require_disjoint)
+            break
+        union, left_id, right_id, completes_query, gain = best
+        if not completes_query and gain <= 0.0:
+            _complete_directly(plan, collected, require_disjoint)
+            break
+        plan.add_internal(left_id, right_id)
+        collected.completion_steps += 1
+        if completes_query:
+            collected.query_completions += 1
+
+    plan.validate()
+    return plan
+
+
+def _candidate_varsets(plan: Plan) -> List[VarSet]:
+    """Varsets of all current nodes, deduplicated, leaves included."""
+    return list(dict.fromkeys(node.varset for node in plan.nodes))
+
+
+def _best_pair(
+    plan: Plan,
+    missing,
+    candidate_sets: List[VarSet],
+    covers: Dict[str, List[VarSet]],
+    pair_strategy: str,
+    stats: GreedyPlannerStats,
+    require_disjoint: bool = False,
+) -> Optional[Tuple[VarSet, int, int, bool, float]]:
+    """Find the pair of nodes with maximum expected greedy coverage gain.
+
+    Returns ``(union_varset, left_id, right_id, completes_query, gain)``
+    or ``None`` when no admissible pair exists.  Pairs whose union equals
+    a missing query's variable set are preferred unconditionally (zero
+    extra cost), ranked among themselves by gain.
+    """
+    search_rates = plan.instance.search_rates()
+    missing_varsets = {q.variables for q in missing}
+    base_total: Dict[str, float] = {
+        q.name: search_rates[q.name] * len(covers[q.name]) for q in missing
+    }
+
+    # Enumerate candidate pair unions, remembering one representative
+    # (left, right) node-id pair for each distinct union.
+    union_sources: Dict[VarSet, Tuple[int, int]] = {}
+    existing = set(candidate_sets)
+    if pair_strategy == "full":
+        pools: List[List[VarSet]] = []
+        for query in missing:
+            pools.append([c for c in candidate_sets if c <= query.variables])
+    else:
+        pools = [list(covers[q.name]) for q in missing]
+
+    for pool in pools:
+        for left_set, right_set in combinations(pool, 2):
+            if left_set <= right_set or right_set <= left_set:
+                continue
+            if require_disjoint and left_set & right_set:
+                continue
+            union = left_set | right_set
+            if union in existing or union in union_sources:
+                continue
+            left_id = plan.node_for_varset(left_set)
+            right_id = plan.node_for_varset(right_set)
+            if left_id is None or right_id is None:
+                continue
+            union_sources[union] = (left_id, right_id)
+
+    if not union_sources:
+        return None
+
+    best: Optional[Tuple[VarSet, int, int, bool, float]] = None
+    best_key: Optional[Tuple[int, float, str]] = None
+    cover_fn = greedy_set_partition if require_disjoint else greedy_set_cover
+    for union, (left_id, right_id) in union_sources.items():
+        stats.pairs_evaluated += 1
+        gain = 0.0
+        for query in missing:
+            if not union <= query.variables:
+                continue
+            usable = [c for c in candidate_sets if c <= query.variables]
+            usable.append(union)
+            new_cover = cover_fn(query.variables, usable)
+            gain += base_total[query.name] - search_rates[query.name] * len(
+                new_cover
+            )
+        completes = union in missing_varsets
+        # Rank: query-completing pairs first, then gain, then determinism.
+        key = (0 if completes else 1, -gain, repr(sorted(union, key=repr)))
+        if best_key is None or key < best_key:
+            best_key = key
+            best = (union, left_id, right_id, completes, gain)
+    return best
+
+
+def _complete_directly(
+    plan: Plan, stats: GreedyPlannerStats, require_disjoint: bool = False
+) -> None:
+    """Finish every missing query by aggregating its greedy cover.
+
+    This is the "complete the plan without any further sharing" step:
+    for each missing query, find the greedy cover of its variable set
+    from the existing nodes and aggregate the cover left-to-right
+    (``|C_q| - 1`` new nodes, some possibly reused across queries via the
+    plan's varset dedup).
+    """
+    cover_fn = greedy_set_partition if require_disjoint else greedy_set_cover
+    for query in plan.missing_queries():
+        candidate_sets = _candidate_varsets(plan)
+        usable = [c for c in candidate_sets if c <= query.variables]
+        cover = cover_fn(query.variables, usable)
+        node_ids = [plan.node_for_varset(c) for c in cover]
+        resolved = [nid for nid in node_ids if nid is not None]
+        if len(resolved) != len(cover):
+            raise PlanConstructionError(
+                f"internal error: cover set without a node for {query.name!r}"
+            )
+        if len(resolved) == 1:
+            # The query equals an existing node's varset; nothing to add.
+            continue
+        plan.add_chain(resolved)
+        stats.direct_completions += 1

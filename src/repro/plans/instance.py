@@ -1,0 +1,169 @@
+"""Shared-aggregation problem instances.
+
+An instance is a set of :class:`AggregateQuery` objects over a common
+variable universe.  In the sponsored-search application a variable is an
+advertiser id and a query is a bid phrase: the query's variable set is
+``I_q``, the advertisers interested in the phrase, and its search rate
+``sr_q`` is the probability the phrase occurs in a round (Section II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Tuple
+
+from repro.errors import InvalidPlanError
+
+__all__ = ["AggregateQuery", "SharedAggregationInstance"]
+
+Variable = Hashable
+"""A plan variable; advertiser ids in the auction application."""
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """One aggregate query: a bid phrase's advertiser set and search rate.
+
+    Attributes:
+        name: Query identifier (the bid-phrase text).
+        variables: The set ``X_q`` of variables the query aggregates.
+        search_rate: ``sr_q`` -- probability the query occurs in a round.
+    """
+
+    name: str
+    variables: FrozenSet[Variable]
+    search_rate: float = 1.0
+
+    def __init__(
+        self,
+        name: str,
+        variables: Iterable[Variable],
+        search_rate: float = 1.0,
+    ) -> None:
+        varset = frozenset(variables)
+        if not varset:
+            raise InvalidPlanError(f"query {name!r} must mention some variable")
+        if not 0.0 <= search_rate <= 1.0:
+            raise InvalidPlanError(
+                f"search rate of query {name!r} must be in [0, 1], "
+                f"got {search_rate!r}"
+            )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "variables", varset)
+        object.__setattr__(self, "search_rate", float(search_rate))
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+
+class SharedAggregationInstance:
+    """A deduplicated collection of aggregate queries.
+
+    Following Section II-C, queries whose variable sets coincide are
+    A-equivalent and are merged upfront (keeping the maximum of their
+    search rates would be wrong -- the phrase-occurs events are distinct
+    Bernoulli trials, so occurrence probabilities combine as
+    ``1 - (1-sr)(1-sr')``); single-variable queries are dropped from the
+    planning problem because a leaf already computes them (the paper
+    removes expressions equivalent to a variable).
+
+    Attributes:
+        queries: The planning queries, name-sorted, each with at least two
+            variables.
+        trivial_queries: Queries equivalent to a single variable, answered
+            directly from leaves (kept for executor bookkeeping).
+    """
+
+    def __init__(self, queries: Iterable[AggregateQuery]) -> None:
+        by_varset: Dict[FrozenSet[Variable], AggregateQuery] = {}
+        names: set[str] = set()
+        for query in queries:
+            if query.name in names:
+                raise InvalidPlanError(f"duplicate query name {query.name!r}")
+            names.add(query.name)
+            existing = by_varset.get(query.variables)
+            if existing is None:
+                by_varset[query.variables] = query
+            else:
+                # Same variable set => A-equivalent: merge, combining the
+                # independent occurrence probabilities.
+                combined_rate = 1.0 - (1.0 - existing.search_rate) * (
+                    1.0 - query.search_rate
+                )
+                by_varset[query.variables] = AggregateQuery(
+                    existing.name, existing.variables, combined_rate
+                )
+        deduped = sorted(by_varset.values(), key=lambda q: q.name)
+        self.queries: Tuple[AggregateQuery, ...] = tuple(
+            q for q in deduped if len(q.variables) > 1
+        )
+        self.trivial_queries: Tuple[AggregateQuery, ...] = tuple(
+            q for q in deduped if len(q.variables) == 1
+        )
+        if not self.queries and not self.trivial_queries:
+            raise InvalidPlanError("an instance needs at least one query")
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        """The union of all query variable sets (the leaf universe)."""
+        out: set[Variable] = set()
+        for query in self.queries:
+            out |= query.variables
+        for query in self.trivial_queries:
+            out |= query.variables
+        return frozenset(out)
+
+    @property
+    def base_cost(self) -> int:
+        """``|E|`` -- every plan has at least this many internal nodes."""
+        return len(self.queries)
+
+    def query_by_name(self, name: str) -> AggregateQuery:
+        """Look up a (non-trivial or trivial) query by name."""
+        for query in self.queries + self.trivial_queries:
+            if query.name == name:
+                return query
+        raise InvalidPlanError(f"no query named {name!r}")
+
+    def search_rates(self) -> Mapping[str, float]:
+        """Mapping from query name to search rate."""
+        rates = {q.name: q.search_rate for q in self.queries}
+        rates.update({q.name: q.search_rate for q in self.trivial_queries})
+        return rates
+
+    def membership_signature(self, variable: Variable) -> Tuple[bool, ...]:
+        """The bit string of Section II-D.1 for one variable.
+
+        Bit ``i`` says whether the variable occurs in the ``i``-th
+        (name-sorted, non-trivial) query.
+        """
+        return tuple(variable in q.variables for q in self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedAggregationInstance({len(self.queries)} queries, "
+            f"{len(self.variables)} variables)"
+        )
+
+    @classmethod
+    def from_sets(
+        cls,
+        sets: Mapping[str, Iterable[Variable]],
+        search_rates: Mapping[str, float] | float = 1.0,
+    ) -> "SharedAggregationInstance":
+        """Build an instance from ``{name: variables}`` plus search rates.
+
+        ``search_rates`` may be a single float applied to all queries or a
+        per-name mapping (missing names default to 1.0).
+        """
+        queries: List[AggregateQuery] = []
+        for name, variables in sets.items():
+            if isinstance(search_rates, Mapping):
+                rate = float(search_rates.get(name, 1.0))
+            else:
+                rate = float(search_rates)
+            queries.append(AggregateQuery(name, variables, rate))
+        return cls(queries)

@@ -1,0 +1,181 @@
+"""Exhaustive optimal planning for small instances.
+
+Optimal shared aggregation is NP-hard (Theorem 2), so these solvers are
+exponential and intended for the small instances used to measure the
+greedy heuristic's quality (benchmark E8) and to decode the Theorem 2/3
+reductions.
+
+Two observations keep the search space manageable:
+
+- *Duplicate-free dominance*: merging two nodes with the same variable
+  set never raises the expected cost (a node shared by query sets
+  ``Q1, Q2`` costs ``1 - prod_{Q1 ∪ Q2}(1 - sr)``, which is at most the
+  sum of the two copies' costs), so only plans whose internal nodes have
+  distinct variable sets are enumerated.
+- *Usefulness*: a node whose variable set is not a subset of any query's
+  can never feed a query, contributes zero probability, and can be
+  dropped; only subsets of query variable sets are enumerated.
+
+:func:`optimal_plan_size` finds the minimum total cost (node count) by
+iterative-deepening DFS.  :func:`optimal_plan` additionally enumerates
+operand structures to minimize *expected* cost among plans with at most
+``optimal size + extra_nodes`` internal nodes; with all search rates 1
+the expected cost equals the node count and ``extra_nodes=0`` is exact.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.errors import PlanConstructionError
+from repro.plans.cost import expected_plan_cost
+from repro.plans.dag import Plan
+from repro.plans.instance import SharedAggregationInstance
+
+__all__ = ["optimal_plan_size", "optimal_plan"]
+
+Variable = Hashable
+VarSet = FrozenSet[Variable]
+
+
+def _useful_universe(instance: SharedAggregationInstance) -> List[VarSet]:
+    """All query variable sets, largest first (for subset checks)."""
+    return sorted({q.variables for q in instance.queries}, key=len, reverse=True)
+
+
+def _is_useful(varset: VarSet, queries: List[VarSet]) -> bool:
+    return any(varset <= q for q in queries)
+
+
+def optimal_plan_size(
+    instance: SharedAggregationInstance, max_nodes: int = 64
+) -> int:
+    """Minimum number of internal nodes of any plan for the instance.
+
+    Iterative-deepening DFS over states = sets of available variable
+    sets.  Raises :class:`PlanConstructionError` if no plan with at most
+    ``max_nodes`` internal nodes exists (a guard against runaway search;
+    any instance is solvable with ``sum_q (|X_q| - 1)`` nodes).
+    """
+    query_sets = _useful_universe(instance)
+    leaves = frozenset(frozenset({v}) for v in instance.variables)
+    targets: Set[VarSet] = {q.variables for q in instance.queries}
+
+    def missing(available: FrozenSet[VarSet]) -> int:
+        return sum(1 for t in targets if t not in available)
+
+    # Lower bounds: every distinct query varset needs a node, and a query
+    # of size s needs at least s - 1 internal nodes in its downward
+    # closure (each union can grow a varset by at most the partner's
+    # size, and all nodes start as singletons).
+    lower = max(len(targets), max(len(t) for t in targets) - 1)
+    for budget in range(lower, max_nodes + 1):
+        visited: Dict[FrozenSet[VarSet], int] = {}
+
+        def dfs(available: FrozenSet[VarSet], remaining: int) -> bool:
+            lacking = missing(available)
+            if lacking == 0:
+                return True
+            if lacking > remaining:
+                return False
+            seen = visited.get(available)
+            if seen is not None and seen >= remaining:
+                return False
+            visited[available] = remaining
+            pool = sorted(available, key=lambda s: (len(s), repr(sorted(s, key=repr))))
+            for left, right in combinations(pool, 2):
+                if left <= right or right <= left:
+                    continue
+                union = left | right
+                if union in available:
+                    continue
+                if not _is_useful(union, query_sets):
+                    continue
+                if dfs(available | {union}, remaining - 1):
+                    return True
+            return False
+
+        if dfs(leaves, budget):
+            return budget
+    raise PlanConstructionError(
+        f"no plan with at most {max_nodes} internal nodes found"
+    )
+
+
+def optimal_plan(
+    instance: SharedAggregationInstance,
+    extra_nodes: int = 0,
+    max_nodes: int = 64,
+) -> Plan:
+    """Minimum-expected-cost plan among near-minimum-size plans.
+
+    Enumerates every duplicate-free plan with at most
+    ``optimal_plan_size(instance) + extra_nodes`` internal nodes,
+    including all operand structures, and returns the one with the least
+    expected materialization cost (ties broken deterministically by the
+    construction order).
+
+    With all search rates equal to 1 this is the exact optimum for
+    ``extra_nodes = 0``.  For probabilistic instances the returned plan
+    is exact within the size budget; raising ``extra_nodes`` widens the
+    search (every useful node costs at least ``min_q sr_q``, so a budget
+    of ``min_size + (upper_bound - lower_bound) / min_q sr_q`` is always
+    sufficient).
+    """
+    min_size = optimal_plan_size(instance, max_nodes=max_nodes)
+    budget = min_size + extra_nodes
+    query_sets = _useful_universe(instance)
+    targets: Set[VarSet] = {q.variables for q in instance.queries}
+
+    leaves: List[VarSet] = [frozenset({v}) for v in instance.variables]
+    best_plan: Optional[Plan] = None
+    best_cost = float("inf")
+    visited: Set[Tuple[FrozenSet[Tuple[VarSet, VarSet, VarSet]], int]] = set()
+
+    Step = Tuple[VarSet, VarSet, VarSet]  # (union, left, right)
+
+    def build(steps: List[Step]) -> Plan:
+        plan = Plan(instance)
+        for union, left, right in steps:
+            left_id = plan.node_for_varset(left)
+            right_id = plan.node_for_varset(right)
+            assert left_id is not None and right_id is not None
+            plan.add_internal(left_id, right_id)
+        plan.validate()
+        return plan
+
+    def dfs(available: List[VarSet], steps: List[Step]) -> None:
+        nonlocal best_plan, best_cost
+        available_set = set(available)
+        lacking = [t for t in targets if t not in available_set]
+        if not lacking:
+            plan = build(steps)
+            cost = expected_plan_cost(plan)
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best_plan = plan
+            return
+        if len(steps) + len(lacking) > budget:
+            return
+        state = (frozenset(steps), len(steps))
+        if state in visited:
+            return
+        visited.add(state)
+        pool = sorted(available, key=lambda s: (len(s), repr(sorted(s, key=repr))))
+        for left, right in combinations(pool, 2):
+            if left <= right or right <= left:
+                continue
+            union = left | right
+            if union in available_set:
+                continue
+            if not _is_useful(union, query_sets):
+                continue
+            steps.append((union, left, right))
+            dfs(available + [union], steps)
+            steps.pop()
+
+    dfs(list(leaves), [])
+    if best_plan is None:
+        raise PlanConstructionError("optimal search failed to find a plan")
+    return best_plan

@@ -1,0 +1,207 @@
+"""Executable versions of the Theorem 2 and Theorem 3 reductions.
+
+Theorem 2 reduces set cover to min-cost planning: given a set-cover
+instance ``(U, S)``, create one variable per element of ``U``, one query
+per set in ``S``, and one extra query for ``U`` itself.  A min-cost plan
+must build the ``U`` query by aggregating nodes that form a set cover of
+``U`` drawn from (nodes equivalent to) the ``S`` queries -- so decoding
+the plan yields a minimum set cover.
+
+Theorem 3 strengthens this to inapproximability by *closing the query
+set off under subexpressions* first (for our canonical right-deep
+expressions: all suffix sets of each sorted set), so the only *extra*
+nodes any plan needs are those assembling the universal query; the extra
+cost then equals ``|cover| - 1``.
+
+These constructions double as an executable proof artifact: tests verify
+that for small instances, ``extra cost of optimal plan + 1`` equals the
+size of the minimum set cover.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import PlanConstructionError
+from repro.plans.dag import Plan
+from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+
+__all__ = [
+    "set_cover_to_instance",
+    "set_cover_to_instance_closed",
+    "decode_cover_from_plan",
+    "universal_query_name",
+]
+
+Element = Hashable
+
+UNIVERSAL = "__universal__"
+
+
+def universal_query_name() -> str:
+    """Name of the universal-set query added by the reduction."""
+    return UNIVERSAL
+
+
+def set_cover_to_instance(
+    universe: Iterable[Element],
+    collection: Sequence[Iterable[Element]],
+) -> SharedAggregationInstance:
+    """The Theorem 2 construction.
+
+    Args:
+        universe: The universal set ``U``.
+        collection: The collection ``S`` of subsets of ``U`` whose union
+            must be ``U``.
+
+    Returns:
+        The planning instance ``E = {e_U} ∪ {e_S : S ∈ S}`` with all
+        search rates 1 (the hardness already holds in the certain case).
+
+    Raises:
+        PlanConstructionError: If the collection does not cover ``U`` or
+            contains a set not included in ``U``.
+    """
+    u = frozenset(universe)
+    sets = [frozenset(s) for s in collection]
+    union: Set[Element] = set()
+    for s in sets:
+        if not s <= u:
+            raise PlanConstructionError(f"set {set(s)!r} is not a subset of U")
+        union |= s
+    if union != set(u):
+        raise PlanConstructionError("collection does not cover the universe")
+    queries: List[AggregateQuery] = [AggregateQuery(UNIVERSAL, u, 1.0)]
+    for index, s in enumerate(sets):
+        queries.append(AggregateQuery(f"S{index}", s, 1.0))
+    return SharedAggregationInstance(queries)
+
+
+def _suffix_closure(variables: FrozenSet[Element]) -> List[FrozenSet[Element]]:
+    """Subexpression variable sets of the canonical right-deep ``e_S``.
+
+    With ``e_S = x_1 ⊕ (x_2 ⊕ (... ⊕ x_k))`` over sorted variables, the
+    proper subexpressions with more than one variable are the suffix sets
+    ``{x_j, ..., x_k}`` for ``j = 2 .. k-1``.
+    """
+    ordered = sorted(variables, key=repr)
+    return [frozenset(ordered[j:]) for j in range(1, len(ordered) - 1)]
+
+
+def set_cover_to_instance_closed(
+    universe: Iterable[Element],
+    collection: Sequence[Iterable[Element]],
+) -> SharedAggregationInstance:
+    """The Theorem 3 construction: close queries off under subexpressions.
+
+    Every suffix subexpression of each ``e_S`` becomes a query of its
+    own (base cost), so a plan's *extra* nodes can only be the ones
+    assembling ``e_U`` from covered pieces; minimizing extra cost is then
+    exactly minimum set cover, transferring its ``log n``
+    inapproximability.
+    """
+    u = frozenset(universe)
+    sets = [frozenset(s) for s in collection]
+    seen: Dict[FrozenSet[Element], str] = {}
+    queries: List[AggregateQuery] = []
+
+    def add(varset: FrozenSet[Element], name: str) -> None:
+        if len(varset) < 2 or varset in seen:
+            return
+        seen[varset] = name
+        queries.append(AggregateQuery(name, varset, 1.0))
+
+    for index, s in enumerate(sets):
+        add(s, f"S{index}")
+        for depth, suffix in enumerate(_suffix_closure(s)):
+            add(suffix, f"S{index}.sub{depth}")
+    if u in seen:
+        # The universe coincides with some S; minimum cover is 1 and the
+        # reduction degenerates -- still a valid instance.
+        return SharedAggregationInstance(queries)
+    add(u, UNIVERSAL)
+    union: Set[Element] = set()
+    for s in sets:
+        union |= s
+    if union != set(u):
+        raise PlanConstructionError("collection does not cover the universe")
+    return SharedAggregationInstance(queries)
+
+
+def decode_cover_from_plan(
+    plan: Plan,
+    universe: Iterable[Element],
+    collection: Sequence[Iterable[Element]],
+) -> List[FrozenSet[Element]]:
+    """Extract a set cover of ``U`` from a plan for the reduction instance.
+
+    Following the proof of Theorem 2: take the arborescence computing the
+    universal query node and cut it at the maximal nodes whose variable
+    sets are available "for free" -- i.e., equal to some ``S`` in the
+    collection or to a single element.  Single-element cut nodes are
+    absorbed into any containing collection set (the proof's cover uses
+    only collection sets; an optimal plan never needs leaf cuts unless an
+    element appears in no other useful aggregate, in which case any set
+    containing it works).
+
+    Returns:
+        Collection sets forming a cover of ``U``.
+    """
+    u = frozenset(universe)
+    sets = [frozenset(s) for s in collection]
+    set_lookup = set(sets)
+    universal_query = None
+    for query in plan.instance.queries:
+        if query.variables == u:
+            universal_query = query
+            break
+    if universal_query is None:
+        raise PlanConstructionError("plan's instance has no universal query")
+    root = plan.query_node(universal_query)
+    if root is None:
+        raise PlanConstructionError("plan does not answer the universal query")
+
+    cover: List[FrozenSet[Element]] = []
+    leftovers: Set[Element] = set()
+
+    def walk(node_id: int) -> None:
+        node = plan.node(node_id)
+        if node.varset in set_lookup:
+            cover.append(node.varset)
+            return
+        if node.is_leaf:
+            leftovers.add(node.variable)
+            return
+        assert node.left is not None and node.right is not None
+        walk(node.left)
+        walk(node.right)
+
+    node = plan.node(root)
+    if node.varset in set_lookup:
+        cover.append(node.varset)
+    elif node.is_leaf:
+        leftovers.add(node.variable)
+    else:
+        assert node.left is not None and node.right is not None
+        walk(node.left)
+        walk(node.right)
+
+    for element in leftovers:
+        if any(element in s for s in cover):
+            continue
+        for s in sets:
+            if element in s:
+                cover.append(s)
+                break
+        else:
+            raise PlanConstructionError(
+                f"element {element!r} appears in no collection set"
+            )
+    # Deduplicate while preserving order.
+    deduped = list(dict.fromkeys(cover))
+    covered: Set[Element] = set()
+    for s in deduped:
+        covered |= s
+    if covered != set(u):
+        raise PlanConstructionError("decoded sets do not cover the universe")
+    return deduped

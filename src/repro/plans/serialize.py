@@ -1,0 +1,128 @@
+"""Serialization of shared-aggregation plans.
+
+Plans are built *offline* (Section II-B: re-planning every round is not
+feasible under the latency budget) and then loaded by the serving path,
+so they need a stable on-disk form.  The format is plain JSON:
+
+- the instance (queries with their variables and search rates), and
+- the internal-node structure as ``(left, right)`` operand pairs in
+  creation order (leaves are reconstructed from the instance).
+
+Variables must be JSON-representable scalars (int or str), which covers
+advertiser ids.  ``loads(dumps(plan))`` reproduces the plan exactly --
+node ids, varsets, query assignment, and costs -- and the loader
+re-validates, so a corrupted file cannot produce an inconsistent plan.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.errors import InvalidPlanError
+from repro.plans.dag import Plan
+from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+
+__all__ = ["plan_to_dict", "plan_from_dict", "dumps", "loads"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_variable(variable: Any) -> List[Any]:
+    if isinstance(variable, bool) or not isinstance(variable, (int, str)):
+        raise InvalidPlanError(
+            f"only int and str variables serialize; got {type(variable).__name__}"
+        )
+    kind = "i" if isinstance(variable, int) else "s"
+    return [kind, variable]
+
+
+def _decode_variable(encoded: List[Any]) -> Any:
+    kind, value = encoded
+    if kind == "i":
+        return int(value)
+    if kind == "s":
+        return str(value)
+    raise InvalidPlanError(f"unknown variable kind {kind!r}")
+
+
+def plan_to_dict(plan: Plan) -> Dict[str, Any]:
+    """Encode a validated plan as a JSON-ready dictionary."""
+    plan.validate()
+    queries = []
+    for query in plan.instance.queries + plan.instance.trivial_queries:
+        queries.append(
+            {
+                "name": query.name,
+                "variables": [_encode_variable(v) for v in sorted(query.variables, key=repr)],
+                "search_rate": query.search_rate,
+            }
+        )
+    internal = []
+    for node in plan.nodes:
+        if node.is_leaf:
+            continue
+        internal.append({"id": node.node_id, "left": node.left, "right": node.right})
+    assignments = {}
+    for query in plan.instance.queries:
+        node_id = plan.query_node(query)
+        assert node_id is not None
+        assignments[query.name] = node_id
+    return {
+        "version": _FORMAT_VERSION,
+        "queries": queries,
+        "internal_nodes": internal,
+        "query_assignment": assignments,
+    }
+
+
+def plan_from_dict(data: Dict[str, Any]) -> Plan:
+    """Rebuild a plan from its dictionary form.
+
+    Raises:
+        InvalidPlanError: On version mismatch, malformed structure, or a
+            plan that fails re-validation.
+    """
+    if data.get("version") != _FORMAT_VERSION:
+        raise InvalidPlanError(
+            f"unsupported plan format version {data.get('version')!r}"
+        )
+    try:
+        queries = [
+            AggregateQuery(
+                q["name"],
+                [_decode_variable(v) for v in q["variables"]],
+                q["search_rate"],
+            )
+            for q in data["queries"]
+        ]
+        instance = SharedAggregationInstance(queries)
+        plan = Plan(instance)
+        id_map: Dict[int, int] = {
+            node.node_id: node.node_id for node in plan.nodes
+        }
+        for record in data["internal_nodes"]:
+            left = id_map[record["left"]]
+            right = id_map[record["right"]]
+            new_id = plan.add_internal(left, right, reuse=False)
+            id_map[record["id"]] = new_id
+        for name, node_id in data["query_assignment"].items():
+            plan.assign_query(name, id_map[node_id])
+    except (KeyError, TypeError, IndexError) as exc:
+        raise InvalidPlanError(f"malformed plan data: {exc}") from exc
+    plan.validate()
+    return plan
+
+
+def dumps(plan: Plan) -> str:
+    """Serialize a plan to a JSON string."""
+    return json.dumps(plan_to_dict(plan), sort_keys=True)
+
+
+def loads(text: str) -> Plan:
+    """Deserialize a plan from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise InvalidPlanError(f"invalid plan JSON: {exc}") from exc
+    return plan_from_dict(data)

@@ -1,0 +1,173 @@
+"""Greedy and exact set cover.
+
+The paper uses set cover in two roles: the Theorem 2/3 hardness
+reductions, and the greedy covering subroutine inside the planning
+heuristic (Section II-D.2).  Following the paper, "cover" here means an
+*exact* cover by union: a subcollection whose union **equals** the target
+set (not a superset) -- so only candidate sets that are subsets of the
+target are usable.
+
+The greedy algorithm repeatedly picks the feasible set covering the most
+as-yet-uncovered elements; it is a ``(1 + ln n)``-approximation (Johnson
+1973).  :func:`exact_min_set_cover` is a branch-and-bound exact solver
+for the small instances used in tests and the Fig. 5 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanConstructionError
+
+__all__ = ["greedy_set_cover", "exact_min_set_cover", "is_exact_cover"]
+
+Element = Hashable
+
+
+def is_exact_cover(
+    target: FrozenSet[Element], chosen: Iterable[FrozenSet[Element]]
+) -> bool:
+    """Whether ``chosen`` are all subsets of ``target`` with union equal to it."""
+    union: set[Element] = set()
+    for subset in chosen:
+        if not subset <= target:
+            return False
+        union |= subset
+    return union == set(target)
+
+
+def greedy_set_cover(
+    target: FrozenSet[Element],
+    candidates: Sequence[FrozenSet[Element]],
+) -> List[FrozenSet[Element]]:
+    """Greedy exact cover of ``target`` from ``candidates``.
+
+    Only candidates that are subsets of ``target`` are feasible.  At each
+    step the feasible set covering the most uncovered elements is chosen;
+    ties are broken by preferring the smaller set and then the
+    lexicographically least ``repr`` so results are deterministic.
+
+    Returns:
+        The chosen subsets in pick order.
+
+    Raises:
+        PlanConstructionError: If the feasible candidates cannot cover
+            ``target`` (their union misses some element).
+    """
+    feasible = [c for c in candidates if c and c <= target]
+    uncovered = set(target)
+    chosen: List[FrozenSet[Element]] = []
+    # Deduplicate identical candidate sets; duplicates add nothing.
+    feasible = list(dict.fromkeys(feasible))
+    while uncovered:
+        best: Optional[FrozenSet[Element]] = None
+        best_key: Tuple[int, int, str] | None = None
+        for candidate in feasible:
+            gain = len(candidate & uncovered)
+            if gain == 0:
+                continue
+            key = (-gain, len(candidate), repr(sorted(candidate, key=repr)))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = candidate
+        if best is None:
+            raise PlanConstructionError(
+                f"candidates cannot cover {set(uncovered)!r}"
+            )
+        chosen.append(best)
+        uncovered -= best
+    return chosen
+
+
+def greedy_set_partition(
+    target: FrozenSet[Element],
+    candidates: Sequence[FrozenSet[Element]],
+) -> List[FrozenSet[Element]]:
+    """Greedy *partition* of ``target``: chosen sets must be disjoint.
+
+    Non-idempotent aggregates (sum, count, product) cannot tolerate an
+    element contributing twice, so their covers must be partitions.  At
+    each step the largest candidate lying entirely inside the uncovered
+    remainder is chosen; with singleton candidates available (plan
+    leaves), a partition always exists.
+
+    Raises:
+        PlanConstructionError: If no candidate fits the remainder at
+            some step (can only happen without singleton candidates).
+    """
+    feasible = [c for c in dict.fromkeys(candidates) if c and c <= target]
+    uncovered = set(target)
+    chosen: List[FrozenSet[Element]] = []
+    while uncovered:
+        best: Optional[FrozenSet[Element]] = None
+        best_key: Tuple[int, str] | None = None
+        for candidate in feasible:
+            if not candidate <= uncovered:
+                continue
+            key = (-len(candidate), repr(sorted(candidate, key=repr)))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = candidate
+        if best is None:
+            raise PlanConstructionError(
+                f"no disjoint candidate covers {set(uncovered)!r}"
+            )
+        chosen.append(best)
+        uncovered -= best
+    return chosen
+
+
+def exact_min_set_cover(
+    target: FrozenSet[Element],
+    candidates: Sequence[FrozenSet[Element]],
+) -> List[FrozenSet[Element]]:
+    """Minimum-cardinality exact cover by branch and bound.
+
+    Exponential in the worst case; intended for the small instances of
+    the test suite and the Fig. 5 / heuristic-quality benchmarks.
+
+    Raises:
+        PlanConstructionError: If no exact cover exists.
+    """
+    feasible = [c for c in dict.fromkeys(candidates) if c and c <= target]
+    all_coverable: set[Element] = set()
+    for candidate in feasible:
+        all_coverable |= candidate
+    if all_coverable != set(target):
+        raise PlanConstructionError(f"candidates cannot cover {set(target)!r}")
+
+    # Order elements by rarity so branching is effective.
+    containing: Dict[Element, List[FrozenSet[Element]]] = {e: [] for e in target}
+    for candidate in feasible:
+        for element in candidate:
+            containing[element].append(candidate)
+
+    greedy = greedy_set_cover(target, feasible)
+    best: List[FrozenSet[Element]] = greedy
+    best_size = len(greedy)
+
+    def search(uncovered: FrozenSet[Element], chosen: List[FrozenSet[Element]]) -> None:
+        nonlocal best, best_size
+        if not uncovered:
+            if len(chosen) < best_size:
+                best = list(chosen)
+                best_size = len(chosen)
+            return
+        if len(chosen) + 1 >= best_size:
+            # Even one more set cannot beat the incumbent unless it
+            # finishes the cover; handled by the branch below.
+            pass
+        # Lower bound: ceil(|uncovered| / max candidate size).
+        max_size = max(len(c) for c in feasible)
+        lower = (len(uncovered) + max_size - 1) // max_size
+        if len(chosen) + lower >= best_size:
+            return
+        # Branch on the rarest uncovered element.
+        element = min(uncovered, key=lambda e: (len(containing[e]), repr(e)))
+        for candidate in containing[element]:
+            chosen.append(candidate)
+            search(uncovered - candidate, chosen)
+            chosen.pop()
+
+    search(frozenset(target), [])
+    return best

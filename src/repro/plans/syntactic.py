@@ -1,0 +1,179 @@
+"""Optimal shared plans for non-associative operators (Fig. 5 PTIME rows).
+
+Without associativity, an ``⊕``-expression's computation structure is
+forced: the only admissible rewrites are the ones licensed by the
+remaining axioms (swapping operands under A4, collapsing ``x ⊕ x`` under
+A3).  Consequently a min-cost plan must contain one node per *distinct
+canonical subterm* of the query set, and hash-consing canonical subtrees
+is both optimal and polynomial -- the paper's PTIME rows for A1 = N.
+
+:class:`SyntacticPlan` builds exactly that DAG; ``optimal_cost`` equals
+the number of distinct canonical operator nodes, and tests cross-check
+it against exhaustive search on tiny instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple, TypeVar
+
+from repro.algebra.axioms import AxiomProfile
+from repro.algebra.expressions import Expr, Op, Var, canonical_key
+from repro.errors import InvalidPlanError
+
+__all__ = ["SyntacticPlan", "count_distinct_subterms"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class _SynNode:
+    """One hash-consed node: a variable leaf or a pair of node ids."""
+
+    node_id: int
+    variable: Optional[str] = None
+    left: Optional[int] = None
+    right: Optional[int] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.variable is not None
+
+
+class SyntacticPlan:
+    """A hash-consed shared DAG for expressions under a non-associative profile.
+
+    Args:
+        queries: ``{name: expression}`` -- the ``⊕``-expressions to share.
+        profile: The operator's axiom profile; must *not* include A1
+            (associative profiles are the NP-hard territory handled by
+            :mod:`repro.plans.greedy_planner`).
+
+    Attributes:
+        profile: The profile used for canonicalization.
+    """
+
+    def __init__(self, queries: Mapping[str, Expr], profile: AxiomProfile) -> None:
+        if profile.associative:
+            raise InvalidPlanError(
+                "SyntacticPlan handles non-associative profiles only; "
+                "use the shared-aggregation planners for associative ones"
+            )
+        if not queries:
+            raise InvalidPlanError("need at least one query expression")
+        self.profile = profile
+        self._nodes: List[_SynNode] = []
+        self._by_key: Dict[Hashable, int] = {}
+        self._roots: Dict[str, int] = {}
+        for name, expr in sorted(queries.items()):
+            self._roots[name] = self._intern(expr)
+
+    def _intern(self, expr: Expr) -> int:
+        key = canonical_key(expr, self.profile)
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing
+        if isinstance(expr, Var):
+            node = _SynNode(len(self._nodes), variable=expr.name)
+        else:
+            left = self._intern(expr.left)
+            right = self._intern(expr.right)
+            if self.profile.idempotent and left == right:
+                # x ⊕ x collapses to x: no operator node needed.
+                self._by_key[key] = left
+                return left
+            if self.profile.commutative and right < left:
+                left, right = right, left
+            node = _SynNode(len(self._nodes), left=left, right=right)
+        self._nodes.append(node)
+        self._by_key[key] = node.node_id
+        return node.node_id
+
+    @property
+    def optimal_cost(self) -> int:
+        """Number of operator nodes -- optimal for non-associative profiles."""
+        return sum(1 for node in self._nodes if not node.is_leaf)
+
+    @property
+    def num_leaves(self) -> int:
+        """Distinct variables appearing in the query set."""
+        return sum(1 for node in self._nodes if node.is_leaf)
+
+    def root_of(self, name: str) -> int:
+        """Node id computing the named query."""
+        try:
+            return self._roots[name]
+        except KeyError:
+            raise InvalidPlanError(f"unknown query {name!r}") from None
+
+    def shared_nodes(self) -> List[int]:
+        """Ids of operator nodes referenced by more than one parent/root."""
+        references: Dict[int, int] = {}
+        for node in self._nodes:
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                references[node.left] = references.get(node.left, 0) + 1
+                references[node.right] = references.get(node.right, 0) + 1
+        for root in self._roots.values():
+            references[root] = references.get(root, 0) + 1
+        return [
+            node.node_id
+            for node in self._nodes
+            if not node.is_leaf and references.get(node.node_id, 0) > 1
+        ]
+
+    def evaluate(
+        self,
+        combine: Callable[[T, T], T],
+        assignment: Mapping[str, T],
+    ) -> Dict[str, T]:
+        """Evaluate every query bottom-up, computing each node once.
+
+        Args:
+            combine: The concrete (non-associative is fine) operator.
+            assignment: Variable values.
+
+        Returns:
+            ``{query name: value}``.
+        """
+        values: Dict[int, T] = {}
+        for node in self._nodes:
+            if node.is_leaf:
+                assert node.variable is not None
+                try:
+                    values[node.node_id] = assignment[node.variable]
+                except KeyError:
+                    raise InvalidPlanError(
+                        f"no value bound for variable {node.variable!r}"
+                    ) from None
+            else:
+                assert node.left is not None and node.right is not None
+                values[node.node_id] = combine(
+                    values[node.left], values[node.right]
+                )
+        return {name: values[root] for name, root in self._roots.items()}
+
+
+def count_distinct_subterms(
+    queries: Mapping[str, Expr], profile: AxiomProfile
+) -> int:
+    """Distinct canonical operator subterms across the query set.
+
+    Equals :attr:`SyntacticPlan.optimal_cost`; exposed for tests that
+    want the count without building the DAG.
+    """
+    keys: set[Hashable] = set()
+
+    def walk(expr: Expr) -> Hashable:
+        key = canonical_key(expr, profile)
+        if isinstance(expr, Op):
+            left = walk(expr.left)
+            right = walk(expr.right)
+            if profile.idempotent and left == right:
+                return left
+            keys.add(key)
+        return key
+
+    for expr in queries.values():
+        walk(expr)
+    return len(keys)

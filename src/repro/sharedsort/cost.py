@@ -1,0 +1,115 @@
+"""Cost model for shared merge-sort plans (Section III-B/C).
+
+The worst case for an on-demand merge operator ``v`` is that the
+threshold condition is never met and the whole subtree is drained:
+``|I_v|`` invocations.  The paper conservatively evaluates shared plans
+by this full-sort cost.  With phrase occurrences independent Bernoulli
+trials, the expected full-sort cost of operator ``v`` is
+``|I_v| * (1 - prod_{q : v ⇝ q} (1 - sr_q))`` and a plan's expected cost
+sums that over operators.
+
+:func:`expected_savings_of_merge` implements the paper's greedy merge
+criterion: creating a shared node ``w`` with phrase set ``Q_w`` saves the
+re-sorting of ``|I_w|`` items for every occurring phrase in ``Q_w``
+beyond the first, i.e. ``|I_w| * E[max(0, occurrences - 1)]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "expected_full_sort_cost",
+    "expected_savings_of_merge",
+    "expected_occurrences_beyond_first",
+    "independent_sort_cost",
+]
+
+
+def expected_occurrences_beyond_first(search_rates: Sequence[float]) -> float:
+    """``E[max(0, N - 1)]`` where ``N`` counts occurring phrases.
+
+    The paper writes this as
+    ``sum_i [ prod_{j<i} (1 - sr_j) * sr_i * sum_{j>i} sr_j ]`` -- the
+    first occurring phrase is phrase ``i`` (all before it absent), and
+    every later phrase contributes its probability in expectation.  That
+    expression equals ``E[N] - Pr[N >= 1]``; both forms are implemented
+    and property-tested against each other.
+    """
+    total = 0.0
+    prefix_absent = 1.0
+    suffix_sums = [0.0] * (len(search_rates) + 1)
+    for index in range(len(search_rates) - 1, -1, -1):
+        suffix_sums[index] = suffix_sums[index + 1] + search_rates[index]
+    for index, rate in enumerate(search_rates):
+        total += prefix_absent * rate * suffix_sums[index + 1]
+        prefix_absent *= 1.0 - rate
+    return total
+
+
+def expected_occurrences_beyond_first_closed_form(
+    search_rates: Sequence[float],
+) -> float:
+    """``E[N] - (1 - prod(1 - sr))`` -- the simplified equivalent form."""
+    expected = sum(search_rates)
+    any_occurs = 1.0 - _survival(search_rates)
+    return expected - any_occurs
+
+
+def _survival(search_rates: Iterable[float]) -> float:
+    survival = 1.0
+    for rate in search_rates:
+        survival *= 1.0 - rate
+    return survival
+
+
+def expected_savings_of_merge(
+    subtree_size: int, shared_search_rates: Sequence[float]
+) -> float:
+    """Expected saving from sharing a merge node across phrases.
+
+    Args:
+        subtree_size: ``|I_w|`` -- advertisers below the new node.
+        shared_search_rates: Search rates of the phrases in ``Q_w``.
+    """
+    return subtree_size * expected_occurrences_beyond_first(shared_search_rates)
+
+
+def expected_full_sort_cost(
+    operator_sizes_and_rates: Iterable[tuple[int, Sequence[float]]],
+) -> float:
+    """Expected full-sort cost of a plan.
+
+    Args:
+        operator_sizes_and_rates: Per operator ``v``, the pair
+            ``(|I_v|, [sr_q for q with v ⇝ q])``.
+    """
+    return sum(
+        size * (1.0 - _survival(rates))
+        for size, rates in operator_sizes_and_rates
+    )
+
+
+def independent_sort_cost(
+    phrase_sizes: Mapping[str, int], search_rates: Mapping[str, float]
+) -> float:
+    """Expected cost of sorting each phrase independently (no sharing).
+
+    A balanced merge-sort of ``n`` items uses operators whose sizes sum
+    to roughly ``n * ceil(log2 n)``; we compute the exact sum for the
+    balanced tree this library builds (sizes of all internal subtrees).
+    Each phrase's whole tree is used only when the phrase occurs.
+    """
+    total = 0.0
+    for name, size in phrase_sizes.items():
+        total += search_rates[name] * _balanced_tree_operator_sum(size)
+    return total
+
+
+def _balanced_tree_operator_sum(n: int) -> int:
+    """Sum of subtree sizes over internal nodes of a balanced merge tree."""
+    if n <= 1:
+        return 0
+    left = n // 2
+    right = n - left
+    return n + _balanced_tree_operator_sum(left) + _balanced_tree_operator_sum(right)

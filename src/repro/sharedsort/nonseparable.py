@@ -1,0 +1,138 @@
+"""Shared pruning for non-separable winner determination (Section V).
+
+The non-separable path (Martin-Gehrke-Halpern 2008) prunes each slot to
+its top-k advertisers by ``ctr_ij * b_i`` before matching.  The paper
+notes "our work fits very well into this framework -- we can use the
+shared top-k algorithms presented in this paper to find the top k
+advertisers for each slot in the graph-pruning step".
+
+When several auctions (phrases) with non-separable CTR matrices occur in
+the same round, only the bids ``b_i`` are shared across the (phrase,
+slot) scoring functions -- the same situation as Section III.  So each
+(phrase, slot) pruning query runs the threshold algorithm over the
+round's *shared* on-demand merge-sort network of bids, with the slot's
+CTR column as the second sorted list; the network's caches carry work
+across every slot of every phrase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.auction import Allocation
+from repro.core.matching import hungarian_max_weight
+from repro.core.ctr import MatrixCTRModel
+from repro.errors import InvalidPlanError
+from repro.sharedsort.plan import SharedSortPlan, build_shared_sort_plan
+from repro.sharedsort.threshold import threshold_top_k
+
+__all__ = ["SharedNonSeparableRound", "NonSeparableRoundResult"]
+
+
+@dataclass
+class NonSeparableRoundResult:
+    """Outcome of resolving one round of non-separable auctions.
+
+    Attributes:
+        allocations: Per phrase, the winner-determination result.
+        pruned_sizes: Per phrase, the pruned candidate-set size fed to
+            the Hungarian matcher (at most ``k^2``).
+        sorted_accesses: Total threshold-algorithm sorted accesses across
+            all (phrase, slot) pruning queries.
+        operator_pulls: Merge-operator pulls in the shared bid network
+            (shared caches counted once).
+    """
+
+    allocations: Dict[str, Allocation]
+    pruned_sizes: Dict[str, int]
+    sorted_accesses: int
+    operator_pulls: int
+
+
+class SharedNonSeparableRound:
+    """Resolves simultaneous non-separable auctions with shared pruning.
+
+    Args:
+        phrase_models: ``{phrase: MatrixCTRModel}`` -- each phrase's
+            (possibly non-separable) CTR matrix over its advertisers.
+        search_rates: Optional per-phrase rates for the offline shared
+            sort plan (defaults to 1.0).
+
+    The advertiser set of each phrase is its matrix's row set; the
+    shared merge-sort plan over bids is built once (offline) from those
+    sets.
+    """
+
+    def __init__(
+        self,
+        phrase_models: Mapping[str, MatrixCTRModel],
+        search_rates: Mapping[str, float] | float = 1.0,
+    ) -> None:
+        if not phrase_models:
+            raise InvalidPlanError("need at least one phrase")
+        self.phrase_models = dict(phrase_models)
+        self.phrase_advertisers = {
+            phrase: tuple(sorted(model.rows))
+            for phrase, model in self.phrase_models.items()
+        }
+        self.sort_plan: SharedSortPlan = build_shared_sort_plan(
+            self.phrase_advertisers, search_rates
+        )
+        # Precomputed per-(phrase, slot) descending CTR-column orders --
+        # CTRs change rarely (Section III footnote), bids every round.
+        self._ctr_orders: Dict[Tuple[str, int], List[int]] = {}
+        for phrase, model in self.phrase_models.items():
+            for slot in range(model.num_slots):
+                self._ctr_orders[(phrase, slot)] = sorted(
+                    self.phrase_advertisers[phrase],
+                    key=lambda i: (-model.ctr(i, slot), i),
+                )
+
+    def resolve(self, bids: Mapping[int, float]) -> NonSeparableRoundResult:
+        """Resolve the round's auctions on this round's bids.
+
+        Args:
+            bids: ``{advertiser_id: b_i}``; must cover every advertiser
+                of every phrase.
+        """
+        live = self.sort_plan.instantiate(bids)
+        allocations: Dict[str, Allocation] = {}
+        pruned_sizes: Dict[str, int] = {}
+        sorted_accesses = 0
+
+        for phrase, model in sorted(self.phrase_models.items()):
+            k = model.num_slots
+            advertisers = self.phrase_advertisers[phrase]
+            candidates: set[int] = set()
+            stream = live.stream_for_phrase(phrase)
+            for slot in range(k):
+                factors = {i: model.ctr(i, slot) for i in advertisers}
+                result = threshold_top_k(
+                    k,
+                    stream,
+                    self._ctr_orders[(phrase, slot)],
+                    bids,
+                    factors,
+                )
+                sorted_accesses += result.sorted_accesses
+                candidates.update(result.ranking.advertiser_ids())
+            pruned = sorted(candidates)
+            pruned_sizes[phrase] = len(pruned)
+            weights = [
+                [model.ctr(i, slot) * bids[i] for slot in range(k)]
+                for i in pruned
+            ]
+            assignment, total = hungarian_max_weight(weights)
+            slots: List[int | None] = [None] * k
+            for row, slot in enumerate(assignment):
+                if slot is not None:
+                    slots[slot] = pruned[row]
+            allocations[phrase] = Allocation(tuple(slots), total)
+
+        return NonSeparableRoundResult(
+            allocations=allocations,
+            pruned_sizes=pruned_sizes,
+            sorted_accesses=sorted_accesses,
+            operator_pulls=live.total_pulls(),
+        )

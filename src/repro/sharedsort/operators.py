@@ -1,0 +1,138 @@
+"""On-demand merge-sort operators with output caching.
+
+Section III-B: rather than running a full merge-sort upfront, each
+non-leaf node of the merge-sort tree is an *on-demand operator* holding a
+left and a right register.  When asked for its next output it sends the
+larger of the two registers upstream and clears it; an empty register is
+refilled by pulling from the corresponding downstream (child) node.  Work
+stops as soon as the threshold algorithm stops asking, and every operator
+caches the sequence it has emitted so that a second phrase's plan sharing
+the operator replays the cache for free.
+
+Items are ``(bid, advertiser_id)`` pairs ordered by descending bid with
+ties broken by ascending advertiser id (consistent with the rest of the
+library).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidPlanError
+
+__all__ = ["SortStream", "LeafSource", "MergeOperator"]
+
+Item = Tuple[float, int]
+"""A ``(bid, advertiser_id)`` pair."""
+
+
+def _rank_key(item: Item) -> Tuple[float, int]:
+    """Key under which larger means earlier in the output order."""
+    bid, advertiser_id = item
+    return (bid, -advertiser_id)
+
+
+class SortStream:
+    """Base class: a lazily computed descending-bid stream with a cache.
+
+    Consumers address items by index via :meth:`item`; multiple consumers
+    (phrases) can read the same stream at their own pace, which is what
+    makes the operators shareable.  Subclasses implement
+    :meth:`_produce_next` returning the next item or ``None``.
+    """
+
+    def __init__(self) -> None:
+        self._cache: List[Item] = []
+        self._exhausted = False
+        self.pulls = 0
+
+    def item(self, index: int) -> Optional[Item]:
+        """Return the ``index``-th item (0-based), or ``None`` past the end.
+
+        Items already emitted are served from the cache without work.
+        """
+        if index < 0:
+            raise InvalidPlanError(f"stream index must be non-negative: {index}")
+        while len(self._cache) <= index and not self._exhausted:
+            produced = self._produce_next()
+            if produced is None:
+                self._exhausted = True
+            else:
+                self._cache.append(produced)
+        if index < len(self._cache):
+            return self._cache[index]
+        return None
+
+    def emitted(self) -> Sequence[Item]:
+        """The items emitted so far (the operator's cache)."""
+        return tuple(self._cache)
+
+    def _produce_next(self) -> Optional[Item]:
+        raise NotImplementedError
+
+
+class LeafSource(SortStream):
+    """A single advertiser's bid -- a one-item stream.
+
+    Leaves count a "pull" the first time their value is read, modeling
+    one sequential access to the advertiser's bid.
+    """
+
+    def __init__(self, bid: float, advertiser_id: int) -> None:
+        super().__init__()
+        self._item: Optional[Item] = (float(bid), int(advertiser_id))
+        self.advertiser_ids = frozenset({int(advertiser_id)})
+
+    def _produce_next(self) -> Optional[Item]:
+        item, self._item = self._item, None
+        if item is not None:
+            self.pulls += 1
+        return item
+
+
+class MergeOperator(SortStream):
+    """A binary on-demand merge of two descending streams.
+
+    Implements the paper's register semantics: a register holds the next
+    candidate from one child; emitting sends the larger register upstream
+    and clears it; a cleared register refills by pulling the child.  The
+    registers are realized as per-child read cursors into the children's
+    caches, which is observationally identical and lets children be
+    shared by other operators.
+
+    Attributes:
+        advertiser_ids: The set ``I_v`` of advertisers below the operator.
+        pulls: Number of items this operator has produced -- the paper's
+            invocation count, at most ``|I_v|``.
+    """
+
+    def __init__(self, left: SortStream, right: SortStream) -> None:
+        super().__init__()
+        left_ids = getattr(left, "advertiser_ids", frozenset())
+        right_ids = getattr(right, "advertiser_ids", frozenset())
+        if left_ids & right_ids:
+            raise InvalidPlanError(
+                "merge operands must cover disjoint advertiser sets; got "
+                f"overlap {set(left_ids & right_ids)!r}"
+            )
+        self.left = left
+        self.right = right
+        self.advertiser_ids = left_ids | right_ids
+        self._left_cursor = 0
+        self._right_cursor = 0
+
+    def _produce_next(self) -> Optional[Item]:
+        left_item = self.left.item(self._left_cursor)
+        right_item = self.right.item(self._right_cursor)
+        if left_item is None and right_item is None:
+            return None
+        if right_item is None or (
+            left_item is not None
+            and _rank_key(left_item) >= _rank_key(right_item)
+        ):
+            self._left_cursor += 1
+            self.pulls += 1
+            return left_item
+        self._right_cursor += 1
+        self.pulls += 1
+        return right_item

@@ -1,0 +1,355 @@
+"""Shared merge-sort plans and the greedy bottom-up builder.
+
+Section III-C: start from one leaf per advertiser and successively merge
+the pair of nodes with the largest expected savings, where nodes ``u``
+and ``v`` may merge into ``w`` only if
+
+- ``Q_u ∩ Q_v ≠ ∅`` -- some phrase benefits from the merged run,
+- ``I_u ∩ I_v = ∅`` -- merge-sort runs must be disjoint, and
+- ``|I_u| = |I_v|`` -- the merge-sort tree stays balanced,
+
+with ``Q_w = Q_u ∩ Q_v`` and ``I_w = I_u ∪ I_v``.  The expected savings
+of creating ``w`` is ``|I_w| * E[occurring phrases of Q_w beyond the
+first]`` (:func:`repro.sharedsort.cost.expected_savings_of_merge`).
+
+One refinement makes the DAG semantics precise: a node may acquire
+several parents (it is a shareable stream), but for any single phrase
+``q`` the maximal nodes carrying ``q`` must partition ``I_q`` -- so each
+merge *consumes* the shared phrases from its operands.  We track each
+node's *available* phrase set (its ``Q`` minus phrases claimed by earlier
+parents) and intersect availabilities when merging.
+
+Greedy merging stops when no pair offers positive savings; what remains
+per phrase -- merging that phrase's maximal nodes into a single sorted
+stream -- is per-phrase assembly work performed by
+:meth:`SharedSortPlan.instantiate`, counted in the cost model with that
+phrase's rate alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import InvalidPlanError, PlanConstructionError
+from repro.sharedsort.cost import (
+    expected_full_sort_cost,
+    expected_savings_of_merge,
+)
+from repro.sharedsort.operators import LeafSource, MergeOperator, SortStream
+
+__all__ = ["SortPlanNode", "SharedSortPlan", "build_shared_sort_plan", "LiveSharedSort"]
+
+
+@dataclass(frozen=True)
+class SortPlanNode:
+    """A node of the shared merge-sort plan.
+
+    Attributes:
+        node_id: Dense id within the plan.
+        advertisers: ``I_v`` -- advertiser ids below the node.
+        phrases: ``Q_v`` -- phrases whose merge-sort tree the node is part
+            of (for internal nodes this is the intersection assigned at
+            creation; for leaves, all phrases mentioning the advertiser).
+        left: Child node id, or ``None`` for a leaf.
+        right: Child node id, or ``None`` for a leaf.
+    """
+
+    node_id: int
+    advertisers: FrozenSet[int]
+    phrases: FrozenSet[str]
+    left: Optional[int] = None
+    right: Optional[int] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node is a single-advertiser leaf."""
+        return self.left is None
+
+
+class SharedSortPlan:
+    """A built shared merge-sort plan over a set of bid phrases.
+
+    Attributes:
+        phrase_advertisers: ``{phrase: I_q}``.
+        search_rates: ``{phrase: sr_q}``.
+        nodes: All plan nodes, children before parents.
+        phrase_roots: For each phrase, the ids of its maximal nodes (the
+            runs that per-phrase assembly merges), largest first.
+    """
+
+    def __init__(
+        self,
+        phrase_advertisers: Mapping[str, FrozenSet[int]],
+        search_rates: Mapping[str, float],
+        nodes: Sequence[SortPlanNode],
+        phrase_roots: Mapping[str, Sequence[int]],
+    ) -> None:
+        self.phrase_advertisers = dict(phrase_advertisers)
+        self.search_rates = dict(search_rates)
+        self.nodes = tuple(nodes)
+        self.phrase_roots = {k: tuple(v) for k, v in phrase_roots.items()}
+        self._validate()
+
+    def _validate(self) -> None:
+        for phrase, roots in self.phrase_roots.items():
+            covered: set[int] = set()
+            for node_id in roots:
+                node = self.nodes[node_id]
+                if phrase not in node.phrases:
+                    raise InvalidPlanError(
+                        f"node {node_id} is a root of {phrase!r} but does "
+                        "not carry that phrase"
+                    )
+                if covered & node.advertisers:
+                    raise InvalidPlanError(
+                        f"roots of phrase {phrase!r} overlap on advertisers"
+                    )
+                covered |= node.advertisers
+            if covered != set(self.phrase_advertisers[phrase]):
+                raise InvalidPlanError(
+                    f"roots of phrase {phrase!r} do not partition I_q"
+                )
+
+    def internal_nodes(self) -> List[SortPlanNode]:
+        """The shared merge operators (non-leaf nodes)."""
+        return [n for n in self.nodes if not n.is_leaf]
+
+    def shared_expected_cost(self) -> float:
+        """Expected full-sort cost of the shared operators only."""
+        return expected_full_sort_cost(
+            (
+                len(node.advertisers),
+                [self.search_rates[q] for q in node.phrases],
+            )
+            for node in self.internal_nodes()
+        )
+
+    def assembly_expected_cost(self) -> float:
+        """Expected full-sort cost of the per-phrase assembly operators.
+
+        The runs for phrase ``q`` are merged Huffman-style (two smallest
+        first), which minimizes the sum of intermediate merge sizes; each
+        assembly operator serves only ``q``.
+        """
+        total = 0.0
+        for phrase, roots in self.phrase_roots.items():
+            if len(roots) <= 1:
+                continue
+            sizes = [len(self.nodes[node_id].advertisers) for node_id in roots]
+            rate = self.search_rates[phrase]
+            total += rate * _huffman_merge_cost(sizes)
+        return total
+
+    def expected_cost(self) -> float:
+        """Total expected full-sort cost: shared plus assembly."""
+        return self.shared_expected_cost() + self.assembly_expected_cost()
+
+    def instantiate(self, bids: Mapping[int, float]) -> "LiveSharedSort":
+        """Create the live operator network for one round's bids."""
+        return LiveSharedSort(self, bids)
+
+
+class LiveSharedSort:
+    """A shared-sort plan instantiated with concrete bids.
+
+    Construct via :meth:`SharedSortPlan.instantiate`.  Streams are built
+    lazily per phrase; shared operators are created once and reused by
+    every phrase that touches them, so their caches carry work across
+    phrases exactly as Section III-B describes.
+    """
+
+    def __init__(self, plan: SharedSortPlan, bids: Mapping[int, float]) -> None:
+        self.plan = plan
+        self._bids = dict(bids)
+        self._streams: Dict[int, SortStream] = {}
+        self._phrase_streams: Dict[str, SortStream] = {}
+
+    def _stream_for_node(self, node_id: int) -> SortStream:
+        stream = self._streams.get(node_id)
+        if stream is not None:
+            return stream
+        node = self.plan.nodes[node_id]
+        if node.is_leaf:
+            (advertiser_id,) = node.advertisers
+            try:
+                bid = self._bids[advertiser_id]
+            except KeyError:
+                raise InvalidPlanError(
+                    f"no bid provided for advertiser {advertiser_id}"
+                ) from None
+            stream = LeafSource(bid, advertiser_id)
+        else:
+            assert node.left is not None and node.right is not None
+            stream = MergeOperator(
+                self._stream_for_node(node.left),
+                self._stream_for_node(node.right),
+            )
+        self._streams[node_id] = stream
+        return stream
+
+    def stream_for_phrase(self, phrase: str) -> SortStream:
+        """The descending-bid stream over ``I_q`` for one phrase."""
+        cached = self._phrase_streams.get(phrase)
+        if cached is not None:
+            return cached
+        try:
+            roots = self.plan.phrase_roots[phrase]
+        except KeyError:
+            raise InvalidPlanError(f"unknown phrase {phrase!r}") from None
+        # Huffman-style assembly: repeatedly merge the two smallest runs,
+        # matching the cost model in assembly_expected_cost.
+        runs = [self._stream_for_node(node_id) for node_id in roots]
+        runs.sort(key=lambda s: len(getattr(s, "advertiser_ids", ())))
+        while len(runs) > 1:
+            runs.sort(key=lambda s: len(getattr(s, "advertiser_ids", ())))
+            merged = MergeOperator(runs[0], runs[1])
+            runs = [merged] + runs[2:]
+        stream = runs[0]
+        self._phrase_streams[phrase] = stream
+        return stream
+
+    def _all_streams(self) -> List[SortStream]:
+        """Every distinct stream touched so far (plan nodes + assembly)."""
+        seen: Dict[int, SortStream] = {}
+        for stream in self._streams.values():
+            seen[id(stream)] = stream
+        stack = list(self._phrase_streams.values())
+        while stack:
+            stream = stack.pop()
+            if id(stream) in seen:
+                continue
+            seen[id(stream)] = stream
+            if isinstance(stream, MergeOperator):
+                stack.extend([stream.left, stream.right])
+        return list(seen.values())
+
+    def total_pulls(self) -> int:
+        """Items produced by merge *operators* so far.
+
+        This is the quantity the full-sort cost model bounds: one unit
+        per item an operator emits, shared operators counted once (their
+        caches serve every phrase).  Leaf reads are reported separately
+        by :meth:`leaf_reads` -- they are sequential accesses to the bid
+        store, not merge work.
+        """
+        return sum(
+            s.pulls
+            for s in self._all_streams()
+            if isinstance(s, MergeOperator)
+        )
+
+    def leaf_reads(self) -> int:
+        """Distinct advertiser bids read from the store so far."""
+        return sum(
+            s.pulls for s in self._all_streams() if isinstance(s, LeafSource)
+        )
+
+
+def _huffman_merge_cost(sizes: Sequence[int]) -> int:
+    """Sum of intermediate merge sizes when merging runs Huffman-style."""
+    import heapq
+
+    heap = list(sizes)
+    heapq.heapify(heap)
+    total = 0
+    while len(heap) > 1:
+        a = heapq.heappop(heap)
+        b = heapq.heappop(heap)
+        total += a + b
+        heapq.heappush(heap, a + b)
+    return total
+
+
+def build_shared_sort_plan(
+    phrase_advertisers: Mapping[str, Sequence[int]],
+    search_rates: Mapping[str, float] | float = 1.0,
+) -> SharedSortPlan:
+    """Greedy bottom-up construction of a shared merge-sort plan.
+
+    Args:
+        phrase_advertisers: ``{phrase: I_q}``.
+        search_rates: Per-phrase rates, or one rate for all phrases.
+
+    Returns:
+        The built plan with per-phrase root lists.
+    """
+    if not phrase_advertisers:
+        raise PlanConstructionError("need at least one phrase")
+    interest: Dict[str, FrozenSet[int]] = {
+        phrase: frozenset(int(a) for a in ads)
+        for phrase, ads in phrase_advertisers.items()
+    }
+    for phrase, ads in interest.items():
+        if not ads:
+            raise PlanConstructionError(f"phrase {phrase!r} has no advertisers")
+    if isinstance(search_rates, Mapping):
+        rates = {phrase: float(search_rates.get(phrase, 1.0)) for phrase in interest}
+    else:
+        rates = {phrase: float(search_rates) for phrase in interest}
+
+    nodes: List[SortPlanNode] = []
+    available: Dict[int, FrozenSet[str]] = {}
+    all_advertisers = sorted({a for ads in interest.values() for a in ads})
+    for advertiser_id in all_advertisers:
+        phrases = frozenset(
+            phrase for phrase, ads in interest.items() if advertiser_id in ads
+        )
+        node = SortPlanNode(
+            len(nodes), frozenset({advertiser_id}), phrases
+        )
+        nodes.append(node)
+        available[node.node_id] = phrases
+
+    while True:
+        best: Optional[Tuple[float, int, int, FrozenSet[str]]] = None
+        active = [nid for nid, avail in available.items() if avail]
+        by_size: Dict[int, List[int]] = {}
+        for nid in active:
+            by_size.setdefault(len(nodes[nid].advertisers), []).append(nid)
+        for size, group in by_size.items():
+            group.sort()
+            for index, u in enumerate(group):
+                for v in group[index + 1 :]:
+                    shared = available[u] & available[v]
+                    if not shared:
+                        continue
+                    if nodes[u].advertisers & nodes[v].advertisers:
+                        continue
+                    saving = expected_savings_of_merge(
+                        2 * size, [rates[q] for q in sorted(shared)]
+                    )
+                    key = (saving, -u, -v)
+                    if best is None or key > (best[0], -best[1], -best[2]):
+                        best = (saving, u, v, shared)
+        if best is None or best[0] <= 0.0:
+            break
+        _, u, v, shared = best
+        node = SortPlanNode(
+            len(nodes),
+            nodes[u].advertisers | nodes[v].advertisers,
+            shared,
+            left=u,
+            right=v,
+        )
+        nodes.append(node)
+        available[node.node_id] = shared
+        available[u] = available[u] - shared
+        available[v] = available[v] - shared
+
+    # Per-phrase roots: maximal nodes carrying the phrase.  A node carries
+    # phrase q for assembly purposes iff q was in its availability at some
+    # point and was not consumed by a parent -- i.e. q remains in
+    # `available[node]` now.
+    phrase_roots: Dict[str, List[int]] = {phrase: [] for phrase in interest}
+    for node_id, avail in available.items():
+        for phrase in avail:
+            phrase_roots[phrase].append(node_id)
+    for phrase in phrase_roots:
+        phrase_roots[phrase].sort(
+            key=lambda nid: (-len(nodes[nid].advertisers), nid)
+        )
+
+    # Node.phrases for internal nodes is the consumed intersection; for
+    # root listing we used availability, which together cover Q_v.
+    return SharedSortPlan(interest, rates, nodes, phrase_roots)

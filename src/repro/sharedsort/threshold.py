@@ -1,0 +1,151 @@
+"""The threshold algorithm (Fagin, Lotem & Naor) for per-phrase top-k.
+
+For bid phrase ``q`` the score of advertiser ``i`` is ``b_i * c_i^q``.
+Two sorted access paths exist: descending bid ``b_i`` (supplied lazily by
+the shared merge-sort network) and descending CTR factor ``c_i^q``
+(precomputed and fixed -- the paper notes click-through rates are
+recalculated only occasionally, so this ordering is free).  Random access
+to the other attribute is available by advertiser id.
+
+At each stage ``s`` the algorithm reads the ``s``-th entry of both lists,
+resolves each newly seen advertiser's full score by random access, keeps
+the best ``k`` seen so far, and stops as soon as the ``k``-th best score
+is at least the threshold ``b(i_s) * c(j_s)`` -- the largest score any
+unseen advertiser could still have.  The algorithm is instance optimal
+among algorithms that make no wild guesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.topk import ScoredAdvertiser, TopKList
+from repro.errors import InvalidPlanError
+from repro.sharedsort.operators import SortStream
+
+__all__ = ["ThresholdResult", "threshold_top_k"]
+
+
+@dataclass(frozen=True)
+class ThresholdResult:
+    """Outcome of one threshold-algorithm run.
+
+    Attributes:
+        ranking: The top-k advertisers by ``b_i * c_i^q``.
+        stages: Number of stages executed (depth reached in both lists).
+        sorted_accesses: Total sorted-access reads across both lists.
+        random_accesses: Random-access score resolutions performed.
+        threshold: Final value of the stopping threshold.
+    """
+
+    ranking: TopKList
+    stages: int
+    sorted_accesses: int
+    random_accesses: int
+    threshold: float
+
+
+def threshold_top_k(
+    k: int,
+    bid_stream: SortStream,
+    ctr_order: Sequence[int],
+    bids: Mapping[int, float],
+    ctr_factors: Mapping[int, float],
+) -> ThresholdResult:
+    """Run the threshold algorithm for one bid phrase.
+
+    Args:
+        k: Number of slots.
+        bid_stream: Descending-``b_i`` stream over the phrase's advertiser
+            set ``I_q`` (typically a shared merge-sort root).
+        ctr_order: Advertiser ids of ``I_q`` sorted by descending
+            ``c_i^q`` (ties by ascending id), the precomputed second list.
+        bids: Random access ``i -> b_i``; must cover ``I_q``.
+        ctr_factors: Random access ``i -> c_i^q``; must cover ``I_q``.
+
+    Returns:
+        The ranking and access counters.
+
+    Raises:
+        InvalidPlanError: If ``k`` is not positive or an id is missing
+            from the random-access maps.
+    """
+    if k <= 0:
+        raise InvalidPlanError(f"k must be positive, got {k}")
+
+    def score_of(advertiser_id: int) -> float:
+        try:
+            return bids[advertiser_id] * ctr_factors[advertiser_id]
+        except KeyError:
+            raise InvalidPlanError(
+                f"no random-access data for advertiser {advertiser_id}"
+            ) from None
+
+    top = TopKList(k)
+    seen: Dict[int, float] = {}
+    stages = 0
+    sorted_accesses = 0
+    random_accesses = 0
+    threshold = float("inf")
+
+    while True:
+        bid_entry = bid_stream.item(stages)
+        ctr_entry: Optional[int] = (
+            ctr_order[stages] if stages < len(ctr_order) else None
+        )
+        if bid_entry is None and ctr_entry is None:
+            # Both lists exhausted; everything has been seen.
+            threshold = float("-inf")
+            break
+
+        bound_bid = None
+        if bid_entry is not None:
+            sorted_accesses += 1
+            bid_value, bid_id = bid_entry
+            bound_bid = bid_value
+            if bid_id not in seen:
+                random_accesses += 1
+                seen[bid_id] = score_of(bid_id)
+                top = top.insert((seen[bid_id], bid_id))
+        bound_ctr = None
+        if ctr_entry is not None:
+            sorted_accesses += 1
+            if ctr_entry not in seen:
+                random_accesses += 1
+                seen[ctr_entry] = score_of(ctr_entry)
+                top = top.insert((seen[ctr_entry], ctr_entry))
+            bound_ctr = ctr_factors[ctr_entry]
+        stages += 1
+
+        # Threshold: best possible score of an unseen advertiser.  If one
+        # list is exhausted, every advertiser has been seen through the
+        # other list's completeness over I_q... only when that other list
+        # is itself complete; in general an exhausted list bounds the
+        # missing attribute by its last (smallest) emitted value.
+        if bound_bid is None:
+            last = bid_stream.item(max(0, stages - 1))
+            bound_bid = last[0] if last is not None else _last_emitted(bid_stream)
+        if bound_ctr is None:
+            bound_ctr = (
+                ctr_factors[ctr_order[-1]] if ctr_order else 0.0
+            )
+        threshold = (bound_bid or 0.0) * (bound_ctr or 0.0)
+        if len(top) >= min(k, len(ctr_order)) and (
+            len(top) > 0 and top.threshold() >= threshold
+        ):
+            break
+
+    return ThresholdResult(
+        ranking=top,
+        stages=stages,
+        sorted_accesses=sorted_accesses,
+        random_accesses=random_accesses,
+        threshold=threshold,
+    )
+
+
+def _last_emitted(stream: SortStream) -> float:
+    """Smallest bid the stream has emitted (0.0 for an empty stream)."""
+    emitted = stream.emitted()
+    return emitted[-1][0] if emitted else 0.0

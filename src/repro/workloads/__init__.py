@@ -1,0 +1,34 @@
+"""Synthetic workload generators.
+
+The paper's data (production query logs and advertiser bids) is
+proprietary; these generators are the documented substitution (see
+DESIGN.md): they produce advertiser populations, phrase popularity, and
+query-to-phrase interest structure with controllable overlap, which is
+all the sharing machinery observes.
+
+- :mod:`repro.workloads.distributions` -- seeded Zipf and log-normal
+  helpers.
+- :mod:`repro.workloads.generator` -- category-structured markets.
+- :mod:`repro.workloads.fig4` -- the exact protocol of the paper's
+  Fig. 4 (coin-flip query membership over 20 advertisers).
+- :mod:`repro.workloads.scenarios` -- the worked examples from the text
+  (Figures 1-3 and the shoe-store example of Section II-B).
+"""
+
+from repro.workloads.distributions import lognormal_cents, zipf_weights
+from repro.workloads.fig4 import fig4_instance
+from repro.workloads.generator import MarketConfig, generate_market
+from repro.workloads.scenarios import (
+    paper_example_auction,
+    shoe_store_instance,
+)
+
+__all__ = [
+    "MarketConfig",
+    "fig4_instance",
+    "generate_market",
+    "lognormal_cents",
+    "paper_example_auction",
+    "shoe_store_instance",
+    "zipf_weights",
+]

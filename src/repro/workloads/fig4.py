@@ -1,0 +1,70 @@
+"""The Fig. 4 experiment protocol.
+
+The paper's only quantitative experiment: "Figure 4 shows an example of
+the savings provided in a set of 10 top-k queries over 20 advertisers.
+The queries were chosen by flipping coins to determine whether each
+advertiser would be in the list of top-k contenders, discarding
+duplicate queries."  The x-axis is the (common) query probability, the
+y-axis the expected cost of the plan.
+
+:func:`fig4_instance` builds one such instance; the benchmark sweeps the
+query probability and compares the greedy shared plan's expected cost
+against the no-sharing baseline, averaged over seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+
+__all__ = ["fig4_instance"]
+
+
+def fig4_instance(
+    query_probability: float,
+    num_queries: int = 10,
+    num_advertisers: int = 20,
+    membership_probability: float = 0.5,
+    seed: int = 0,
+) -> SharedAggregationInstance:
+    """One Fig. 4 instance.
+
+    Args:
+        query_probability: The common search rate given to every query
+            (the figure's x-axis).
+        num_queries: Distinct queries to draw (10 in the paper).
+        num_advertisers: Variable universe size (20 in the paper).
+        membership_probability: Coin-flip probability that an advertiser
+            is in a query (a fair coin in the paper).
+        seed: Drawing seed.
+
+    Returns:
+        The instance; duplicate draws are discarded and redrawn, and
+        queries with fewer than two advertisers are redrawn too (the
+        planning problem drops single-variable queries, so keeping them
+        would silently shrink the instance).
+    """
+    rng = random.Random(seed)
+    seen: set[frozenset[int]] = set()
+    queries: List[AggregateQuery] = []
+    attempts = 0
+    while len(queries) < num_queries:
+        attempts += 1
+        if attempts > 10_000:
+            raise RuntimeError(
+                "could not draw enough distinct queries; loosen parameters"
+            )
+        members = frozenset(
+            advertiser
+            for advertiser in range(num_advertisers)
+            if rng.random() < membership_probability
+        )
+        if len(members) < 2 or members in seen:
+            continue
+        seen.add(members)
+        queries.append(
+            AggregateQuery(f"q{len(queries)}", members, query_probability)
+        )
+    return SharedAggregationInstance(queries)

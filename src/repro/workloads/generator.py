@@ -1,0 +1,159 @@
+"""Category-structured synthetic advertiser markets.
+
+The generator produces the overlap structure that makes sharing
+worthwhile: phrases belong to *categories* (e.g. footwear, music), most
+advertisers are specialists bidding inside one category, and a tunable
+fraction are generalists bidding across several -- the generalization of
+the paper's shoe-store example (general stores bid on both "hiking
+boots" and "high-heels"; sports and fashion stores bid on one each).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.advertiser import Advertiser
+from repro.errors import WorkloadError
+from repro.workloads.distributions import (
+    lognormal_cents,
+    zipf_search_rates,
+)
+
+__all__ = ["MarketConfig", "Market", "generate_market"]
+
+
+@dataclass(frozen=True)
+class MarketConfig:
+    """Parameters of a synthetic market.
+
+    Attributes:
+        num_categories: Number of phrase categories.
+        phrases_per_category: Phrases in each category.
+        specialists_per_category: Advertisers bidding only inside one
+            category.
+        generalists: Advertisers bidding across several categories.
+        generalist_categories: Categories each generalist spans.
+        phrase_interest: Probability a store bids on a given phrase of a
+            category it covers.
+        median_bid_cents: Median per-click bid.
+        median_budget_cents: Median daily budget (0 means unbudgeted).
+        zipf_exponent: Popularity skew of phrase search rates.
+        top_search_rate: Search rate of the most popular phrase.
+        seed: Generator seed.
+    """
+
+    num_categories: int = 4
+    phrases_per_category: int = 5
+    specialists_per_category: int = 20
+    generalists: int = 10
+    generalist_categories: int = 2
+    phrase_interest: float = 0.8
+    median_bid_cents: int = 100
+    median_budget_cents: int = 0
+    zipf_exponent: float = 1.0
+    top_search_rate: float = 0.9
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_categories <= 0 or self.phrases_per_category <= 0:
+            raise WorkloadError("need at least one category and phrase")
+        if self.specialists_per_category < 0 or self.generalists < 0:
+            raise WorkloadError("advertiser counts must be non-negative")
+        if not 1 <= self.generalist_categories <= self.num_categories:
+            raise WorkloadError(
+                "generalists must span between 1 and num_categories categories"
+            )
+        if not 0.0 < self.phrase_interest <= 1.0:
+            raise WorkloadError("phrase_interest must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class Market:
+    """A generated market.
+
+    Attributes:
+        advertisers: The advertiser population.
+        search_rates: ``{phrase: sr_q}``.
+        phrase_advertisers: ``{phrase: sorted advertiser ids}``.
+    """
+
+    advertisers: Tuple[Advertiser, ...]
+    search_rates: Dict[str, float]
+    phrase_advertisers: Dict[str, Tuple[int, ...]]
+
+
+def generate_market(config: MarketConfig) -> Market:
+    """Generate a reproducible market from a config."""
+    rng = random.Random(config.seed)
+    phrases: List[str] = []
+    category_phrases: List[List[str]] = []
+    for category in range(config.num_categories):
+        names = [
+            f"c{category}p{index}"
+            for index in range(config.phrases_per_category)
+        ]
+        category_phrases.append(names)
+        phrases.extend(names)
+    rates = dict(
+        zip(
+            phrases,
+            zipf_search_rates(
+                len(phrases), config.zipf_exponent, config.top_search_rate
+            ),
+        )
+    )
+
+    advertisers: List[Advertiser] = []
+    next_id = 0
+
+    def make_advertiser(categories: List[int]) -> Advertiser:
+        nonlocal next_id
+        interests: List[str] = []
+        for category in categories:
+            for phrase in category_phrases[category]:
+                if rng.random() < config.phrase_interest:
+                    interests.append(phrase)
+        if not interests:
+            # Guarantee participation in at least one phrase.
+            category = rng.choice(categories)
+            interests.append(rng.choice(category_phrases[category]))
+        bid = lognormal_cents(rng, config.median_bid_cents) / 100.0
+        budget = (
+            float("inf")
+            if config.median_budget_cents <= 0
+            else lognormal_cents(rng, config.median_budget_cents) / 100.0
+        )
+        advertiser = Advertiser(
+            next_id,
+            bid=bid,
+            ctr_factor=round(rng.uniform(0.5, 1.5), 3),
+            daily_budget=budget,
+            phrases=frozenset(interests),
+        )
+        next_id += 1
+        return advertiser
+
+    for category in range(config.num_categories):
+        for _ in range(config.specialists_per_category):
+            advertisers.append(make_advertiser([category]))
+    for _ in range(config.generalists):
+        spanned = rng.sample(
+            range(config.num_categories), config.generalist_categories
+        )
+        advertisers.append(make_advertiser(spanned))
+
+    phrase_map: Dict[str, List[int]] = {phrase: [] for phrase in phrases}
+    for advertiser in advertisers:
+        for phrase in advertiser.phrases:
+            phrase_map[phrase].append(advertiser.advertiser_id)
+    phrase_advertisers = {
+        phrase: tuple(sorted(ids))
+        for phrase, ids in phrase_map.items()
+        if ids
+    }
+    search_rates = {
+        phrase: rates[phrase] for phrase in phrase_advertisers
+    }
+    return Market(tuple(advertisers), search_rates, phrase_advertisers)

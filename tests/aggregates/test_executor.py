@@ -1,0 +1,140 @@
+"""Tests for the generic plan executor and composite aggregates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.aggregates.composite import MeanAggregate, VarianceAggregate
+from repro.aggregates.executor import GenericPlanExecutor
+from repro.aggregates.operators import (
+    AggregateOperator,
+    count_operator,
+    max_operator,
+    min_operator,
+    sum_operator,
+    top_k_operator,
+)
+from repro.algebra.axioms import Axiom, AxiomProfile
+from repro.errors import InvalidPlanError
+from repro.plans.dag import Plan
+from repro.plans.greedy_planner import greedy_shared_plan
+from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+from tests.conftest import query_families
+
+
+@pytest.fixture
+def instance():
+    return SharedAggregationInstance(
+        [
+            AggregateQuery("pq", ["a", "b", "c"], 0.5),
+            AggregateQuery("qr", ["b", "c", "d"], 0.5),
+        ]
+    )
+
+
+SCORES = {"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0}
+
+
+class TestGenericExecutor:
+    def test_max_over_shared_plan(self, instance):
+        plan = greedy_shared_plan(instance)
+        executor = GenericPlanExecutor(plan, max_operator())
+        answers = executor.run_round(SCORES)
+        assert answers["pq"] == 3.0
+        assert answers["qr"] == 4.0
+
+    def test_min_over_shared_plan(self, instance):
+        plan = greedy_shared_plan(instance)
+        answers = GenericPlanExecutor(plan, min_operator()).run_round(SCORES)
+        assert answers["pq"] == 1.0
+        assert answers["qr"] == 2.0
+
+    def test_sum_requires_disjoint_plan(self, instance):
+        # Force a plan with overlapping operands: {a,b} merged with {b,c}.
+        plan = Plan(instance)
+        ab = plan.add_internal(plan.leaf_of("a"), plan.leaf_of("b"))
+        bc = plan.add_internal(plan.leaf_of("b"), plan.leaf_of("c"))
+        plan.add_internal(ab, bc)  # pq = {a,b,c} via overlap
+        plan.add_internal(bc, plan.leaf_of("d"))
+        with pytest.raises(InvalidPlanError):
+            GenericPlanExecutor(plan, sum_operator())
+        # Idempotent operators accept the same plan.
+        GenericPlanExecutor(plan, max_operator())
+
+    def test_sum_over_disjoint_plan(self, instance):
+        plan = greedy_shared_plan(instance, require_disjoint=True)
+        answers = GenericPlanExecutor(plan, sum_operator()).run_round(SCORES)
+        assert answers["pq"] == pytest.approx(6.0)
+        assert answers["qr"] == pytest.approx(9.0)
+
+    def test_count_over_disjoint_plan(self, instance):
+        plan = greedy_shared_plan(instance, require_disjoint=True)
+        answers = GenericPlanExecutor(plan, count_operator()).run_round(SCORES)
+        assert answers == {"pq": 3, "qr": 3}
+
+    def test_topk_matches_specialized_executor(self, instance):
+        from repro.plans.executor import PlanExecutor
+
+        plan = greedy_shared_plan(instance)
+        generic = GenericPlanExecutor(plan, top_k_operator(2)).run_round(SCORES)
+        special = PlanExecutor(plan, 2).run_round(SCORES)
+        assert generic == special.answers
+
+    def test_non_commutative_operator_rejected(self, instance):
+        plan = greedy_shared_plan(instance)
+        first = AggregateOperator(
+            name="left",
+            combine=lambda a, b: a,
+            lift=lambda s, _i: s,
+            profile=AxiomProfile({Axiom.A1, Axiom.A3}),
+        )
+        with pytest.raises(InvalidPlanError):
+            GenericPlanExecutor(plan, first)
+
+    def test_missing_score_raises(self, instance):
+        plan = greedy_shared_plan(instance)
+        executor = GenericPlanExecutor(plan, max_operator())
+        with pytest.raises(InvalidPlanError):
+            executor.run_round({"a": 1.0})
+
+    @settings(
+        deadline=None,
+        max_examples=20,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(query_families(max_queries=4, max_vars=6))
+    def test_disjoint_plans_compute_exact_sums(self, family):
+        sets, rates = family
+        instance = SharedAggregationInstance.from_sets(sets, rates)
+        if not instance.queries:
+            return
+        plan = greedy_shared_plan(instance, require_disjoint=True)
+        scores = {v: (hash(v) % 50) / 7.0 for v in instance.variables}
+        answers = GenericPlanExecutor(plan, sum_operator()).run_round(scores)
+        for query in instance.queries:
+            expected = sum(scores[v] for v in query.variables)
+            assert answers[query.name] == pytest.approx(expected)
+
+
+class TestComposites:
+    def test_mean(self, instance):
+        plan = greedy_shared_plan(instance, require_disjoint=True)
+        means = MeanAggregate(plan).run_round(SCORES)
+        assert means["pq"] == pytest.approx(2.0)
+        assert means["qr"] == pytest.approx(3.0)
+
+    def test_variance(self, instance):
+        plan = greedy_shared_plan(instance, require_disjoint=True)
+        variances = VarianceAggregate(plan).run_round(SCORES)
+        # pq scores 1,2,3: variance 2/3; qr scores 2,3,4: variance 2/3.
+        assert variances["pq"] == pytest.approx(2 / 3)
+        assert variances["qr"] == pytest.approx(2 / 3)
+
+    def test_variance_non_negative_under_cancellation(self):
+        instance = SharedAggregationInstance.from_sets({"q": ["a", "b"]})
+        plan = greedy_shared_plan(instance, require_disjoint=True)
+        variances = VarianceAggregate(plan).run_round(
+            {"a": 1e6, "b": 1e6}
+        )
+        assert variances["q"] >= 0.0

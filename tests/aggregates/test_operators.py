@@ -1,0 +1,202 @@
+"""Tests for concrete aggregation operators and their axiom profiles.
+
+The declared profile of every operator is validated against the algebra
+layer by projecting the operator onto small finite carriers and checking
+the axioms exhaustively -- the abstraction and the concrete operators
+must agree or the Fig. 5 complexity predictions would be wrong.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aggregates.operators import (
+    AggregateOperator,
+    BloomFilter,
+    bloom_intersection_operator,
+    bloom_union_operator,
+    count_operator,
+    max_operator,
+    min_operator,
+    product_operator,
+    sum_operator,
+    top_k_operator,
+)
+from repro.algebra.axioms import Axiom, AxiomProfile
+from repro.algebra.complexity import Complexity, complexity_of
+from repro.algebra.magmas import FiniteMagma, satisfied_axioms
+from repro.errors import AlgebraError
+
+ALL_OPERATORS = [
+    sum_operator(),
+    count_operator(),
+    product_operator(),
+    max_operator(),
+    min_operator(),
+    top_k_operator(3),
+    bloom_union_operator(width=16),
+    bloom_intersection_operator(width=16),
+]
+
+
+class TestFold:
+    def test_sum_fold(self):
+        op = sum_operator()
+        values = [op.lift(score, i) for i, score in enumerate([1.0, 2.5, 3.0])]
+        assert op.fold(values) == pytest.approx(6.5)
+
+    def test_empty_fold_uses_identity(self):
+        assert sum_operator().fold([]) == 0.0
+        assert count_operator().fold([]) == 0
+
+    def test_empty_fold_without_identity_raises(self):
+        op = AggregateOperator(
+            name="first",
+            combine=lambda a, b: a,
+            lift=lambda s, _i: s,
+            profile=AxiomProfile({Axiom.A1, Axiom.A3}),
+        )
+        with pytest.raises(AlgebraError):
+            op.fold([])
+
+    def test_identity_profile_consistency_enforced(self):
+        with pytest.raises(AlgebraError):
+            AggregateOperator(
+                name="bad",
+                combine=lambda a, b: a,
+                lift=lambda s, _i: s,
+                profile=AxiomProfile({Axiom.A2}),
+                identity=None,
+            )
+
+    def test_count_ignores_scores(self):
+        op = count_operator()
+        values = [op.lift(score, i) for i, score in enumerate([9.0, 0.0])]
+        assert op.fold(values) == 2
+
+    def test_topk_fold(self):
+        op = top_k_operator(2)
+        values = [op.lift(s, i) for i, s in enumerate([1.0, 5.0, 3.0])]
+        assert op.fold(values).advertiser_ids() == (1, 2)
+
+
+def project_to_magma(operator, carrier, encode, decode):
+    """Build the operator's Cayley table on an encoded finite carrier."""
+    table = []
+    for a in carrier:
+        row = []
+        for b in carrier:
+            combined = operator.combine(decode(a), decode(b))
+            row.append(carrier.index(encode(combined)))
+        table.append(row)
+    return FiniteMagma(table, name=operator.name)
+
+
+class TestDeclaredProfilesAreExact:
+    """Each operator's declared axioms hold exhaustively on a finite
+    projection, and the declared profile maps to the intended Fig. 5
+    complexity class."""
+
+    def test_sum_profile_on_modular_carrier(self):
+        # Addition projected onto Z/5 keeps {A1, A2, A4, A5}.
+        op = sum_operator()
+        carrier = list(range(5))
+        magma = FiniteMagma(
+            [[(a + b) % 5 for b in carrier] for a in carrier], "sum mod 5"
+        )
+        assert satisfied_axioms(magma) >= op.profile - {Axiom.A3}
+        assert Axiom.A3 not in satisfied_axioms(magma)
+
+    def test_max_profile_exact_on_small_chain(self):
+        op = max_operator()
+        carrier = [0.0, 1.0, 2.0, 3.0]
+        magma = project_to_magma(op, carrier, lambda x: x, lambda x: x)
+        assert satisfied_axioms(magma) == op.profile
+
+    def test_min_profile_exact_on_small_chain(self):
+        op = min_operator()
+        carrier = [0.0, 1.0, 2.0]
+        magma = project_to_magma(op, carrier, lambda x: x, lambda x: x)
+        assert satisfied_axioms(magma) == op.profile
+
+    def test_bloom_union_profile_exact(self):
+        op = bloom_union_operator(width=4, num_hashes=1)
+        carrier = [BloomFilter(bits, 4, 1) for bits in range(16)]
+        magma = project_to_magma(op, carrier, lambda x: x, lambda x: x)
+        assert satisfied_axioms(magma) == op.profile
+
+    def test_bloom_intersection_profile_exact(self):
+        op = bloom_intersection_operator(width=3, num_hashes=1)
+        carrier = [BloomFilter(bits, 3, 1) for bits in range(8)]
+        magma = project_to_magma(op, carrier, lambda x: x, lambda x: x)
+        assert satisfied_axioms(magma) == op.profile
+
+    @pytest.mark.parametrize("operator", ALL_OPERATORS, ids=lambda o: o.name)
+    def test_identity_element_actually_neutral(self, operator):
+        if operator.identity is None:
+            return
+        sample = operator.lift(2.0, 1)
+        assert operator.combine(sample, operator.identity) == sample
+        assert operator.combine(operator.identity, sample) == sample
+
+    @pytest.mark.parametrize("operator", ALL_OPERATORS, ids=lambda o: o.name)
+    def test_declared_complexity_class(self, operator):
+        complexity = complexity_of(operator.profile)
+        # Every practical aggregate in the paper lands on an NP-complete
+        # row of Fig. 5 -- that is the point of Section II-C.
+        assert complexity is Complexity.NP_COMPLETE
+
+
+class TestOperatorLaws:
+    values = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+    @settings(deadline=None, max_examples=50)
+    @given(values, values, values)
+    @pytest.mark.parametrize(
+        "operator",
+        [sum_operator(), max_operator(), min_operator(), product_operator()],
+        ids=lambda o: o.name,
+    )
+    def test_associativity_and_commutativity(self, operator, x, y, z):
+        a = operator.lift(x, 0)
+        b = operator.lift(y, 1)
+        c = operator.lift(z, 2)
+        left = operator.combine(operator.combine(a, b), c)
+        right = operator.combine(a, operator.combine(b, c))
+        assert left == pytest.approx(right, rel=1e-9, abs=1e-9)
+        assert operator.combine(a, b) == pytest.approx(
+            operator.combine(b, a), rel=1e-9
+        )
+
+    @settings(deadline=None, max_examples=50)
+    @given(values)
+    @pytest.mark.parametrize(
+        "operator",
+        [max_operator(), min_operator()],
+        ids=lambda o: o.name,
+    )
+    def test_idempotence_of_lattice_operators(self, operator, x):
+        a = operator.lift(x, 0)
+        assert operator.combine(a, a) == a
+
+
+class TestBloomFilter:
+    def test_membership_after_insert(self):
+        filt = BloomFilter.of(42, width=64)
+        assert filt.might_contain(42)
+
+    def test_union_preserves_membership(self):
+        a = BloomFilter.of(1, width=64)
+        b = BloomFilter.of(2, width=64)
+        union = a.union(b)
+        assert union.might_contain(1)
+        assert union.might_contain(2)
+
+    def test_incompatible_parameters_rejected(self):
+        with pytest.raises(AlgebraError):
+            BloomFilter.of(1, width=16).union(BloomFilter.of(1, width=32))
+
+    def test_empty_and_full(self):
+        assert BloomFilter.empty(8).bits == 0
+        assert BloomFilter.full(8).bits == 255

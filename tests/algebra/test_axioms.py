@@ -1,0 +1,91 @@
+"""Tests for axiom profiles and structure naming."""
+
+from __future__ import annotations
+
+from repro.algebra.axioms import (
+    ASSOCIATIVITY,
+    COMMUTATIVITY,
+    DIVISIBILITY,
+    IDEMPOTENCE,
+    IDENTITY,
+    Axiom,
+    AxiomProfile,
+    SEMILATTICE_WITH_IDENTITY,
+    structure_names,
+)
+
+
+class TestAxiomProfile:
+    def test_predicates(self):
+        profile = AxiomProfile({Axiom.A1, Axiom.A4})
+        assert profile.associative
+        assert profile.commutative
+        assert not profile.has_identity
+        assert not profile.idempotent
+        assert not profile.divisible
+
+    def test_empty_profile_is_bare_magma(self):
+        profile = AxiomProfile()
+        assert not any(
+            [
+                profile.associative,
+                profile.has_identity,
+                profile.idempotent,
+                profile.commutative,
+                profile.divisible,
+            ]
+        )
+        assert "magma" in repr(profile)
+
+    def test_behaves_as_frozenset(self):
+        profile = AxiomProfile({Axiom.A1})
+        assert Axiom.A1 in profile
+        assert profile <= AxiomProfile({Axiom.A1, Axiom.A2})
+
+    def test_topk_profile(self):
+        assert SEMILATTICE_WITH_IDENTITY == AxiomProfile(
+            {ASSOCIATIVITY, IDENTITY, IDEMPOTENCE, COMMUTATIVITY}
+        )
+        assert DIVISIBILITY not in SEMILATTICE_WITH_IDENTITY
+
+    def test_repr_sorted(self):
+        profile = AxiomProfile({Axiom.A4, Axiom.A1})
+        assert repr(profile) == "AxiomProfile(A1+A4)"
+
+
+class TestStructureNames:
+    def test_semigroup(self):
+        assert structure_names(AxiomProfile({Axiom.A1})) == ["semigroup"]
+
+    def test_monoid_includes_semigroup(self):
+        names = structure_names(AxiomProfile({Axiom.A1, Axiom.A2}))
+        assert names == ["monoid", "semigroup"]
+
+    def test_group_chain(self):
+        names = structure_names(AxiomProfile({Axiom.A1, Axiom.A2, Axiom.A5}))
+        assert names[0] == "group"
+        assert "monoid" in names and "loop" in names and "quasigroup" in names
+
+    def test_abelian_group_is_most_specific(self):
+        profile = AxiomProfile({Axiom.A1, Axiom.A2, Axiom.A4, Axiom.A5})
+        assert structure_names(profile)[0] == "Abelian group"
+
+    def test_band_and_semilattice(self):
+        assert structure_names(AxiomProfile({Axiom.A1, Axiom.A3}))[0] == "band"
+        names = structure_names(AxiomProfile({Axiom.A1, Axiom.A3, Axiom.A4}))
+        assert names[0] == "semilattice"
+        assert "band" in names
+
+    def test_quasigroup_and_loop(self):
+        assert structure_names(AxiomProfile({Axiom.A5})) == ["quasigroup"]
+        assert structure_names(AxiomProfile({Axiom.A2, Axiom.A5})) == [
+            "loop",
+            "quasigroup",
+        ]
+
+    def test_topk_profile_is_semilattice(self):
+        names = structure_names(SEMILATTICE_WITH_IDENTITY)
+        assert names[0] == "semilattice"
+
+    def test_bare_magma_has_no_names(self):
+        assert structure_names(AxiomProfile()) == []

@@ -1,0 +1,112 @@
+"""Tests for the Fig. 5 complexity table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.axioms import Axiom, AxiomProfile, SEMILATTICE_WITH_IDENTITY
+from repro.algebra.complexity import (
+    Complexity,
+    complexity_of,
+    complexity_table,
+    fig5_rows,
+    row_for,
+)
+
+
+def profile(*axioms: Axiom) -> AxiomProfile:
+    return AxiomProfile(set(axioms))
+
+
+class TestFig5Table:
+    def test_has_nine_rows(self):
+        assert len(fig5_rows()) == 9
+
+    def test_publication_order(self):
+        values = [row.complexity for row in fig5_rows()]
+        assert values == [
+            Complexity.PTIME,
+            Complexity.PTIME,
+            Complexity.PTIME,
+            Complexity.PTIME,
+            Complexity.CONSTANT,
+            Complexity.NP_COMPLETE,
+            Complexity.NP_COMPLETE,
+            Complexity.NP_COMPLETE,
+            Complexity.CONSTANT,
+        ]
+
+    def test_rows_are_mutually_exclusive(self):
+        """No exact profile matches two rows (the paper's table is a
+        partition of the covered cases)."""
+        all_axioms = list(Axiom)
+        for mask in range(32):
+            p = AxiomProfile(
+                {a for i, a in enumerate(all_axioms) if mask >> i & 1}
+            )
+            matches = [row for row in fig5_rows() if row.matches(p)]
+            assert len(matches) <= 1, (p, matches)
+
+    def test_printable_table(self):
+        table = complexity_table()
+        assert len(table) == 9
+        assert table[0] == (("N", "*", "*", "*", "N"), "PTIME")
+
+
+class TestComplexityOf:
+    def test_topk_operator_is_np_complete(self):
+        """The headline result: semilattices (with or without identity)
+        are NP-complete -- Theorem 2."""
+        assert complexity_of(SEMILATTICE_WITH_IDENTITY) == Complexity.NP_COMPLETE
+        assert (
+            complexity_of(profile(Axiom.A1, Axiom.A3, Axiom.A4))
+            == Complexity.NP_COMPLETE
+        )
+
+    def test_abelian_groups_np_complete(self):
+        """Sum/count aggregates (Abelian groups) are NP-complete (row 7)."""
+        assert (
+            complexity_of(profile(Axiom.A1, Axiom.A2, Axiom.A4, Axiom.A5))
+            == Complexity.NP_COMPLETE
+        )
+
+    def test_commutative_non_associative_is_ptime(self):
+        assert complexity_of(profile(Axiom.A4)) == Complexity.PTIME
+
+    def test_bare_magma_is_ptime(self):
+        assert complexity_of(profile()) == Complexity.PTIME
+
+    def test_quasigroup_rows(self):
+        assert complexity_of(profile(Axiom.A5)) == Complexity.PTIME
+        assert complexity_of(profile(Axiom.A2, Axiom.A5)) == Complexity.PTIME
+        assert complexity_of(profile(Axiom.A3, Axiom.A5)) == Complexity.PTIME
+        assert (
+            complexity_of(profile(Axiom.A2, Axiom.A3, Axiom.A5))
+            == Complexity.CONSTANT
+        )
+
+    def test_idempotent_divisible_associative_is_constant(self):
+        assert (
+            complexity_of(profile(Axiom.A1, Axiom.A3, Axiom.A5))
+            == Complexity.CONSTANT
+        )
+        assert (
+            complexity_of(
+                profile(Axiom.A1, Axiom.A2, Axiom.A3, Axiom.A4, Axiom.A5)
+            )
+            == Complexity.CONSTANT
+        )
+
+    def test_open_cases_reported_unknown(self):
+        """Rows 6-8 with A4=N are open per the paper."""
+        assert complexity_of(profile(Axiom.A1)) == Complexity.UNKNOWN
+        assert complexity_of(profile(Axiom.A1, Axiom.A2)) == Complexity.UNKNOWN
+        assert complexity_of(profile(Axiom.A1, Axiom.A3)) == Complexity.UNKNOWN
+        assert (
+            complexity_of(profile(Axiom.A1, Axiom.A2, Axiom.A5))
+            == Complexity.UNKNOWN
+        )
+
+    def test_row_for(self):
+        assert row_for(SEMILATTICE_WITH_IDENTITY) is not None
+        assert row_for(profile(Axiom.A1)) is None

@@ -1,0 +1,227 @@
+"""Tests for ⊕-expressions and A-equivalence under every axiom profile.
+
+The soundness property tests evaluate expression pairs in concrete finite
+magmas satisfying the assumed axioms: if the equivalence engine says two
+expressions are equal under profile P, they must evaluate identically in
+*every* magma satisfying P, for every variable assignment.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.axioms import Axiom, AxiomProfile
+from repro.algebra.expressions import (
+    Op,
+    Var,
+    balanced,
+    canonical_key,
+    equivalent,
+    expression_from_variables,
+    leaf_sequence,
+    right_deep,
+    variables_of,
+)
+from repro.algebra.magmas import (
+    FiniteMagma,
+    cyclic_group,
+    left_zero_band,
+    min_semilattice,
+    satisfied_axioms,
+)
+from repro.errors import AlgebraError
+
+X, Y, Z, W = Var("x"), Var("y"), Var("z"), Var("w")
+
+NONE = AxiomProfile()
+A1 = AxiomProfile({Axiom.A1})
+A3 = AxiomProfile({Axiom.A3})
+A4 = AxiomProfile({Axiom.A4})
+A1A3 = AxiomProfile({Axiom.A1, Axiom.A3})
+A1A4 = AxiomProfile({Axiom.A1, Axiom.A4})
+A3A4 = AxiomProfile({Axiom.A3, Axiom.A4})
+SEMILATTICE = AxiomProfile({Axiom.A1, Axiom.A3, Axiom.A4})
+
+
+class TestBasics:
+    def test_variables_of(self):
+        assert variables_of(Op(Op(X, Y), X)) == frozenset({"x", "y"})
+        assert variables_of(Z) == frozenset({"z"})
+
+    def test_leaf_sequence_in_order(self):
+        assert leaf_sequence(Op(Op(X, Y), Z)) == ("x", "y", "z")
+        assert leaf_sequence(Op(X, Op(Y, Z))) == ("x", "y", "z")
+        assert leaf_sequence(Op(Z, Op(Y, X))) == ("z", "y", "x")
+
+    def test_expression_from_variables_sorted_right_deep(self):
+        expr = expression_from_variables(["c", "a", "b"])
+        assert leaf_sequence(expr) == ("a", "b", "c")
+        assert isinstance(expr, Op)
+        assert isinstance(expr.right, Op)
+
+    def test_expression_from_variables_requires_names(self):
+        with pytest.raises(AlgebraError):
+            expression_from_variables([])
+
+    def test_right_deep_and_balanced_shapes(self):
+        parts = [X, Y, Z, W]
+        rd = right_deep(parts)
+        assert leaf_sequence(rd) == ("x", "y", "z", "w")
+        bal = balanced(parts)
+        assert leaf_sequence(bal) == ("x", "y", "z", "w")
+        assert isinstance(bal.left, Op) and isinstance(bal.right, Op)
+
+    def test_combining_empty_raises(self):
+        with pytest.raises(AlgebraError):
+            right_deep([])
+        with pytest.raises(AlgebraError):
+            balanced([])
+
+
+class TestEquivalencePerProfile:
+    def test_no_axioms_syntactic(self):
+        assert equivalent(Op(X, Y), Op(X, Y), NONE)
+        assert not equivalent(Op(X, Y), Op(Y, X), NONE)
+        assert not equivalent(Op(Op(X, Y), Z), Op(X, Op(Y, Z)), NONE)
+
+    def test_commutative_only_swaps_children(self):
+        assert equivalent(Op(X, Y), Op(Y, X), A4)
+        assert equivalent(Op(Op(X, Y), Z), Op(Z, Op(Y, X)), A4)
+        # But no reassociation.
+        assert not equivalent(Op(Op(X, Y), Z), Op(X, Op(Y, Z)), A4)
+
+    def test_idempotent_only_collapses_equal_children(self):
+        assert equivalent(Op(X, X), X, A3)
+        assert equivalent(Op(Op(X, X), Y), Op(X, Y), A3)
+        assert not equivalent(Op(X, Y), Op(Y, X), A3)
+
+    def test_idempotent_commutative_non_associative(self):
+        profile = A3A4
+        assert equivalent(Op(Op(X, Y), Op(Y, X)), Op(X, Y), profile)
+        assert not equivalent(Op(Op(X, Y), Z), Op(X, Op(Y, Z)), profile)
+
+    def test_associative_only_word_equality(self):
+        assert equivalent(Op(Op(X, Y), Z), Op(X, Op(Y, Z)), A1)
+        assert not equivalent(Op(X, Y), Op(Y, X), A1)
+        assert not equivalent(Op(X, X), X, A1)
+
+    def test_associative_commutative_multiset(self):
+        assert equivalent(Op(Op(X, Y), Z), Op(Z, Op(Y, X)), A1A4)
+        assert not equivalent(Op(X, Op(X, Y)), Op(X, Y), A1A4)
+
+    def test_free_band_equalities(self):
+        # xx = x, xyx is reduced (not equal to xy or yx), xyxy = xy.
+        assert equivalent(Op(X, X), X, A1A3)
+        assert equivalent(Op(Op(X, Y), Op(X, Y)), Op(X, Y), A1A3)
+        assert not equivalent(Op(Op(X, Y), X), Op(X, Y), A1A3)
+        assert not equivalent(Op(X, Y), Op(Y, X), A1A3)
+        # The band identity xyx·yxy... : check x y x z x y x pattern vs
+        # known equal forms: (xy)(yx) = xyx in the free band.
+        lhs = Op(Op(X, Y), Op(Y, X))
+        rhs = Op(X, Op(Y, X))
+        assert equivalent(lhs, rhs, A1A3)
+
+    def test_lemma_1_semilattice(self):
+        """Equivalence iff equal variable sets (Lemma 1)."""
+        e1 = Op(Op(X, Y), Z)
+        e2 = Op(Z, Op(Y, Op(X, X)))
+        assert equivalent(e1, e2, SEMILATTICE)
+        assert not equivalent(e1, Op(X, Y), SEMILATTICE)
+
+    def test_identity_axiom_is_equivalence_neutral(self):
+        with_id = AxiomProfile({Axiom.A1, Axiom.A2, Axiom.A3, Axiom.A4})
+        without = SEMILATTICE
+        pairs = [
+            (Op(X, Y), Op(Y, X)),
+            (Op(Op(X, Y), Z), Op(X, Z)),
+            (Op(X, X), X),
+        ]
+        for e1, e2 in pairs:
+            assert equivalent(e1, e2, with_id) == equivalent(e1, e2, without)
+
+    def test_divisibility_axiom_is_equivalence_neutral(self):
+        group = AxiomProfile({Axiom.A1, Axiom.A2, Axiom.A5})
+        semigroup = A1
+        pairs = [
+            (Op(X, Y), Op(Y, X)),
+            (Op(Op(X, Y), Z), Op(X, Op(Y, Z))),
+            (Op(X, X), X),
+        ]
+        for e1, e2 in pairs:
+            assert equivalent(e1, e2, group) == equivalent(e1, e2, semigroup)
+
+
+def _evaluate(expr, magma: FiniteMagma, assignment):
+    if isinstance(expr, Var):
+        return assignment[expr.name]
+    return magma.op(
+        _evaluate(expr.left, magma, assignment),
+        _evaluate(expr.right, magma, assignment),
+    )
+
+
+@st.composite
+def small_expressions(draw, variables=("x", "y", "z")):
+    depth = draw(st.integers(min_value=0, max_value=3))
+
+    def build(d):
+        if d == 0 or draw(st.booleans()) and d < 2:
+            return Var(draw(st.sampled_from(variables)))
+        return Op(build(d - 1), build(d - 1))
+
+    return build(depth)
+
+
+class TestSoundness:
+    """Claimed equivalences must hold in concrete models of the axioms."""
+
+    WITNESSES = {
+        SEMILATTICE: [min_semilattice(4)],
+        A1A3: [left_zero_band(3), min_semilattice(3)],
+        A1: [cyclic_group(5), left_zero_band(3)],
+        A1A4: [cyclic_group(5), min_semilattice(3)],
+    }
+
+    @settings(deadline=None, max_examples=60)
+    @given(small_expressions(), small_expressions())
+    def test_equivalence_sound_in_witnesses(self, e1, e2):
+        for profile, magmas in self.WITNESSES.items():
+            if not equivalent(e1, e2, profile):
+                continue
+            for magma in magmas:
+                assert profile <= satisfied_axioms(magma)
+                names = sorted(variables_of(e1) | variables_of(e2))
+                for values in product(range(magma.order), repeat=len(names)):
+                    assignment = dict(zip(names, values))
+                    assert _evaluate(e1, magma, assignment) == _evaluate(
+                        e2, magma, assignment
+                    ), (profile, magma.name, e1, e2, assignment)
+
+    @settings(deadline=None, max_examples=60)
+    @given(small_expressions(), small_expressions())
+    def test_canonical_key_is_equivalence_decision(self, e1, e2):
+        for profile in (NONE, A1, A3, A4, A1A3, A1A4, A3A4, SEMILATTICE):
+            assert equivalent(e1, e2, profile) == (
+                canonical_key(e1, profile) == canonical_key(e2, profile)
+            )
+
+    @settings(deadline=None, max_examples=40)
+    @given(small_expressions())
+    def test_profiles_form_a_refinement_chain(self, e):
+        """More axioms can only merge classes: semilattice equivalence is
+        implied by A1+A4, A1+A3, and plain-A1 equivalence."""
+        others = [Op(e, e), e]
+        for other in others:
+            for weaker, stronger in [
+                (A1, A1A4),
+                (A1A4, SEMILATTICE),
+                (A1A3, SEMILATTICE),
+                (NONE, A1),
+                (NONE, A3),
+                (NONE, A4),
+            ]:
+                if equivalent(e, other, weaker):
+                    assert equivalent(e, other, stronger)

@@ -1,0 +1,151 @@
+"""Tests for finite magmas and exhaustive axiom checking."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.axioms import Axiom, AxiomProfile
+from repro.algebra.magmas import (
+    FiniteMagma,
+    boolean_or_monoid,
+    cyclic_group,
+    left_zero_band,
+    max_semilattice,
+    min_semilattice,
+    satisfied_axioms,
+    subtraction_quasigroup,
+)
+from repro.errors import AlgebraError
+
+
+class TestFiniteMagmaValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(AlgebraError):
+            FiniteMagma([])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(AlgebraError):
+            FiniteMagma([[0, 1], [0]])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AlgebraError):
+            FiniteMagma([[0, 2], [0, 1]])
+
+    def test_order_and_op(self):
+        magma = FiniteMagma([[1, 0], [0, 1]])
+        assert magma.order == 2
+        assert magma.op(0, 1) == 0
+
+
+class TestStandardExamples:
+    def test_min_is_semilattice_with_identity(self):
+        assert satisfied_axioms(min_semilattice(5)) == AxiomProfile(
+            {Axiom.A1, Axiom.A2, Axiom.A3, Axiom.A4}
+        )
+        assert min_semilattice(5).identity_element() == 4
+
+    def test_max_is_semilattice_with_identity(self):
+        assert satisfied_axioms(max_semilattice(4)) == AxiomProfile(
+            {Axiom.A1, Axiom.A2, Axiom.A3, Axiom.A4}
+        )
+        assert max_semilattice(4).identity_element() == 0
+
+    def test_cyclic_group_is_abelian_group(self):
+        assert satisfied_axioms(cyclic_group(6)) == AxiomProfile(
+            {Axiom.A1, Axiom.A2, Axiom.A4, Axiom.A5}
+        )
+
+    def test_trivial_group_is_everything(self):
+        assert satisfied_axioms(cyclic_group(1)) == AxiomProfile(
+            {Axiom.A1, Axiom.A2, Axiom.A3, Axiom.A4, Axiom.A5}
+        )
+
+    def test_z2_is_not_idempotent(self):
+        assert Axiom.A3 not in satisfied_axioms(cyclic_group(2))
+
+    def test_left_zero_band(self):
+        profile = satisfied_axioms(left_zero_band(3))
+        assert profile == AxiomProfile({Axiom.A1, Axiom.A3})
+
+    def test_left_zero_band_requires_order_two(self):
+        with pytest.raises(AlgebraError):
+            left_zero_band(1)
+
+    def test_boolean_or(self):
+        assert satisfied_axioms(boolean_or_monoid()) == AxiomProfile(
+            {Axiom.A1, Axiom.A2, Axiom.A3, Axiom.A4}
+        )
+
+    def test_subtraction_quasigroup(self):
+        profile = satisfied_axioms(subtraction_quasigroup(5))
+        assert profile == AxiomProfile({Axiom.A5})
+
+    def test_subtraction_quasigroup_minimum_order(self):
+        with pytest.raises(AlgebraError):
+            subtraction_quasigroup(2)
+
+
+class TestDivisibility:
+    def test_latin_square_is_divisible(self):
+        magma = FiniteMagma([[0, 1, 2], [1, 2, 0], [2, 0, 1]])
+        assert magma.is_divisible()
+
+    def test_repeated_row_is_not_divisible(self):
+        magma = FiniteMagma([[0, 0], [1, 1]])
+        assert not magma.is_divisible()
+
+    def test_repeated_column_is_not_divisible(self):
+        magma = FiniteMagma([[0, 1], [0, 1]])
+        assert not magma.is_divisible()
+
+
+@st.composite
+def random_magmas(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    table = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=n,
+                max_size=n,
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return FiniteMagma(table)
+
+
+class TestAxiomCheckingConsistency:
+    @settings(deadline=None, max_examples=80)
+    @given(random_magmas())
+    def test_axiom_checks_agree_with_definitions(self, magma):
+        """The profile returned matches per-axiom exhaustive re-checks."""
+        profile = satisfied_axioms(magma)
+        n = magma.order
+        assoc = all(
+            magma.op(a, magma.op(b, c)) == magma.op(magma.op(a, b), c)
+            for a in range(n)
+            for b in range(n)
+            for c in range(n)
+        )
+        assert (Axiom.A1 in profile) == assoc
+        comm = all(
+            magma.op(a, b) == magma.op(b, a)
+            for a in range(n)
+            for b in range(n)
+        )
+        assert (Axiom.A4 in profile) == comm
+        idem = all(magma.op(a, a) == a for a in range(n))
+        assert (Axiom.A3 in profile) == idem
+
+    @settings(deadline=None, max_examples=80)
+    @given(random_magmas())
+    def test_identity_element_is_two_sided(self, magma):
+        e = magma.identity_element()
+        if e is not None:
+            assert all(
+                magma.op(a, e) == a and magma.op(e, a) == a
+                for a in range(magma.order)
+            )

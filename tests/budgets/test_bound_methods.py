@@ -1,0 +1,89 @@
+"""Tests for the alternative concentration bounds (Bernstein ablation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.budgets.hoeffding import (
+    prob_sum_less_than,
+    throttled_bid_bounds,
+)
+from repro.budgets.throttle import ThrottleProblem, exact_throttled_bid
+from repro.errors import BudgetError
+from tests.conftest import throttle_ads
+
+
+def exact_prob_less(ads, x):
+    total = 0.0
+    for mask in range(1 << len(ads)):
+        probability = 1.0
+        spent = 0
+        for index, (price, ctr) in enumerate(ads):
+            if mask >> index & 1:
+                probability *= ctr
+                spent += price
+            else:
+                probability *= 1.0 - ctr
+        if spent < x:
+            total += probability
+    return total
+
+
+class TestMethods:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(BudgetError):
+            prob_sum_less_than(((5, 0.5),), 3.0, 0, method="magic")
+
+    @settings(deadline=None, max_examples=80)
+    @given(
+        ads=throttle_ads(max_ads=5),
+        x=st.floats(min_value=0.0, max_value=250.0, allow_nan=False),
+    )
+    @pytest.mark.parametrize("method", ["hoeffding", "bernstein", "combined"])
+    def test_all_methods_sound(self, method, ads, x):
+        ads = tuple(sorted(ads))
+        interval = prob_sum_less_than(ads, x, 0, method=method)
+        assert exact_prob_less(ads, x) in interval
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        ads=throttle_ads(max_ads=5),
+        x=st.floats(min_value=0.0, max_value=250.0, allow_nan=False),
+    )
+    def test_combined_at_least_as_tight(self, ads, x):
+        ads = tuple(sorted(ads))
+        hoeffding = prob_sum_less_than(ads, x, 0, method="hoeffding")
+        bernstein = prob_sum_less_than(ads, x, 0, method="bernstein")
+        combined = prob_sum_less_than(ads, x, 0, method="combined")
+        assert combined.width <= hoeffding.width + 1e-12
+        assert combined.width <= bernstein.width + 1e-12
+
+    def test_bernstein_wins_for_rare_clicks(self):
+        """Low click probabilities give tiny variance: Bernstein's
+        variance-aware tail beats Hoeffding's range-only tail."""
+        ads = tuple(sorted([(30, 0.02)] * 6))
+        mu = sum(p * c for p, c in ads)
+        # Deviation large enough that the concentration term (not the
+        # no-click floor prod(1-ctr) ~ 0.886) controls the lower bound.
+        x = mu + 80.0
+        hoeffding = prob_sum_less_than(ads, x, 0, method="hoeffding")
+        bernstein = prob_sum_less_than(ads, x, 0, method="bernstein")
+        assert bernstein.lo > hoeffding.lo
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        bid=st.integers(min_value=0, max_value=50),
+        budget=st.integers(min_value=0, max_value=200),
+        auctions=st.integers(min_value=1, max_value=4),
+        ads=throttle_ads(max_ads=5),
+        depth=st.integers(min_value=0, max_value=5),
+    )
+    @pytest.mark.parametrize("method", ["bernstein", "combined"])
+    def test_throttled_bounds_sound_for_all_methods(
+        self, method, bid, budget, auctions, ads, depth
+    ):
+        problem = ThrottleProblem(bid, budget, auctions, ads)
+        interval = throttled_bid_bounds(problem, depth, method=method)
+        exact = exact_throttled_bid(problem)
+        assert interval.lo - 1e-6 <= exact <= interval.hi + 1e-6

@@ -1,0 +1,102 @@
+"""E5: the Section IV gaming attack and its mitigation by throttling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.budgets.gaming import GamingAdvertiser, simulate_gaming
+from repro.errors import BudgetError
+
+
+def attack_population():
+    """A nearly exhausted attacker against deep-pocketed competitors."""
+    attacker = GamingAdvertiser(0, bid_cents=100, budget_cents=150, ctr=0.5)
+    honest = [
+        GamingAdvertiser(i, bid_cents=80, budget_cents=100_000, ctr=0.5)
+        for i in range(1, 4)
+    ]
+    return [attacker] + honest
+
+
+class TestValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(BudgetError):
+            simulate_gaming(attack_population(), 1, 1, 1, "magic", 0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(BudgetError):
+            simulate_gaming(attack_population(), 1, 1, -1, "naive", 0)
+
+    def test_bad_ctr_rejected(self):
+        with pytest.raises(BudgetError):
+            GamingAdvertiser(0, 1, 1, 1.5)
+
+
+class TestAttack:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        kwargs = dict(
+            rounds=60, auctions_per_round=5, click_delay_rounds=3, seed=42
+        )
+        return {
+            policy: simulate_gaming(attack_population(), policy=policy, **kwargs)
+            for policy in ("naive", "throttled")
+        }
+
+    def test_naive_forgives_clicks(self, reports):
+        assert reports["naive"].forgiven_cents > 0
+        assert reports["naive"].free_clicks[0] > 0
+
+    def test_attacker_overshoots_budget_under_naive(self, reports):
+        naive = reports["naive"]
+        clicks_value = (
+            naive.paid_clicks[0] + naive.free_clicks[0]
+        )
+        # The attacker received strictly more click value than it paid:
+        # the shortfall is the forgiven amount.
+        assert naive.forgiven_cents > 0
+        assert clicks_value > naive.paid_clicks[0]
+
+    def test_throttling_eliminates_forgiven_clicks(self, reports):
+        assert reports["throttled"].forgiven_cents == 0
+        assert reports["throttled"].free_clicks[0] == 0
+
+    def test_throttling_recovers_revenue(self, reports):
+        assert (
+            reports["throttled"].revenue_cents
+            >= reports["naive"].revenue_cents
+        )
+
+    def test_naive_attacker_wins_many_auctions(self, reports):
+        # The attacker keeps winning while its clicks are in flight.
+        assert reports["naive"].wins[0] > 5
+
+    def test_throttled_attacker_capped(self, reports):
+        """With budget 150 and 5 auctions per round, the throttled bid is
+        at most 30 < 80 (honest bid), so the attacker never wins."""
+        assert reports["throttled"].wins[0] == 0
+
+
+class TestNoDelayBaseline:
+    def test_without_delay_policies_agree_on_forgiveness(self):
+        """With instant clicks there are no outstanding ads, so naive and
+        throttled collect the same revenue and forgive a click only when
+        the budget cannot cover the last price."""
+        population = attack_population()
+        naive = simulate_gaming(
+            population, rounds=40, auctions_per_round=1,
+            click_delay_rounds=0, policy="naive", seed=7,
+        )
+        throttled = simulate_gaming(
+            population, rounds=40, auctions_per_round=1,
+            click_delay_rounds=0, policy="throttled", seed=7,
+        )
+        assert naive.forgiven_cents == throttled.forgiven_cents == 0
+        assert naive.revenue_cents == throttled.revenue_cents
+
+    def test_deterministic_given_seed(self):
+        population = attack_population()
+        a = simulate_gaming(population, 30, 3, 2, "naive", seed=5)
+        b = simulate_gaming(population, 30, 3, 2, "naive", seed=5)
+        assert a.revenue_cents == b.revenue_cents
+        assert a.wins == b.wins

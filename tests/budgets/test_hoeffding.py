@@ -1,0 +1,188 @@
+"""Tests for the Hoeffding bound engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.budgets.hoeffding import (
+    Interval,
+    expected_masked_sum_bounds,
+    prob_sum_less_than,
+    throttled_bid_bounds,
+)
+from repro.budgets.throttle import ThrottleProblem, exact_throttled_bid
+from repro.errors import BudgetError
+from tests.conftest import throttle_ads
+
+
+def exact_prob_less(ads, x):
+    total = 0.0
+    for mask in range(1 << len(ads)):
+        probability = 1.0
+        spent = 0
+        for index, (price, ctr) in enumerate(ads):
+            if mask >> index & 1:
+                probability *= ctr
+                spent += price
+            else:
+                probability *= 1.0 - ctr
+        if spent < x:
+            total += probability
+    return total
+
+
+def exact_masked_expectation(ads, x, y):
+    total = 0.0
+    for mask in range(1 << len(ads)):
+        probability = 1.0
+        spent = 0
+        for index, (price, ctr) in enumerate(ads):
+            if mask >> index & 1:
+                probability *= ctr
+                spent += price
+            else:
+                probability *= 1.0 - ctr
+        if x <= spent < y:
+            total += probability * spent
+    return total
+
+
+class TestInterval:
+    def test_invalid_rejected(self):
+        with pytest.raises(BudgetError):
+            Interval(2.0, 1.0)
+
+    def test_width_and_midpoint(self):
+        interval = Interval(1.0, 3.0)
+        assert interval.width == 2.0
+        assert interval.midpoint == 2.0
+
+    def test_arithmetic(self):
+        a, b = Interval(1.0, 2.0), Interval(0.5, 1.0)
+        assert (a + b).lo == 1.5 and (a + b).hi == 3.0
+        assert (a - b).lo == 0.0 and (a - b).hi == 1.5
+        assert a.scale(2.0).hi == 4.0
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(BudgetError):
+            Interval(0.0, 1.0).scale(-1.0)
+
+    def test_clamp(self):
+        assert Interval(-0.5, 1.5).clamp(0.0, 1.0) == Interval(0.0, 1.0)
+        assert Interval(2.0, 3.0).clamp(0.0, 1.0) == Interval(1.0, 1.0)
+
+    def test_definitely_less_than(self):
+        assert Interval(0.0, 1.0).definitely_less_than(Interval(2.0, 3.0))
+        assert not Interval(0.0, 2.5).definitely_less_than(Interval(2.0, 3.0))
+
+    def test_contains(self):
+        assert 1.0 in Interval(0.5, 1.5)
+        assert 2.0 not in Interval(0.5, 1.5)
+
+
+class TestProbBounds:
+    def test_edge_cases(self):
+        ads = ((10, 0.5),)
+        assert prob_sum_less_than(ads, 0.0) == Interval(0.0, 0.0)
+        assert prob_sum_less_than(ads, 11.0) == Interval(1.0, 1.0)
+        assert prob_sum_less_than((), 1.0) == Interval(1.0, 1.0)
+
+    @settings(deadline=None, max_examples=100)
+    @given(
+        ads=throttle_ads(max_ads=5),
+        x=st.floats(min_value=-10.0, max_value=300.0, allow_nan=False),
+        depth=st.integers(min_value=0, max_value=5),
+    )
+    def test_bounds_contain_exact_probability(self, ads, x, depth):
+        ads = tuple(sorted(ads))
+        interval = prob_sum_less_than(ads, x, depth)
+        assert 0.0 <= interval.lo <= interval.hi <= 1.0
+        assert exact_prob_less(ads, x) in interval
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        ads=throttle_ads(max_ads=5),
+        x=st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+    )
+    def test_full_expansion_is_exact(self, ads, x):
+        ads = tuple(sorted(ads))
+        interval = prob_sum_less_than(ads, x, len(ads))
+        assert interval.width < 1e-9
+        assert interval.midpoint == pytest.approx(
+            exact_prob_less(ads, x), abs=1e-9
+        )
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        ads=throttle_ads(max_ads=5),
+        x=st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+    )
+    def test_deeper_expansion_never_loosens_much(self, ads, x):
+        """Expansion should tighten bounds up to floating-point noise.
+
+        (Strict monotonicity is not guaranteed pointwise because the
+        Hoeffding term re-applies to a different remainder, but the exact
+        value stays inside and full depth collapses the interval; here we
+        check width at full depth <= width at depth 0.)"""
+        ads = tuple(sorted(ads))
+        shallow = prob_sum_less_than(ads, x, 0)
+        deep = prob_sum_less_than(ads, x, len(ads))
+        assert deep.width <= shallow.width + 1e-9
+
+
+class TestMaskedExpectationBounds:
+    @settings(deadline=None, max_examples=100)
+    @given(
+        ads=throttle_ads(max_ads=5),
+        x=st.floats(min_value=0.0, max_value=150.0, allow_nan=False),
+        span=st.floats(min_value=0.1, max_value=150.0, allow_nan=False),
+        depth=st.integers(min_value=0, max_value=5),
+    )
+    def test_bounds_contain_exact_value(self, ads, x, span, depth):
+        ads = tuple(sorted(ads))
+        y = x + span
+        interval = expected_masked_sum_bounds(ads, x, y, depth)
+        assert exact_masked_expectation(ads, x, y) in interval
+
+    def test_empty_range(self):
+        assert expected_masked_sum_bounds(((5, 0.5),), 3.0, 3.0) == Interval(
+            0.0, 0.0
+        )
+
+
+class TestThrottledBidBounds:
+    @settings(deadline=None, max_examples=100)
+    @given(
+        bid=st.integers(min_value=0, max_value=50),
+        budget=st.integers(min_value=0, max_value=200),
+        auctions=st.integers(min_value=1, max_value=4),
+        ads=throttle_ads(max_ads=5),
+        depth=st.integers(min_value=0, max_value=5),
+    )
+    def test_bounds_contain_exact_bid(self, bid, budget, auctions, ads, depth):
+        problem = ThrottleProblem(bid, budget, auctions, ads)
+        interval = throttled_bid_bounds(problem, depth)
+        exact = exact_throttled_bid(problem)
+        assert exact >= interval.lo - 1e-6
+        assert exact <= interval.hi + 1e-6
+        assert 0.0 <= interval.lo and interval.hi <= bid + 1e-9
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        bid=st.integers(min_value=0, max_value=50),
+        budget=st.integers(min_value=0, max_value=200),
+        auctions=st.integers(min_value=1, max_value=4),
+        ads=throttle_ads(max_ads=5),
+    )
+    def test_full_depth_collapses(self, bid, budget, auctions, ads):
+        problem = ThrottleProblem(bid, budget, auctions, ads)
+        interval = throttled_bid_bounds(problem, len(problem.outstanding))
+        assert interval.width < 1e-6
+        assert interval.midpoint == pytest.approx(
+            exact_throttled_bid(problem), abs=1e-6
+        )
+
+    def test_trivially_unthrottled_is_point(self):
+        problem = ThrottleProblem(10, 10_000, 2, [(5, 0.5)])
+        assert throttled_bid_bounds(problem, 0) == Interval(10.0, 10.0)

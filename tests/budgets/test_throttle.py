@@ -1,0 +1,183 @@
+"""Tests for exact throttled-bid computation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.budgets.throttle import (
+    ThrottleProblem,
+    exact_throttled_bid,
+    min_beta_s_distribution,
+    monte_carlo_throttled_bid,
+    throttled_bid_via_dp,
+    throttled_bid_via_enumeration,
+)
+from repro.errors import BudgetError
+from tests.conftest import throttle_ads
+
+
+class TestValidation:
+    def test_negative_bid_rejected(self):
+        with pytest.raises(BudgetError):
+            ThrottleProblem(-1, 100, 1)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(BudgetError):
+            ThrottleProblem(10, -1, 1)
+
+    def test_zero_auctions_rejected(self):
+        with pytest.raises(BudgetError):
+            ThrottleProblem(10, 100, 0)
+
+    def test_bad_outstanding_rejected(self):
+        with pytest.raises(BudgetError):
+            ThrottleProblem(10, 100, 1, [(-5, 0.5)])
+        with pytest.raises(BudgetError):
+            ThrottleProblem(10, 100, 1, [(5, 1.5)])
+
+    def test_zero_probability_ads_dropped(self):
+        problem = ThrottleProblem(10, 100, 1, [(5, 0.0), (3, 0.5)])
+        assert problem.outstanding == ((3, 0.5),)
+
+    def test_liability_accessors(self):
+        problem = ThrottleProblem(10, 100, 1, [(5, 0.5), (10, 0.2)])
+        assert problem.max_liability == 15
+        assert problem.expected_liability == pytest.approx(4.5)
+
+
+class TestSimpleCases:
+    def test_no_outstanding_affordable(self):
+        # beta >= m * b: bid passes through.
+        problem = ThrottleProblem(10, 100, 3)
+        assert exact_throttled_bid(problem) == 10.0
+
+    def test_no_outstanding_split_budget(self):
+        # b̂ = min(b, beta / m) = 30 / 3.
+        problem = ThrottleProblem(50, 30, 3)
+        assert exact_throttled_bid(problem) == pytest.approx(10.0)
+
+    def test_exhausted_budget(self):
+        problem = ThrottleProblem(10, 0, 2)
+        assert exact_throttled_bid(problem) == 0.0
+
+    def test_trivially_unthrottled_shortcut(self):
+        problem = ThrottleProblem(10, 1000, 2, [(5, 0.9)])
+        assert problem.trivially_unthrottled()
+        assert exact_throttled_bid(problem) == 10.0
+
+    def test_single_outstanding_ad_hand_computed(self):
+        # beta=20, m=1, b=15, one ad (price 10, ctr 0.5).
+        # Clicked: min(15, 10) = 10; missed: min(15, 20) = 15.
+        problem = ThrottleProblem(15, 20, 1, [(10, 0.5)])
+        assert exact_throttled_bid(problem) == pytest.approx(12.5)
+
+    def test_certain_debt_exceeding_budget(self):
+        problem = ThrottleProblem(10, 8, 1, [(8, 1.0)])
+        assert exact_throttled_bid(problem) == 0.0
+
+
+class TestDistribution:
+    def test_min_beta_s_distribution_caps_at_budget(self):
+        problem = ThrottleProblem(1, 10, 1, [(8, 0.5), (8, 0.5)])
+        dist = min_beta_s_distribution(problem)
+        assert set(dist) == {0, 8, 10}
+        assert dist[0] == pytest.approx(0.25)
+        assert dist[8] == pytest.approx(0.5)
+        assert dist[10] == pytest.approx(0.25)
+
+    def test_distribution_sums_to_one(self):
+        problem = ThrottleProblem(1, 50, 1, [(10, 0.3), (20, 0.6), (5, 0.9)])
+        assert sum(min_beta_s_distribution(problem).values()) == pytest.approx(1.0)
+
+
+class TestAgreementProperties:
+    @settings(deadline=None, max_examples=120)
+    @given(
+        bid=st.integers(min_value=0, max_value=60),
+        budget=st.integers(min_value=0, max_value=250),
+        auctions=st.integers(min_value=1, max_value=5),
+        ads=throttle_ads(),
+    )
+    def test_dp_equals_enumeration(self, bid, budget, auctions, ads):
+        problem = ThrottleProblem(bid, budget, auctions, ads)
+        assert throttled_bid_via_dp(problem) == pytest.approx(
+            throttled_bid_via_enumeration(problem), abs=1e-9
+        )
+
+    @settings(
+        deadline=None,
+        max_examples=25,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        bid=st.integers(min_value=1, max_value=40),
+        budget=st.integers(min_value=0, max_value=150),
+        auctions=st.integers(min_value=1, max_value=4),
+        ads=throttle_ads(max_ads=4),
+    )
+    def test_monte_carlo_agrees(self, bid, budget, auctions, ads):
+        problem = ThrottleProblem(bid, budget, auctions, ads)
+        exact = exact_throttled_bid(problem)
+        estimate = monte_carlo_throttled_bid(
+            problem, 6000, random.Random(99)
+        )
+        assert abs(estimate - exact) < 0.05 * max(1.0, bid) + 0.5
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        bid=st.integers(min_value=0, max_value=60),
+        budget=st.integers(min_value=0, max_value=250),
+        auctions=st.integers(min_value=1, max_value=5),
+        ads=throttle_ads(),
+    )
+    def test_throttled_bid_never_exceeds_bid(self, bid, budget, auctions, ads):
+        problem = ThrottleProblem(bid, budget, auctions, ads)
+        value = exact_throttled_bid(problem)
+        assert 0.0 <= value <= bid + 1e-9
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        bid=st.integers(min_value=1, max_value=40),
+        budget=st.integers(min_value=0, max_value=150),
+        auctions=st.integers(min_value=1, max_value=4),
+        ads=throttle_ads(max_ads=4),
+    )
+    def test_more_debt_never_raises_bid(self, bid, budget, auctions, ads):
+        base = ThrottleProblem(bid, budget, auctions, ads)
+        extra = ThrottleProblem(bid, budget, auctions, ads + [(10, 0.5)])
+        assert exact_throttled_bid(extra) <= exact_throttled_bid(base) + 1e-9
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        bid=st.integers(min_value=1, max_value=40),
+        budget=st.integers(min_value=0, max_value=120),
+        auctions=st.integers(min_value=1, max_value=4),
+        ads=throttle_ads(max_ads=4),
+    )
+    def test_more_budget_never_lowers_bid(self, bid, budget, auctions, ads):
+        poorer = ThrottleProblem(bid, budget, auctions, ads)
+        richer = ThrottleProblem(bid, budget + 25, auctions, ads)
+        assert (
+            exact_throttled_bid(richer)
+            >= exact_throttled_bid(poorer) - 1e-9
+        )
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        bid=st.integers(min_value=1, max_value=40),
+        budget=st.integers(min_value=0, max_value=120),
+        auctions=st.integers(min_value=1, max_value=3),
+        ads=throttle_ads(max_ads=4),
+    )
+    def test_more_auctions_never_raise_bid(self, bid, budget, auctions, ads):
+        fewer = ThrottleProblem(bid, budget, auctions, ads)
+        more = ThrottleProblem(bid, budget, auctions + 1, ads)
+        assert exact_throttled_bid(more) <= exact_throttled_bid(fewer) + 1e-9
+
+    def test_monte_carlo_requires_samples(self):
+        problem = ThrottleProblem(1, 1, 1)
+        with pytest.raises(BudgetError):
+            monte_carlo_throttled_bid(problem, 0, random.Random(0))

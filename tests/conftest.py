@@ -1,0 +1,108 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.advertiser import Advertiser
+from repro.core.ctr import SeparableCTRModel
+from repro.core.topk import ScoredAdvertiser, TopKList
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random source for tests."""
+    return random.Random(0xC0FFEE)
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+
+scores = st.floats(
+    min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+
+advertiser_ids = st.integers(min_value=0, max_value=50)
+
+
+@st.composite
+def scored_advertisers(draw) -> ScoredAdvertiser:
+    """A single scored advertiser."""
+    return ScoredAdvertiser(draw(scores), draw(advertiser_ids))
+
+
+@st.composite
+def topk_lists(draw, max_k: int = 6) -> TopKList:
+    """A canonical TopKList with shared-universe advertiser ids."""
+    k = draw(st.integers(min_value=1, max_value=max_k))
+    entries = draw(st.lists(scored_advertisers(), max_size=12))
+    return TopKList(k, entries)
+
+
+@st.composite
+def query_families(draw, max_queries: int = 5, max_vars: int = 8):
+    """A family of variable sets for plan instances.
+
+    Returns ``(sets, rates)`` where ``sets`` maps query names to variable
+    lists (each with >= 2 variables) and ``rates`` maps names to search
+    rates in (0, 1].
+    """
+    num_vars = draw(st.integers(min_value=2, max_value=max_vars))
+    universe = [f"x{i}" for i in range(num_vars)]
+    num_queries = draw(st.integers(min_value=1, max_value=max_queries))
+    sets = {}
+    rates = {}
+    for index in range(num_queries):
+        members = draw(
+            st.lists(
+                st.sampled_from(universe),
+                min_size=2,
+                max_size=num_vars,
+                unique=True,
+            )
+        )
+        name = f"q{index}"
+        sets[name] = members
+        rates[name] = draw(
+            st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+        )
+    return sets, rates
+
+
+@st.composite
+def throttle_ads(draw, max_ads: int = 6):
+    """Outstanding-ad lists for throttle problems."""
+    return draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=60),
+                st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
+            ),
+            max_size=max_ads,
+        )
+    )
+
+
+@pytest.fixture
+def simple_market():
+    """A small deterministic advertiser population over three phrases."""
+    phrases = ("boots", "heels", "sandals")
+    advertisers = [
+        Advertiser(0, bid=1.5, ctr_factor=1.2, phrases=frozenset(phrases)),
+        Advertiser(1, bid=1.2, ctr_factor=1.0, phrases=frozenset({"boots"})),
+        Advertiser(
+            2, bid=1.8, ctr_factor=0.9, phrases=frozenset({"heels", "sandals"})
+        ),
+        Advertiser(
+            3, bid=0.9, ctr_factor=1.4, phrases=frozenset({"boots", "heels"})
+        ),
+        Advertiser(4, bid=2.0, ctr_factor=0.7, phrases=frozenset({"sandals"})),
+    ]
+    model = SeparableCTRModel(
+        {a.advertiser_id: a.ctr_factor for a in advertisers}, [0.3, 0.2]
+    )
+    return advertisers, model, phrases

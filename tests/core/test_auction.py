@@ -1,0 +1,87 @@
+"""Tests for auction specs, allocations, and outcomes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.advertiser import Advertiser
+from repro.core.auction import Allocation, AuctionOutcome, AuctionSpec
+from repro.core.ctr import SeparableCTRModel
+from repro.errors import InvalidAuctionError
+
+
+@pytest.fixture
+def model():
+    return SeparableCTRModel({0: 1.0, 1: 1.2, 2: 0.8}, [0.4, 0.2])
+
+
+@pytest.fixture
+def spec(model):
+    advertisers = [Advertiser(i, bid=1.0 + i) for i in range(3)]
+    return AuctionSpec("music", advertisers, model)
+
+
+class TestAuctionSpec:
+    def test_slots_default_to_model(self, spec):
+        assert spec.num_slots == 2
+
+    def test_explicit_fewer_slots(self, model):
+        spec = AuctionSpec("p", [Advertiser(0, 1.0)], model, num_slots=1)
+        assert spec.num_slots == 1
+
+    def test_rejects_more_slots_than_model(self, model):
+        with pytest.raises(InvalidAuctionError):
+            AuctionSpec("p", [Advertiser(0, 1.0)], model, num_slots=3)
+
+    def test_rejects_zero_slots(self, model):
+        with pytest.raises(InvalidAuctionError):
+            AuctionSpec("p", [], model, num_slots=0)
+
+    def test_rejects_duplicate_ids(self, model):
+        with pytest.raises(InvalidAuctionError):
+            AuctionSpec("p", [Advertiser(0, 1.0), Advertiser(0, 2.0)], model)
+
+    def test_advertiser_by_id(self, spec):
+        assert spec.advertiser_by_id(1).bid == 2.0
+        with pytest.raises(InvalidAuctionError):
+            spec.advertiser_by_id(42)
+
+
+class TestAllocation:
+    def test_winners_skips_empty_slots(self):
+        allocation = Allocation((3, None, 1), 1.0)
+        assert allocation.winners() == (3, 1)
+
+    def test_slot_of(self):
+        allocation = Allocation((3, None, 1), 1.0)
+        assert allocation.slot_of(1) == 2
+        assert allocation.slot_of(3) == 0
+        assert allocation.slot_of(9) is None
+
+    def test_len(self):
+        assert len(Allocation((None, None), 0.0)) == 2
+
+
+class TestAuctionOutcome:
+    def test_price_above_bid_rejected(self, spec):
+        allocation = Allocation((0, 1), 1.0)
+        with pytest.raises(InvalidAuctionError):
+            AuctionOutcome(spec, allocation, {0: 5.0})
+
+    def test_price_of(self, spec):
+        allocation = Allocation((0, 1), 1.0)
+        outcome = AuctionOutcome(spec, allocation, {0: 0.5, 1: 1.0})
+        assert outcome.price_of(0) == 0.5
+        with pytest.raises(InvalidAuctionError):
+            outcome.price_of(2)
+
+    def test_expected_revenue(self, spec, model):
+        allocation = Allocation((0, 1), 1.0)
+        outcome = AuctionOutcome(spec, allocation, {0: 1.0, 1: 2.0})
+        expected = model.ctr(0, 0) * 1.0 + model.ctr(1, 1) * 2.0
+        assert outcome.expected_revenue() == pytest.approx(expected)
+
+    def test_expected_revenue_empty_slots(self, spec):
+        allocation = Allocation((None, None), 0.0)
+        outcome = AuctionOutcome(spec, allocation, {})
+        assert outcome.expected_revenue() == 0.0

@@ -1,0 +1,143 @@
+"""Unit and property tests for the Hungarian algorithm."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matching import hungarian_max_weight, hungarian_min_cost
+from repro.errors import InvalidAuctionError
+
+
+def brute_force_min_cost(cost):
+    n = len(cost)
+    best = None
+    for perm in permutations(range(n)):
+        total = sum(cost[i][perm[i]] for i in range(n))
+        if best is None or total < best:
+            best = total
+    return best
+
+
+def brute_force_max_weight(weights):
+    m, k = len(weights), len(weights[0])
+    best = 0.0
+    rows = list(range(m))
+    for r in range(0, min(m, k) + 1):
+        for chosen in permutations(rows, r):
+            for slots in permutations(range(k), r):
+                total = sum(
+                    weights[i][j] for i, j in zip(chosen, slots)
+                )
+                if total > best:
+                    best = total
+    return best
+
+
+class TestHungarianMinCost:
+    def test_identity_matrix(self):
+        cost = [[0, 1], [1, 0]]
+        assert hungarian_min_cost(cost) == [0, 1]
+
+    def test_forced_swap(self):
+        cost = [[10, 1], [1, 10]]
+        assert hungarian_min_cost(cost) == [1, 0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidAuctionError):
+            hungarian_min_cost([])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(InvalidAuctionError):
+            hungarian_min_cost([[1, 2], [3]])
+
+    def test_known_3x3(self):
+        cost = [[4, 1, 3], [2, 0, 5], [3, 2, 2]]
+        assignment = hungarian_min_cost(cost)
+        total = sum(cost[i][assignment[i]] for i in range(3))
+        assert total == brute_force_min_cost(cost) == 5
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        st.integers(min_value=1, max_value=5).flatmap(
+            lambda n: st.lists(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                    min_size=n,
+                    max_size=n,
+                ),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    def test_matches_brute_force(self, cost):
+        assignment = hungarian_min_cost(cost)
+        assert sorted(assignment) == list(range(len(cost)))
+        total = sum(cost[i][assignment[i]] for i in range(len(cost)))
+        assert total == pytest.approx(brute_force_min_cost(cost), abs=1e-6)
+
+
+class TestHungarianMaxWeight:
+    def test_square(self):
+        weights = [[3, 1], [1, 3]]
+        assignment, total = hungarian_max_weight(weights)
+        assert assignment == [0, 1]
+        assert total == 6
+
+    def test_more_rows_than_columns(self):
+        weights = [[1.0], [5.0], [2.0]]
+        assignment, total = hungarian_max_weight(weights)
+        assert total == 5.0
+        assert assignment[1] == 0
+        assert assignment[0] is None and assignment[2] is None
+
+    def test_more_columns_than_rows(self):
+        weights = [[1.0, 9.0, 2.0]]
+        assignment, total = hungarian_max_weight(weights)
+        assert assignment == [1]
+        assert total == 9.0
+
+    def test_zero_weights_left_unassigned(self):
+        weights = [[0.0, 0.0], [0.0, 0.0]]
+        assignment, total = hungarian_max_weight(weights)
+        assert total == 0.0
+        assert assignment == [None, None]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidAuctionError):
+            hungarian_max_weight([])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(InvalidAuctionError):
+            hungarian_max_weight([[1.0], [1.0, 2.0]])
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        st.tuples(
+            st.integers(min_value=1, max_value=4),
+            st.integers(min_value=1, max_value=3),
+        ).flatmap(
+            lambda mk: st.lists(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                    min_size=mk[1],
+                    max_size=mk[1],
+                ),
+                min_size=mk[0],
+                max_size=mk[0],
+            )
+        )
+    )
+    def test_matches_brute_force(self, weights):
+        assignment, total = hungarian_max_weight(weights)
+        # Assignment is a partial injection.
+        used = [j for j in assignment if j is not None]
+        assert len(used) == len(set(used))
+        recomputed = sum(
+            weights[i][j] for i, j in enumerate(assignment) if j is not None
+        )
+        assert total == pytest.approx(recomputed)
+        assert total == pytest.approx(brute_force_max_weight(weights), abs=1e-6)

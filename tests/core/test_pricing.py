@@ -1,0 +1,139 @@
+"""Tests for the pricing rules (first price, GSP, laddered VCG)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.advertiser import Advertiser
+from repro.core.auction import AuctionSpec
+from repro.core.ctr import MatrixCTRModel, SeparableCTRModel
+from repro.core.pricing import FirstPrice, GeneralizedSecondPrice, LadderedVCG
+from repro.errors import InvalidAuctionError
+
+
+def make_spec(bids_and_factors, slot_factors):
+    advertisers = [
+        Advertiser(i, bid=b, ctr_factor=c)
+        for i, (b, c) in enumerate(bids_and_factors)
+    ]
+    model = SeparableCTRModel(
+        {a.advertiser_id: a.ctr_factor for a in advertisers}, slot_factors
+    )
+    return AuctionSpec("p", advertisers, model)
+
+
+random_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+        st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=6,
+).map(lambda data: make_spec(data, [0.4, 0.25, 0.1][: max(1, len(data) // 2)]))
+
+
+class TestFirstPrice:
+    def test_winners_pay_their_bid(self):
+        spec = make_spec([(2.0, 1.0), (1.0, 1.0)], [0.4, 0.2])
+        outcome = FirstPrice().run(spec)
+        assert outcome.prices == {0: 2.0, 1: 1.0}
+
+    @settings(deadline=None, max_examples=40)
+    @given(random_specs)
+    def test_price_equals_bid(self, spec):
+        outcome = FirstPrice().run(spec)
+        for advertiser_id, price in outcome.prices.items():
+            assert price == spec.advertiser_by_id(advertiser_id).bid
+
+
+class TestGSP:
+    def test_winner_pays_next_score_over_own_factor(self):
+        spec = make_spec([(2.0, 1.0), (1.5, 1.0), (1.0, 1.0)], [0.4, 0.2])
+        outcome = GeneralizedSecondPrice().run(spec)
+        # Slot 1 winner (score 2.0) pays the runner-up score 1.5 / c=1.
+        assert outcome.prices[0] == pytest.approx(1.5)
+        # Slot 2 winner pays third score 1.0.
+        assert outcome.prices[1] == pytest.approx(1.0)
+
+    def test_last_winner_pays_zero_without_runner_up(self):
+        spec = make_spec([(2.0, 1.0)], [0.4])
+        outcome = GeneralizedSecondPrice().run(spec)
+        assert outcome.prices[0] == 0.0
+
+    def test_requires_separable_model(self):
+        matrix = MatrixCTRModel({0: [0.3], 1: [0.2]})
+        spec = AuctionSpec("p", [Advertiser(0, 1.0), Advertiser(1, 1.0)], matrix)
+        with pytest.raises(InvalidAuctionError):
+            GeneralizedSecondPrice().run(spec)
+
+    @settings(deadline=None, max_examples=40)
+    @given(random_specs)
+    def test_never_exceeds_bid(self, spec):
+        outcome = GeneralizedSecondPrice().run(spec)
+        for advertiser_id, price in outcome.prices.items():
+            assert price <= spec.advertiser_by_id(advertiser_id).bid + 1e-12
+
+    @settings(deadline=None, max_examples=40)
+    @given(random_specs)
+    def test_prices_decrease_down_the_slots(self, spec):
+        """Per-click GSP price is non-increasing in slot rank when CTR
+        factors are equal; in general the *score-denominated* charge
+        (price * c_i) is non-increasing because it equals the next rank's
+        score."""
+        outcome = GeneralizedSecondPrice().run(spec)
+        model = spec.ctr_model
+        charges = []
+        for slot, advertiser_id in enumerate(
+            outcome.allocation.slot_to_advertiser
+        ):
+            if advertiser_id is None:
+                continue
+            c = model.advertiser_factor(advertiser_id)
+            bid = spec.advertiser_by_id(advertiser_id).bid
+            price = outcome.prices[advertiser_id]
+            if price < bid - 1e-12:  # uncapped charge equals next score
+                charges.append(price * c)
+        assert all(a >= b - 1e-9 for a, b in zip(charges, charges[1:]))
+
+
+class TestLadderedVCG:
+    def test_single_slot_reduces_to_second_price(self):
+        spec = make_spec([(2.0, 1.0), (1.5, 1.0), (1.0, 1.0)], [0.4])
+        vcg = LadderedVCG().run(spec)
+        gsp = GeneralizedSecondPrice().run(spec)
+        assert vcg.prices[0] == pytest.approx(gsp.prices[0]) == pytest.approx(1.5)
+
+    def test_ladder_example(self):
+        # d = (0.4, 0.2); scores: 2.0, 1.5, 1.0 (all c = 1).
+        spec = make_spec([(2.0, 1.0), (1.5, 1.0), (1.0, 1.0)], [0.4, 0.2])
+        outcome = LadderedVCG().run(spec)
+        # Slot 1: ((0.4-0.2)*1.5 + (0.2-0)*1.0) / 0.4 = (0.3+0.2)/0.4
+        assert outcome.prices[0] == pytest.approx(0.5 / 0.4)
+        # Slot 2: (0.2-0)*1.0 / 0.2 = 1.0
+        assert outcome.prices[1] == pytest.approx(1.0)
+
+    @settings(deadline=None, max_examples=40)
+    @given(random_specs)
+    def test_never_exceeds_bid(self, spec):
+        outcome = LadderedVCG().run(spec)
+        for advertiser_id, price in outcome.prices.items():
+            assert price <= spec.advertiser_by_id(advertiser_id).bid + 1e-12
+
+    @settings(deadline=None, max_examples=40)
+    @given(random_specs)
+    def test_vcg_revenue_at_most_gsp(self, spec):
+        """With GSP charges uncapped by own bids, laddered VCG never
+        charges more per click than GSP in the same slot (Edelman et
+        al.); with the bid cap both are clipped identically, keeping the
+        inequality."""
+        vcg = LadderedVCG().run(spec)
+        gsp = GeneralizedSecondPrice().run(spec)
+        for advertiser_id, price in vcg.prices.items():
+            assert price <= gsp.prices[advertiser_id] + 1e-9
+
+    def test_requires_separable_model(self):
+        matrix = MatrixCTRModel({0: [0.3], 1: [0.2]})
+        spec = AuctionSpec("p", [Advertiser(0, 1.0), Advertiser(1, 1.0)], matrix)
+        with pytest.raises(InvalidAuctionError):
+            LadderedVCG().run(spec)

@@ -1,0 +1,148 @@
+"""Unit and property tests for TopKList and the top-k merge operator.
+
+The property tests check the algebraic axioms A1-A4 that Section II-C
+abstracts from this operator -- associativity, identity, idempotence,
+and commutativity -- exactly (no tolerance), which the canonical
+tie-breaking makes possible.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.topk import ScoredAdvertiser, TopKList, top_k_merge, top_k_scan
+from repro.errors import InvalidAuctionError
+from tests.conftest import scored_advertisers, topk_lists
+
+
+def entries(*pairs):
+    return [ScoredAdvertiser(score, advertiser) for score, advertiser in pairs]
+
+
+class TestScoredAdvertiser:
+    def test_beats_by_score(self):
+        assert ScoredAdvertiser(2.0, 5).beats(ScoredAdvertiser(1.0, 1))
+
+    def test_ties_broken_by_lower_id(self):
+        assert ScoredAdvertiser(1.0, 1).beats(ScoredAdvertiser(1.0, 2))
+        assert not ScoredAdvertiser(1.0, 2).beats(ScoredAdvertiser(1.0, 1))
+
+
+class TestTopKList:
+    def test_requires_positive_k(self):
+        with pytest.raises(InvalidAuctionError):
+            TopKList(0)
+
+    def test_orders_best_first(self):
+        ranking = TopKList(3, entries((1.0, 1), (3.0, 2), (2.0, 3)))
+        assert ranking.advertiser_ids() == (2, 3, 1)
+
+    def test_truncates_to_k(self):
+        ranking = TopKList(2, entries((1.0, 1), (3.0, 2), (2.0, 3)))
+        assert ranking.advertiser_ids() == (2, 3)
+
+    def test_dedups_by_advertiser_keeping_best(self):
+        ranking = TopKList(3, entries((1.0, 7), (4.0, 7), (2.0, 1)))
+        assert ranking.advertiser_ids() == (7, 1)
+        assert ranking[0].score == 4.0
+
+    def test_accepts_tuples(self):
+        ranking = TopKList(2, [(1.5, 3), (2.5, 4)])
+        assert ranking.advertiser_ids() == (4, 3)
+
+    def test_threshold_not_full(self):
+        assert TopKList(3, entries((1.0, 1))).threshold() == float("-inf")
+
+    def test_threshold_full(self):
+        ranking = TopKList(2, entries((3.0, 1), (1.0, 2), (2.0, 3)))
+        assert ranking.threshold() == 2.0
+
+    def test_insert_returns_new_list(self):
+        ranking = TopKList(2, entries((1.0, 1)))
+        bigger = ranking.insert((5.0, 2))
+        assert bigger.advertiser_ids() == (2, 1)
+        assert ranking.advertiser_ids() == (1,)
+
+    def test_equality_and_hash(self):
+        a = TopKList(2, entries((1.0, 1), (2.0, 2)))
+        b = TopKList(2, entries((2.0, 2), (1.0, 1)))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != TopKList(3, entries((1.0, 1), (2.0, 2)))
+
+    def test_iteration_and_indexing(self):
+        ranking = TopKList(2, entries((1.0, 1), (2.0, 2)))
+        assert [e.advertiser_id for e in ranking] == [2, 1]
+        assert ranking[0].advertiser_id == 2
+
+    def test_repr_mentions_entries(self):
+        assert "2:3" in repr(TopKList(1, entries((3.0, 2))))
+
+
+class TestTopKMerge:
+    def test_merges_and_truncates(self):
+        left = TopKList(2, entries((5.0, 1), (1.0, 2)))
+        right = TopKList(2, entries((4.0, 3), (3.0, 4)))
+        assert top_k_merge(left, right).advertiser_ids() == (1, 3)
+
+    def test_rejects_mismatched_k(self):
+        with pytest.raises(InvalidAuctionError):
+            top_k_merge(TopKList(2), TopKList(3))
+
+    def test_merge_dedups_shared_advertisers(self):
+        left = TopKList(3, entries((5.0, 1), (1.0, 2)))
+        right = TopKList(3, entries((5.0, 1), (2.0, 3)))
+        merged = top_k_merge(left, right)
+        assert merged.advertiser_ids() == (1, 3, 2)
+
+    @given(topk_lists(), topk_lists())
+    def test_commutativity(self, a, b):
+        a = TopKList(4, a.entries)
+        b = TopKList(4, b.entries)
+        assert top_k_merge(a, b) == top_k_merge(b, a)
+
+    @given(topk_lists(), topk_lists(), topk_lists())
+    def test_associativity(self, a, b, c):
+        a, b, c = (TopKList(4, x.entries) for x in (a, b, c))
+        left = top_k_merge(top_k_merge(a, b), c)
+        right = top_k_merge(a, top_k_merge(b, c))
+        assert left == right
+
+    @given(topk_lists())
+    def test_idempotence(self, a):
+        assert top_k_merge(a, a) == a
+
+    @given(topk_lists())
+    def test_identity(self, a):
+        empty = TopKList.empty(a.k)
+        assert top_k_merge(a, empty) == a
+        assert top_k_merge(empty, a) == a
+
+    @given(topk_lists(), topk_lists())
+    def test_merge_equals_rebuild(self, a, b):
+        """Merging equals constructing from the union of entries."""
+        a = TopKList(4, a.entries)
+        b = TopKList(4, b.entries)
+        assert top_k_merge(a, b) == TopKList(4, (*a.entries, *b.entries))
+
+
+class TestTopKScan:
+    def test_matches_sorted_prefix(self):
+        data = [(3.0, 1), (1.0, 2), (2.0, 3), (5.0, 4)]
+        assert top_k_scan(2, data).advertiser_ids() == (4, 1)
+
+    def test_handles_short_input(self):
+        assert top_k_scan(5, [(1.0, 1)]).advertiser_ids() == (1,)
+
+    def test_empty_input(self):
+        assert len(top_k_scan(3, [])) == 0
+
+    @given(
+        st.lists(scored_advertisers(), max_size=30),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_scan_equals_full_sort(self, data, k):
+        via_scan = top_k_scan(k, data)
+        via_sort = TopKList(k, data)
+        assert via_scan == via_sort

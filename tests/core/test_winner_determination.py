@@ -1,0 +1,210 @@
+"""Tests for single-auction winner determination, separable and not."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.advertiser import Advertiser
+from repro.core.auction import AuctionSpec
+from repro.core.ctr import MatrixCTRModel, SeparableCTRModel
+from repro.core.topk import TopKList
+from repro.core.winner_determination import (
+    allocation_from_topk,
+    brute_force_winner_determination,
+    determine_winners,
+    determine_winners_nonseparable,
+    determine_winners_separable,
+    prune_candidates,
+)
+from repro.errors import InvalidAuctionError
+
+
+def separable_spec(bids_and_factors, slot_factors, phrase="p"):
+    advertisers = [
+        Advertiser(i, bid=b, ctr_factor=c)
+        for i, (b, c) in enumerate(bids_and_factors)
+    ]
+    model = SeparableCTRModel(
+        {a.advertiser_id: a.ctr_factor for a in advertisers}, slot_factors
+    )
+    return AuctionSpec(phrase, advertisers, model)
+
+
+class TestSeparableWinnerDetermination:
+    def test_orders_by_score(self):
+        spec = separable_spec([(1.0, 1.2), (1.0, 1.1), (0.8, 1.3)], [0.3, 0.2])
+        allocation = determine_winners_separable(spec)
+        assert allocation.slot_to_advertiser == (0, 1)
+
+    def test_value_is_sum_of_score_times_slot_factor(self):
+        spec = separable_spec([(2.0, 1.0), (1.0, 1.0)], [0.5, 0.25])
+        allocation = determine_winners_separable(spec)
+        assert allocation.expected_value == pytest.approx(2 * 0.5 + 1 * 0.25)
+
+    def test_fewer_advertisers_than_slots(self):
+        spec = separable_spec([(1.0, 1.0)], [0.5, 0.25, 0.1])
+        allocation = determine_winners_separable(spec)
+        assert allocation.slot_to_advertiser == (0, None, None)
+
+    def test_tie_broken_by_lower_id(self):
+        spec = separable_spec([(1.0, 1.0), (1.0, 1.0)], [0.5])
+        allocation = determine_winners_separable(spec)
+        assert allocation.slot_to_advertiser == (0,)
+
+    def test_requires_separable_model(self):
+        matrix = MatrixCTRModel({0: [0.3], 1: [0.2]})
+        spec = AuctionSpec("p", [Advertiser(0, 1.0), Advertiser(1, 1.0)], matrix)
+        with pytest.raises(InvalidAuctionError):
+            determine_winners_separable(spec)
+
+    def test_dispatch_picks_separable(self):
+        spec = separable_spec([(1.0, 1.0)], [0.5])
+        assert determine_winners(spec).slot_to_advertiser == (0,)
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        slots=st.lists(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+    def test_matches_brute_force(self, data, slots):
+        spec = separable_spec(data, sorted(slots, reverse=True))
+        fast = determine_winners_separable(spec)
+        slow = brute_force_winner_determination(spec)
+        assert fast.expected_value == pytest.approx(
+            slow.expected_value, abs=1e-9
+        )
+
+
+class TestAllocationFromTopK:
+    def test_bridges_ranking_to_allocation(self):
+        model = SeparableCTRModel({0: 1.0, 1: 1.0}, [0.5, 0.25])
+        ranking = TopKList(2, [(3.0, 1), (2.0, 0)])
+        allocation = allocation_from_topk(ranking, model, 2)
+        assert allocation.slot_to_advertiser == (1, 0)
+        assert allocation.expected_value == pytest.approx(3 * 0.5 + 2 * 0.25)
+
+    def test_ranking_longer_than_slots(self):
+        model = SeparableCTRModel({0: 1.0}, [0.5])
+        ranking = TopKList(3, [(3.0, 1), (2.0, 0), (1.0, 2)])
+        allocation = allocation_from_topk(ranking, model, 1)
+        assert allocation.slot_to_advertiser == (1,)
+
+
+class TestNonSeparable:
+    def test_simple_matrix(self):
+        # Advertiser 0 much better in slot 1 than 0; matching must cross.
+        matrix = MatrixCTRModel({0: [0.10, 0.30], 1: [0.30, 0.10]})
+        spec = AuctionSpec(
+            "p", [Advertiser(0, 1.0), Advertiser(1, 1.0)], matrix
+        )
+        allocation = determine_winners_nonseparable(spec)
+        assert allocation.slot_to_advertiser == (1, 0)
+        assert allocation.expected_value == pytest.approx(0.6)
+
+    def test_empty_auction(self):
+        matrix = MatrixCTRModel({0: [0.3]})
+        spec = AuctionSpec("p", [], matrix, num_slots=1)
+        allocation = determine_winners_nonseparable(spec)
+        assert allocation.slot_to_advertiser == (None,)
+
+    def test_pruning_preserves_optimum(self):
+        # 20 advertisers, 2 slots: pruned (<= k^2 kept) equals unpruned.
+        rows = {
+            i: [0.01 * ((i * 7) % 13 + 1), 0.015 * ((i * 5) % 11 + 1)]
+            for i in range(20)
+        }
+        matrix = MatrixCTRModel(rows)
+        advertisers = [Advertiser(i, bid=1.0 + (i % 4)) for i in range(20)]
+        spec = AuctionSpec("p", advertisers, matrix)
+        pruned = determine_winners_nonseparable(spec, prune=True)
+        full = determine_winners_nonseparable(spec, prune=False)
+        assert pruned.expected_value == pytest.approx(full.expected_value)
+
+    def test_prune_keeps_at_most_k_squared(self):
+        rows = {i: [0.01 * (i + 1), 0.02] for i in range(30)}
+        matrix = MatrixCTRModel(rows)
+        advertisers = [Advertiser(i, bid=1.0) for i in range(30)]
+        kept = prune_candidates(advertisers, matrix, 2)
+        assert len(kept) <= 4
+
+    def test_prune_keeps_top_per_slot(self):
+        rows = {
+            0: [0.9, 0.1],
+            1: [0.1, 0.9],
+            2: [0.5, 0.5],
+            3: [0.05, 0.05],
+            4: [0.04, 0.03],
+            5: [0.02, 0.01],
+        }
+        matrix = MatrixCTRModel(rows)
+        advertisers = [Advertiser(i, bid=1.0) for i in range(6)]
+        kept = prune_candidates(advertisers, matrix, 2)
+        ids = [a.advertiser_id for a in kept]
+        # The per-slot specialists and the balanced advertiser survive;
+        # the dominated tail is pruned.
+        assert 0 in ids and 1 in ids and 2 in ids
+        assert 5 not in ids
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.tuples(
+            st.integers(min_value=1, max_value=5),
+            st.integers(min_value=1, max_value=2),
+        ).flatmap(
+            lambda nk: st.tuples(
+                st.lists(
+                    st.lists(
+                        st.floats(
+                            min_value=0.0, max_value=1.0, allow_nan=False
+                        ),
+                        min_size=nk[1],
+                        max_size=nk[1],
+                    ),
+                    min_size=nk[0],
+                    max_size=nk[0],
+                ),
+                st.lists(
+                    st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+                    min_size=nk[0],
+                    max_size=nk[0],
+                ),
+            )
+        )
+    )
+    def test_matches_brute_force(self, data):
+        rows, bids = data
+        matrix = MatrixCTRModel({i: row for i, row in enumerate(rows)})
+        advertisers = [Advertiser(i, bid=b) for i, b in enumerate(bids)]
+        spec = AuctionSpec("p", advertisers, matrix)
+        fast = determine_winners_nonseparable(spec)
+        slow = brute_force_winner_determination(spec)
+        assert fast.expected_value == pytest.approx(
+            slow.expected_value, abs=1e-9
+        )
+
+    def test_separable_and_nonseparable_agree(self):
+        spec = separable_spec(
+            [(1.0, 1.2), (1.5, 0.9), (0.7, 1.4), (2.0, 0.5)], [0.4, 0.2]
+        )
+        matrix_spec = AuctionSpec(
+            "p",
+            spec.advertisers,
+            spec.ctr_model.as_matrix([a.advertiser_id for a in spec.advertisers]),
+        )
+        separable = determine_winners_separable(spec)
+        general = determine_winners_nonseparable(matrix_spec)
+        assert separable.expected_value == pytest.approx(
+            general.expected_value
+        )

@@ -1,0 +1,78 @@
+"""Tests for the budget manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.budgets.outstanding import GeometricDecay
+from repro.engine.budget_manager import BudgetManager
+from repro.errors import BudgetError
+
+
+class TestBudgets:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(BudgetError):
+            BudgetManager({1: -5})
+
+    def test_remaining_decreases_with_settlement(self):
+        manager = BudgetManager({1: 100})
+        assert manager.remaining_cents(1) == 100
+        result = manager.settle_click(1, 40, display_round=0)
+        assert result.charged_cents == 40
+        assert result.forgiven_cents == 0
+        assert manager.remaining_cents(1) == 60
+        assert manager.spent_cents(1) == 40
+
+    def test_forgiveness_beyond_budget(self):
+        manager = BudgetManager({1: 30})
+        result = manager.settle_click(1, 50, display_round=0)
+        assert result.charged_cents == 30
+        assert result.forgiven_cents == 20
+        assert manager.remaining_cents(1) == 0
+
+    def test_unbudgeted_advertiser_is_effectively_infinite(self):
+        manager = BudgetManager({})
+        assert manager.remaining_cents(7) == BudgetManager.UNBUDGETED_CENTS
+        result = manager.settle_click(7, 1_000, display_round=0)
+        assert result.forgiven_cents == 0
+
+
+class TestOutstanding:
+    def test_display_then_settle_clears_ledger(self):
+        manager = BudgetManager({1: 100})
+        manager.record_display(1, 40, 0.5, round_index=3)
+        assert manager.outstanding_counts() == {1: 1}
+        manager.settle_click(1, 40, display_round=3)
+        assert manager.outstanding_counts() == {}
+
+    def test_expire_outstanding_uses_decay(self):
+        manager = BudgetManager({1: 100}, GeometricDecay(ratio=0.5, horizon=2))
+        manager.record_display(1, 40, 0.5, round_index=0)
+        assert manager.expire_outstanding(1) == 0
+        assert manager.expire_outstanding(2) == 1
+        assert manager.outstanding_counts() == {}
+
+    def test_throttle_problem_construction(self):
+        manager = BudgetManager({1: 100})
+        manager.record_display(1, 30, 0.4, round_index=0)
+        problem = manager.throttle_problem(
+            1, bid_cents=60, num_auctions=2, round_index=0
+        )
+        assert problem.bid_cents == 60
+        assert problem.budget_cents == 100
+        assert problem.num_auctions == 2
+        assert problem.outstanding == ((30, 0.4),)
+
+    def test_throttle_problem_caps_bid_at_remaining(self):
+        manager = BudgetManager({1: 25})
+        problem = manager.throttle_problem(
+            1, bid_cents=60, num_auctions=1, round_index=0
+        )
+        assert problem.bid_cents == 25
+
+    def test_settle_matches_ledger_entry_by_round_and_price(self):
+        manager = BudgetManager({1: 1000})
+        manager.record_display(1, 40, 0.5, round_index=2)
+        manager.record_display(1, 40, 0.5, round_index=3)
+        manager.settle_click(1, 40, display_round=3)
+        assert manager.outstanding_counts() == {1: 1}

@@ -1,0 +1,162 @@
+"""Tests for the end-to-end shared auction engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.advertiser import Advertiser
+from repro.engine.pipeline import SharedAuctionEngine
+from repro.errors import InvalidAuctionError
+
+
+def build_engine(advertisers, mode="shared", seed=5, **kwargs):
+    phrases = sorted({p for a in advertisers for p in a.phrases})
+    return SharedAuctionEngine(
+        advertisers,
+        slot_factors=[0.3, 0.2],
+        search_rates={p: 0.8 for p in phrases},
+        mode=mode,
+        seed=seed,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def population(simple_market):
+    advertisers, _model, _phrases = simple_market
+    return advertisers
+
+
+class TestConstruction:
+    def test_unknown_mode_rejected(self, population):
+        with pytest.raises(InvalidAuctionError):
+            build_engine(population, mode="turbo")
+
+    def test_duplicate_ids_rejected(self, population):
+        with pytest.raises(InvalidAuctionError):
+            build_engine(population + [population[0]])
+
+    def test_phrase_map_built_from_interests(self, population):
+        engine = build_engine(population)
+        assert set(engine.phrase_advertisers) == {"boots", "heels", "sandals"}
+        assert 0 in engine.phrase_advertisers["boots"]
+
+
+class TestRoundResolution:
+    def test_unknown_phrase_rejected(self, population):
+        engine = build_engine(population)
+        with pytest.raises(InvalidAuctionError):
+            engine.run_round(["unicorns"])
+
+    def test_empty_round_is_cheap(self, population):
+        engine = build_engine(population)
+        report = engine.run_round([])
+        assert report.merges == 0
+        assert report.displays == 0
+
+    def test_displays_bounded_by_slots(self, population):
+        engine = build_engine(population)
+        report = engine.run_round(["boots", "heels"])
+        assert report.displays <= 2 * 2  # two phrases, two slots
+
+    def test_shared_and_unshared_produce_identical_outcomes(self, population):
+        """The core exactness guarantee: sharing changes work, never
+        results."""
+        shared = build_engine(population, mode="shared", seed=9)
+        unshared = build_engine(population, mode="unshared", seed=9)
+        report_s = shared.run(40)
+        report_u = unshared.run(40)
+        assert report_s.revenue_cents == report_u.revenue_cents
+        assert report_s.displays == report_u.displays
+        assert report_s.clicks == report_u.clicks
+        assert report_s.forgiven_cents == report_u.forgiven_cents
+
+    def test_shared_mode_scans_fewer_advertisers(self):
+        shared_phrases = frozenset({"boots", "heels"})
+        advertisers = [
+            Advertiser(i, bid=1.0 + i * 0.01, phrases=shared_phrases)
+            for i in range(20)
+        ] + [
+            Advertiser(100 + i, bid=1.0, phrases=frozenset({"boots"}))
+            for i in range(4)
+        ]
+        shared = build_engine(advertisers, mode="shared", seed=1)
+        unshared = build_engine(advertisers, mode="unshared", seed=1)
+        rounds = 20
+        report_s = shared.run(rounds)
+        report_u = unshared.run(rounds)
+        assert report_s.scans < report_u.scans
+
+    def test_work_counters_populate(self, population):
+        engine = build_engine(population)
+        report = engine.run(10)
+        assert report.rounds == 10
+        assert report.merges >= 0
+        assert len(report.history) == 10
+
+
+class TestBudgets:
+    def test_budget_exhaustion_stops_spending(self):
+        advertisers = [
+            Advertiser(
+                0, bid=2.0, daily_budget=4.0, phrases=frozenset({"p"})
+            ),
+            Advertiser(1, bid=1.0, phrases=frozenset({"p"})),
+        ]
+        engine = SharedAuctionEngine(
+            advertisers,
+            slot_factors=[0.9],
+            search_rates={"p": 1.0},
+            mode="shared",
+            throttle=True,
+            mean_click_delay_rounds=0.0,
+            seed=3,
+        )
+        report = engine.run(200)
+        spent = engine.budget_manager.spent_cents(0)
+        assert spent <= 400
+        assert report.forgiven_cents == 0
+
+    def test_naive_engine_can_forgive_clicks(self):
+        """Without throttling, delayed clicks outrun the budget."""
+        advertisers = [
+            Advertiser(
+                0, bid=2.0, ctr_factor=1.0, daily_budget=3.0,
+                phrases=frozenset({"p"}),
+            ),
+            Advertiser(1, bid=1.0, phrases=frozenset({"p"})),
+        ]
+        naive = SharedAuctionEngine(
+            advertisers,
+            slot_factors=[0.95],
+            search_rates={"p": 1.0},
+            mode="shared",
+            throttle=False,
+            mean_click_delay_rounds=4.0,
+            click_horizon_rounds=12,
+            seed=8,
+        )
+        throttled = SharedAuctionEngine(
+            advertisers,
+            slot_factors=[0.95],
+            search_rates={"p": 1.0},
+            mode="shared",
+            throttle=True,
+            mean_click_delay_rounds=4.0,
+            click_horizon_rounds=12,
+            seed=8,
+        )
+        report_naive = naive.run(120)
+        report_throttled = throttled.run(120)
+        assert report_naive.forgiven_cents > 0
+        assert report_throttled.forgiven_cents == 0
+
+    def test_gsp_price_never_exceeds_effective_bid(self, population):
+        engine = build_engine(population)
+        engine.run(30)
+        for advertiser in population:
+            spent = engine.budget_manager.spent_cents(
+                advertiser.advertiser_id
+            )
+            if advertiser.daily_budget != float("inf"):
+                assert spent <= int(advertiser.daily_budget * 100)

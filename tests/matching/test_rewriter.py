@@ -1,0 +1,134 @@
+"""Tests for query normalization and two-stage rewriting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidAuctionError
+from repro.matching.normalize import normalize_query, tokenize
+from repro.matching.rewriter import PhraseDictionary, TwoStageRewriter
+
+
+class TestNormalize:
+    def test_lowercase_and_punctuation(self):
+        assert normalize_query("Hiking-Boots!") == ("hiking", "boots")
+
+    def test_stopwords_dropped(self):
+        assert normalize_query("buy cheap boots online") == ("boots",)
+
+    def test_duplicates_dropped_keeping_order(self):
+        assert normalize_query("boots boots hiking boots") == ("boots", "hiking")
+
+    def test_empty_query(self):
+        assert normalize_query("") == ()
+        assert normalize_query("the and of") == ()
+
+    def test_tokenize_keeps_numbers(self):
+        assert tokenize("iPhone 15 case") == ["iphone", "15", "case"]
+
+    @given(st.text(max_size=40))
+    def test_idempotent(self, text):
+        once = normalize_query(text)
+        again = normalize_query(" ".join(once))
+        assert once == again
+
+
+class TestPhraseDictionary:
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidAuctionError):
+            PhraseDictionary([])
+
+    def test_rejects_unnormalizable_phrase(self):
+        with pytest.raises(InvalidAuctionError):
+            PhraseDictionary(["the of"])
+
+    def test_exact_lookup(self):
+        dictionary = PhraseDictionary(["hiking boots", "high heels"])
+        assert dictionary.exact(frozenset({"hiking", "boots"})) == "hiking boots"
+        assert dictionary.exact(frozenset({"sandals"})) is None
+
+    def test_candidates_by_token(self):
+        dictionary = PhraseDictionary(
+            ["hiking boots", "snow boots", "high heels"]
+        )
+        found = dictionary.candidates(frozenset({"boots"}))
+        assert found == ["hiking boots", "snow boots"]
+
+    def test_tokens_of_unknown_raises(self):
+        dictionary = PhraseDictionary(["boots"])
+        with pytest.raises(InvalidAuctionError):
+            dictionary.tokens_of("gloves")
+
+    def test_membership_and_len(self):
+        dictionary = PhraseDictionary(["a b", "c d"])
+        assert "a b" in dictionary
+        assert len(dictionary) == 2
+
+
+class TestTwoStageRewriter:
+    @pytest.fixture
+    def rewriter(self):
+        dictionary = PhraseDictionary(
+            ["hiking boots", "snow boots", "high heels", "running shoes"]
+        )
+        return TwoStageRewriter(dictionary, threshold=0.4)
+
+    def test_threshold_validated(self, rewriter):
+        with pytest.raises(InvalidAuctionError):
+            TwoStageRewriter(rewriter.dictionary, threshold=0.0)
+
+    def test_exact_match(self, rewriter):
+        result = rewriter.rewrite("Hiking Boots")
+        assert result.phrase == "hiking boots"
+        assert result.exact
+        assert result.score == 1.0
+
+    def test_stopword_robust_exact_match(self, rewriter):
+        result = rewriter.rewrite("buy hiking boots online")
+        assert result.phrase == "hiking boots"
+        assert result.exact
+
+    def test_fuzzy_match_above_threshold(self, rewriter):
+        result = rewriter.rewrite("waterproof hiking boots")
+        assert result.phrase == "hiking boots"
+        assert not result.exact
+        assert result.score == pytest.approx(2 / 3)
+
+    def test_miss_below_threshold(self, rewriter):
+        result = rewriter.rewrite("vintage wristwatch")
+        assert result.phrase is None
+        assert result.score == 0.0
+
+    def test_empty_query_misses(self, rewriter):
+        assert rewriter.rewrite("the of and").phrase is None
+
+    def test_tie_breaks_deterministically(self):
+        dictionary = PhraseDictionary(["red boots", "blue boots"])
+        rewriter = TwoStageRewriter(dictionary, threshold=0.3)
+        result = rewriter.rewrite("boots")
+        # Both score 1/2; lexicographically least phrase wins.
+        assert result.phrase == "blue boots"
+
+    def test_stream_rewrite_drops_misses(self, rewriter):
+        stream = [
+            (0.1, "hiking boots"),
+            (0.2, "quantum physics"),
+            (0.3, "high heels sale"),
+        ]
+        rewritten = rewriter.rewrite_stream(stream)
+        assert rewritten == [(0.1, "hiking boots"), (0.3, "high heels")]
+
+    def test_integrates_with_round_batcher(self, rewriter):
+        from repro.engine.rounds import RoundBatcher, TimestampedQuery
+
+        stream = rewriter.rewrite_stream(
+            [(0.1, "hiking boots"), (0.2, "snow boots"), (0.9, "high heels")]
+        )
+        queries = [TimestampedQuery(t, p) for t, p in stream]
+        (batch,) = RoundBatcher(1.0).batch(queries)
+        assert batch.distinct_phrases == (
+            "high heels",
+            "hiking boots",
+            "snow boots",
+        )

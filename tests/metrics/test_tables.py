@@ -1,0 +1,46 @@
+"""Tests for experiment-table formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.tables import ExperimentTable, format_table
+
+
+class TestFormatTable:
+    def test_aligns_columns(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        header, separator, *rows = lines
+        assert header.index("value") > 0
+        assert set(separator) <= {"-", " "}
+        assert all(len(line) == len(lines[0]) for line in rows)
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestExperimentTable:
+    def test_add_and_render(self):
+        table = ExperimentTable("Fig.4", ["sr", "cost"])
+        table.add(0.5, 12.25)
+        rendered = table.render()
+        assert "Fig.4" in rendered
+        assert "12.2500" in rendered
+
+    def test_add_wrong_arity_rejected(self):
+        table = ExperimentTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_show_prints(self, capsys):
+        table = ExperimentTable("t", ["a"])
+        table.add("x")
+        table.show()
+        assert "== t ==" in capsys.readouterr().out

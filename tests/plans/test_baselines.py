@@ -1,0 +1,125 @@
+"""Tests for the baseline planners."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.plans.baselines import cse_plan, fragment_only_plan, no_sharing_plan
+from repro.plans.cost import (
+    expected_cost_upper_bound_no_sharing,
+    expected_plan_cost,
+)
+from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+from tests.conftest import query_families
+
+
+@pytest.fixture
+def overlap_instance():
+    return SharedAggregationInstance.from_sets(
+        {"p": ["a", "b", "c"], "q": ["a", "b", "d"]},
+        {"p": 0.6, "q": 0.3},
+    )
+
+
+class TestNoSharing:
+    def test_cost_matches_closed_form(self, overlap_instance):
+        plan = no_sharing_plan(overlap_instance)
+        plan.validate()
+        closed = expected_cost_upper_bound_no_sharing(
+            {q.name: len(q.variables) for q in overlap_instance.queries},
+            overlap_instance.search_rates(),
+        )
+        assert expected_plan_cost(plan) == pytest.approx(closed)
+
+    def test_total_cost_sums_chain_lengths(self, overlap_instance):
+        plan = no_sharing_plan(overlap_instance)
+        assert plan.total_cost == 2 + 2
+
+    def test_duplicate_labels_permitted(self):
+        instance = SharedAggregationInstance.from_sets(
+            {"p": ["a", "b"], "q": ["a", "b", "c"]}
+        )
+        plan = no_sharing_plan(instance)
+        # The {a, b} label appears twice: once as p's root, once inside
+        # q's chain (a, b sorted first).
+        count = sum(
+            1
+            for node in plan.internal_nodes()
+            if node.varset == frozenset({"a", "b"})
+        )
+        assert count == 2
+
+    @settings(deadline=None, max_examples=30)
+    @given(query_families())
+    def test_closed_form_always_matches(self, family):
+        sets, rates = family
+        instance = SharedAggregationInstance.from_sets(sets, rates)
+        if not instance.queries:
+            return
+        plan = no_sharing_plan(instance)
+        closed = expected_cost_upper_bound_no_sharing(
+            {q.name: len(q.variables) for q in instance.queries},
+            instance.search_rates(),
+        )
+        assert expected_plan_cost(plan) == pytest.approx(closed)
+
+
+class TestFragmentOnly:
+    def test_between_no_sharing_and_nothing(self, overlap_instance):
+        fragment_cost = expected_plan_cost(fragment_only_plan(overlap_instance))
+        unshared_cost = expected_plan_cost(no_sharing_plan(overlap_instance))
+        assert fragment_cost <= unshared_cost + 1e-9
+
+    def test_single_fragment_query_assigned_directly(self):
+        instance = SharedAggregationInstance.from_sets(
+            {"only": ["a", "b", "c"]}
+        )
+        plan = fragment_only_plan(instance)
+        plan.validate()
+        assert plan.total_cost == 2
+
+    @settings(deadline=None, max_examples=30)
+    @given(query_families())
+    def test_valid_and_never_worse_than_no_sharing(self, family):
+        sets, rates = family
+        instance = SharedAggregationInstance.from_sets(sets, rates)
+        if not instance.queries:
+            return
+        plan = fragment_only_plan(instance)
+        plan.validate()
+        assert expected_plan_cost(plan) <= expected_plan_cost(
+            no_sharing_plan(instance)
+        ) + 1e-9
+
+
+class TestCSE:
+    def test_shares_common_suffixes_only(self):
+        instance = SharedAggregationInstance.from_sets(
+            {"p": ["a", "b", "c"], "q": ["b", "c"]}
+        )
+        plan = cse_plan(instance)
+        plan.validate()
+        # q = (b, c) is a suffix of p's sorted chain a (b c): shared.
+        assert plan.total_cost == 2
+
+    def test_no_sharing_for_prefix_overlap(self):
+        instance = SharedAggregationInstance.from_sets(
+            {"p": ["a", "b", "c"], "q": ["a", "b", "d"]}
+        )
+        plan = cse_plan(instance)
+        plan.validate()
+        # Common part {a, b} is a prefix, not a suffix: no syntactic
+        # sharing available; 2 + 2 nodes.
+        assert plan.total_cost == 4
+
+    @settings(deadline=None, max_examples=30)
+    @given(query_families())
+    def test_valid_and_never_worse_than_no_sharing(self, family):
+        sets, rates = family
+        instance = SharedAggregationInstance.from_sets(sets, rates)
+        if not instance.queries:
+            return
+        plan = cse_plan(instance)
+        plan.validate()
+        assert plan.total_cost <= no_sharing_plan(instance).total_cost

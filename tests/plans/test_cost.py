@@ -1,0 +1,123 @@
+"""Tests for the expected-materialization cost model, including the
+Monte-Carlo agreement property between the closed form and the executor."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.plans.cost import (
+    expected_cost_upper_bound_no_sharing,
+    expected_plan_cost,
+    node_materialization_probability,
+    per_node_expected_cost,
+)
+from repro.plans.dag import Plan
+from repro.plans.executor import PlanExecutor
+from repro.plans.greedy_planner import greedy_shared_plan
+from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+from tests.conftest import query_families
+
+
+class TestNodeProbability:
+    def test_single_query(self):
+        assert node_materialization_probability(["q"], {"q": 0.3}) == pytest.approx(0.3)
+
+    def test_independent_union(self):
+        prob = node_materialization_probability(
+            ["p", "q"], {"p": 0.5, "q": 0.5}
+        )
+        assert prob == pytest.approx(0.75)
+
+    def test_no_queries_never_materialized(self):
+        assert node_materialization_probability([], {}) == 0.0
+
+    def test_certain_query_dominates(self):
+        assert node_materialization_probability(
+            ["p", "q"], {"p": 1.0, "q": 0.1}
+        ) == pytest.approx(1.0)
+
+
+class TestExpectedPlanCost:
+    def test_hand_computed_example(self):
+        instance = SharedAggregationInstance(
+            [
+                AggregateQuery("q1", ["a", "b", "c"], 0.8),
+                AggregateQuery("q2", ["a", "b", "d"], 0.5),
+            ]
+        )
+        plan = Plan(instance)
+        ab = plan.add_internal(plan.leaf_of("a"), plan.leaf_of("b"))
+        plan.add_internal(ab, plan.leaf_of("c"))
+        plan.add_internal(ab, plan.leaf_of("d"))
+        # ab: 1-(1-.8)(1-.5)=0.9; abc: 0.8; abd: 0.5.
+        assert expected_plan_cost(plan) == pytest.approx(0.9 + 0.8 + 0.5)
+
+    def test_per_node_costs_exclude_leaves(self):
+        instance = SharedAggregationInstance(
+            [AggregateQuery("q", ["a", "b"], 0.4)]
+        )
+        plan = Plan(instance)
+        plan.add_internal(plan.leaf_of("a"), plan.leaf_of("b"))
+        costs = per_node_expected_cost(plan)
+        assert len(costs) == 1
+        assert list(costs.values())[0] == pytest.approx(0.4)
+
+    def test_zero_rate_query_node_costs_nothing(self):
+        instance = SharedAggregationInstance(
+            [
+                AggregateQuery("q", ["a", "b"], 1.0),
+                AggregateQuery("r", ["b", "c"], 0.0),
+            ]
+        )
+        plan = Plan(instance)
+        plan.add_internal(plan.leaf_of("a"), plan.leaf_of("b"))
+        dead = plan.add_internal(plan.leaf_of("b"), plan.leaf_of("c"))
+        costs = per_node_expected_cost(plan)
+        assert costs[dead] == pytest.approx(0.0)
+        assert expected_plan_cost(plan) == pytest.approx(1.0)
+
+    def test_no_sharing_closed_form(self):
+        sizes = {"p": 4, "q": 3}
+        rates = {"p": 0.5, "q": 1.0}
+        assert expected_cost_upper_bound_no_sharing(sizes, rates) == pytest.approx(
+            0.5 * 3 + 1.0 * 2
+        )
+
+    def test_cost_monotone_in_search_rate(self):
+        def cost_at(rate):
+            instance = SharedAggregationInstance(
+                [
+                    AggregateQuery("q1", ["a", "b", "c"], rate),
+                    AggregateQuery("q2", ["a", "b", "d"], rate),
+                ]
+            )
+            return expected_plan_cost(greedy_shared_plan(instance))
+
+        costs = [cost_at(r) for r in (0.1, 0.4, 0.7, 1.0)]
+        assert all(x <= y + 1e-12 for x, y in zip(costs, costs[1:]))
+
+
+class TestEmpiricalAgreement:
+    @settings(
+        deadline=None,
+        max_examples=8,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(query_families(max_queries=4, max_vars=6))
+    def test_executor_average_matches_closed_form(self, family):
+        sets, rates = family
+        instance = SharedAggregationInstance.from_sets(sets, rates)
+        if not instance.queries:
+            return
+        plan = greedy_shared_plan(instance)
+        executor = PlanExecutor(plan, 2)
+        scores = {v: 1.0 for v in instance.variables}
+        rounds = 3000
+        empirical = executor.average_cost(scores, rounds, random.Random(42))
+        closed = expected_plan_cost(plan)
+        # Bernoulli average over `rounds` rounds: generous tolerance.
+        spread = max(1.0, closed)
+        assert abs(empirical - closed) < 0.15 * spread + 0.2

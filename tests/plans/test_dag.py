@@ -1,0 +1,167 @@
+"""Tests for the plan DAG structure and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidPlanError
+from repro.plans.dag import Plan
+from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+
+
+@pytest.fixture
+def instance():
+    return SharedAggregationInstance(
+        [
+            AggregateQuery("pq", ["a", "b"], 0.5),
+            AggregateQuery("qr", ["b", "c"], 0.25),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_leaves_seeded(self, instance):
+        plan = Plan(instance)
+        assert plan.total_cost == 0
+        assert {n.variable for n in plan.nodes} == {"a", "b", "c"}
+        for variable in "abc":
+            leaf = plan.node(plan.leaf_of(variable))
+            assert leaf.is_leaf
+            assert leaf.varset == frozenset({variable})
+
+    def test_unknown_leaf_raises(self, instance):
+        with pytest.raises(InvalidPlanError):
+            Plan(instance).leaf_of("zzz")
+
+    def test_add_internal(self, instance):
+        plan = Plan(instance)
+        node_id = plan.add_internal(plan.leaf_of("a"), plan.leaf_of("b"))
+        node = plan.node(node_id)
+        assert node.varset == frozenset({"a", "b"})
+        assert not node.is_leaf
+        assert plan.total_cost == 1
+
+    def test_add_internal_reuses_by_varset(self, instance):
+        plan = Plan(instance)
+        first = plan.add_internal(plan.leaf_of("a"), plan.leaf_of("b"))
+        second = plan.add_internal(plan.leaf_of("b"), plan.leaf_of("a"))
+        assert first == second
+        assert plan.total_cost == 1
+
+    def test_add_internal_force_new_duplicates(self, instance):
+        plan = Plan(instance)
+        first = plan.add_internal(plan.leaf_of("a"), plan.leaf_of("b"))
+        second = plan.add_internal(
+            plan.leaf_of("a"), plan.leaf_of("b"), reuse=False
+        )
+        assert first != second
+        assert plan.total_cost == 2
+
+    def test_self_aggregation_rejected(self, instance):
+        plan = Plan(instance)
+        leaf = plan.leaf_of("a")
+        with pytest.raises(InvalidPlanError):
+            plan.add_internal(leaf, leaf)
+
+    def test_unknown_node_raises(self, instance):
+        plan = Plan(instance)
+        with pytest.raises(InvalidPlanError):
+            plan.node(999)
+
+    def test_add_chain(self, instance):
+        plan = Plan(instance)
+        root = plan.add_chain(
+            [plan.leaf_of("a"), plan.leaf_of("b"), plan.leaf_of("c")]
+        )
+        assert plan.node(root).varset == frozenset({"a", "b", "c"})
+        assert plan.total_cost == 2
+
+    def test_add_chain_empty_raises(self, instance):
+        with pytest.raises(InvalidPlanError):
+            Plan(instance).add_chain([])
+
+    def test_leaf_variable_accessor(self, instance):
+        plan = Plan(instance)
+        node_id = plan.add_internal(plan.leaf_of("a"), plan.leaf_of("b"))
+        with pytest.raises(InvalidPlanError):
+            plan.node(node_id).variable  # noqa: B018 - accessor must raise
+
+
+class TestQueries:
+    def test_query_answered_automatically_by_varset(self, instance):
+        plan = Plan(instance)
+        assert len(plan.missing_queries()) == 2
+        plan.add_internal(plan.leaf_of("a"), plan.leaf_of("b"))
+        assert [q.name for q in plan.answered_queries()] == ["pq"]
+        assert [q.name for q in plan.missing_queries()] == ["qr"]
+
+    def test_assign_query_override(self, instance):
+        plan = Plan(instance)
+        first = plan.add_internal(plan.leaf_of("a"), plan.leaf_of("b"))
+        dup = plan.add_internal(
+            plan.leaf_of("a"), plan.leaf_of("b"), reuse=False
+        )
+        plan.assign_query("pq", dup)
+        assert plan.query_node(instance.query_by_name("pq")) == dup != first
+
+    def test_assign_query_varset_mismatch_rejected(self, instance):
+        plan = Plan(instance)
+        node = plan.add_internal(plan.leaf_of("a"), plan.leaf_of("c"))
+        with pytest.raises(InvalidPlanError):
+            plan.assign_query("pq", node)
+
+    def test_trivial_query_answered_by_leaf(self):
+        instance = SharedAggregationInstance(
+            [AggregateQuery("big", ["a", "b"]), AggregateQuery("one", ["a"])]
+        )
+        plan = Plan(instance)
+        query = instance.query_by_name("one")
+        assert plan.query_node(query) == plan.leaf_of("a")
+
+
+class TestValidation:
+    def test_incomplete_plan_fails_completeness(self, instance):
+        plan = Plan(instance)
+        with pytest.raises(InvalidPlanError):
+            plan.validate()
+        plan.validate(require_complete=False)
+
+    def test_complete_plan_validates(self, instance):
+        plan = Plan(instance)
+        plan.add_internal(plan.leaf_of("a"), plan.leaf_of("b"))
+        plan.add_internal(plan.leaf_of("b"), plan.leaf_of("c"))
+        plan.validate()
+
+    def test_extra_cost(self, instance):
+        plan = Plan(instance)
+        ab = plan.add_internal(plan.leaf_of("a"), plan.leaf_of("b"))
+        plan.add_internal(plan.leaf_of("b"), plan.leaf_of("c"))
+        plan.add_internal(ab, plan.leaf_of("c"))  # an extra node
+        assert plan.total_cost == 3
+        assert plan.extra_cost == 1
+
+
+class TestDownstreamQueries:
+    def test_downstream_sets(self, instance):
+        plan = Plan(instance)
+        ab = plan.add_internal(plan.leaf_of("a"), plan.leaf_of("b"))
+        bc = plan.add_internal(plan.leaf_of("b"), plan.leaf_of("c"))
+        downstream = plan.downstream_queries()
+        assert downstream[ab] == {"pq"}
+        assert downstream[bc] == {"qr"}
+        assert downstream[plan.leaf_of("b")] == {"pq", "qr"}
+        assert downstream[plan.leaf_of("a")] == {"pq"}
+
+    def test_shared_interior_node_feeds_both(self):
+        instance = SharedAggregationInstance(
+            [
+                AggregateQuery("q1", ["a", "b", "c"]),
+                AggregateQuery("q2", ["a", "b", "d"]),
+            ]
+        )
+        plan = Plan(instance)
+        ab = plan.add_internal(plan.leaf_of("a"), plan.leaf_of("b"))
+        plan.add_internal(ab, plan.leaf_of("c"))
+        plan.add_internal(ab, plan.leaf_of("d"))
+        downstream = plan.downstream_queries()
+        assert downstream[ab] == {"q1", "q2"}

@@ -1,0 +1,127 @@
+"""Tests for fragment identification (stage 1 of the heuristic)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.plans.fragments import (
+    Fragment,
+    fragment_cover_counts,
+    identify_fragments,
+)
+from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+from tests.conftest import query_families
+
+
+class TestShoeStoreFragments:
+    """The Section II-B example: general, sports, fashion stores."""
+
+    @pytest.fixture
+    def instance(self):
+        general = [f"g{i}" for i in range(6)]
+        sports = [f"s{i}" for i in range(3)]
+        fashion = [f"f{i}" for i in range(2)]
+        return SharedAggregationInstance(
+            [
+                AggregateQuery("hiking boots", general + sports),
+                AggregateQuery("high-heels", general + fashion),
+            ]
+        )
+
+    def test_three_fragments(self, instance):
+        fragments = identify_fragments(instance)
+        assert len(fragments) == 3
+
+    def test_fragment_sizes(self, instance):
+        sizes = sorted(len(f) for f in identify_fragments(instance))
+        assert sizes == [2, 3, 6]
+
+    def test_fragment_query_names(self, instance):
+        fragments = {
+            f.query_names: f.variables for f in identify_fragments(instance)
+        }
+        assert frozenset(
+            fragments[("high-heels", "hiking boots")]
+        ) == frozenset({f"g{i}" for i in range(6)})
+        assert fragments[("hiking boots",)] == frozenset(
+            {f"s{i}" for i in range(3)}
+        )
+        assert fragments[("high-heels",)] == frozenset({"f0", "f1"})
+
+    def test_cover_counts(self, instance):
+        fragments = identify_fragments(instance)
+        counts = fragment_cover_counts(instance, fragments)
+        assert counts == {"hiking boots": 2, "high-heels": 2}
+
+
+class TestFragmentProperties:
+    def test_variable_in_no_query_excluded(self):
+        instance = SharedAggregationInstance(
+            [
+                AggregateQuery("q", ["a", "b"]),
+                AggregateQuery("solo", ["z"]),  # trivial
+            ]
+        )
+        fragments = identify_fragments(instance)
+        all_vars = set().union(*(f.variables for f in fragments))
+        assert "z" not in all_vars
+
+    @settings(deadline=None, max_examples=40)
+    @given(query_families())
+    def test_fragments_partition_active_variables(self, family):
+        sets, rates = family
+        instance = SharedAggregationInstance.from_sets(sets, rates)
+        if not instance.queries:
+            return
+        fragments = identify_fragments(instance)
+        seen = set()
+        for fragment in fragments:
+            assert fragment.variables, "fragments are non-empty"
+            assert not (seen & fragment.variables), "fragments are disjoint"
+            seen |= fragment.variables
+        active = {
+            v
+            for v in instance.variables
+            if any(instance.membership_signature(v))
+        }
+        assert seen == active
+
+    @settings(deadline=None, max_examples=40)
+    @given(query_families())
+    def test_same_fragment_means_same_signature(self, family):
+        sets, rates = family
+        instance = SharedAggregationInstance.from_sets(sets, rates)
+        if not instance.queries:
+            return
+        for fragment in identify_fragments(instance):
+            signatures = {
+                instance.membership_signature(v) for v in fragment.variables
+            }
+            assert len(signatures) == 1
+            assert signatures.pop() == fragment.signature
+
+    @settings(deadline=None, max_examples=40)
+    @given(query_families())
+    def test_queries_are_disjoint_unions_of_fragments(self, family):
+        sets, rates = family
+        instance = SharedAggregationInstance.from_sets(sets, rates)
+        if not instance.queries:
+            return
+        fragments = identify_fragments(instance)
+        for index, query in enumerate(instance.queries):
+            pieces = [f.variables for f in fragments if f.signature[index]]
+            union = set().union(*pieces) if pieces else set()
+            assert union == set(query.variables)
+            assert sum(len(p) for p in pieces) == len(query.variables)
+
+    def test_fragment_count_at_most_variables(self):
+        instance = SharedAggregationInstance.from_sets(
+            {
+                "q1": ["a", "b", "c"],
+                "q2": ["b", "c", "d"],
+                "q3": ["c", "d", "a"],
+            }
+        )
+        fragments = identify_fragments(instance)
+        assert len(fragments) <= len(instance.variables)

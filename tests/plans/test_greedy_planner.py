@@ -1,0 +1,158 @@
+"""Tests for the paper's two-stage greedy planner."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.errors import PlanConstructionError
+from repro.plans.baselines import no_sharing_plan
+from repro.plans.cost import expected_plan_cost
+from repro.plans.greedy_planner import GreedyPlannerStats, greedy_shared_plan
+from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+from tests.conftest import query_families
+
+
+class TestBasics:
+    def test_single_query_chain(self):
+        instance = SharedAggregationInstance.from_sets({"q": ["a", "b", "c"]})
+        plan = greedy_shared_plan(instance)
+        plan.validate()
+        assert plan.total_cost == 2  # |X_q| - 1
+
+    def test_identical_queries_fully_shared(self):
+        instance = SharedAggregationInstance(
+            [
+                AggregateQuery("p", ["a", "b", "c"], 0.5),
+                AggregateQuery("q", ["c", "b", "a"], 0.5),
+            ]
+        )
+        # Dedup merges them upfront; the plan is a single chain.
+        plan = greedy_shared_plan(instance)
+        assert plan.total_cost == 2
+
+    def test_disjoint_queries_no_sharing_possible(self):
+        instance = SharedAggregationInstance.from_sets(
+            {"p": ["a", "b"], "q": ["c", "d"]}
+        )
+        plan = greedy_shared_plan(instance)
+        assert plan.total_cost == 2
+        assert plan.extra_cost == 0
+
+    def test_unknown_strategy_rejected(self):
+        instance = SharedAggregationInstance.from_sets({"q": ["a", "b"]})
+        with pytest.raises(PlanConstructionError):
+            greedy_shared_plan(instance, pair_strategy="bogus")
+
+    def test_stats_populated(self):
+        instance = SharedAggregationInstance.from_sets(
+            {"p": ["a", "b", "c"], "q": ["a", "b", "d"]}
+        )
+        stats = GreedyPlannerStats()
+        greedy_shared_plan(instance, stats=stats)
+        assert stats.fragment_nodes >= 1
+        assert stats.completion_steps + stats.direct_completions >= 1
+        assert "fragment_nodes" in repr(stats)
+
+
+class TestSharingQuality:
+    def test_overlapping_pair_shares_common_part(self):
+        instance = SharedAggregationInstance.from_sets(
+            {"p": ["a", "b", "c"], "q": ["a", "b", "d"]}
+        )
+        plan = greedy_shared_plan(instance)
+        # Optimal: ab, abc, abd = 3 nodes (no-sharing needs 4).
+        assert plan.total_cost == 3
+
+    def test_shoe_store_structure(self):
+        general = [f"g{i}" for i in range(5)]
+        sports = [f"s{i}" for i in range(3)]
+        fashion = [f"f{i}" for i in range(2)]
+        instance = SharedAggregationInstance.from_sets(
+            {
+                "hiking boots": general + sports,
+                "high-heels": general + fashion,
+            }
+        )
+        plan = greedy_shared_plan(instance)
+        baseline = no_sharing_plan(instance)
+        # Shared: 4 (general) + 2 (sports) + 1 (fashion) + 2 joins = 9.
+        assert plan.total_cost == 9
+        assert baseline.total_cost == 13
+        # The general-store aggregate exists and feeds both queries.
+        shared_node = plan.node_for_varset(frozenset(general))
+        assert shared_node is not None
+        downstream = plan.downstream_queries()[shared_node]
+        assert downstream == {"hiking boots", "high-heels"}
+
+    def test_nested_queries_reuse_inner(self):
+        instance = SharedAggregationInstance.from_sets(
+            {"inner": ["a", "b"], "outer": ["a", "b", "c", "d"]}
+        )
+        plan = greedy_shared_plan(instance)
+        # inner = ab (1); outer builds on it: cd then ab|cd or chain.
+        assert plan.total_cost <= 3
+
+    def test_favors_probable_queries(self):
+        """With one hot query and one cold one competing for the shared
+        node, cost stays below the no-sharing baseline and the plan stays
+        valid for both rate assignments."""
+        for hot, cold in [(1.0, 0.05), (0.05, 1.0)]:
+            instance = SharedAggregationInstance.from_sets(
+                {"hot": ["a", "b", "c"], "cold": ["b", "c", "d"]},
+                {"hot": hot, "cold": cold},
+            )
+            plan = greedy_shared_plan(instance)
+            plan.validate()
+            assert expected_plan_cost(plan) <= expected_plan_cost(
+                no_sharing_plan(instance)
+            ) + 1e-9
+
+
+class TestPropertyBased:
+    @settings(
+        deadline=None,
+        max_examples=30,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(query_families())
+    def test_always_produces_valid_plans(self, family):
+        sets, rates = family
+        instance = SharedAggregationInstance.from_sets(sets, rates)
+        if not instance.queries:
+            return
+        plan = greedy_shared_plan(instance)
+        plan.validate()
+        assert plan.total_cost >= instance.base_cost
+
+    @settings(
+        deadline=None,
+        max_examples=30,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(query_families())
+    def test_never_worse_than_no_sharing(self, family):
+        sets, rates = family
+        instance = SharedAggregationInstance.from_sets(sets, rates)
+        if not instance.queries:
+            return
+        shared = expected_plan_cost(greedy_shared_plan(instance))
+        unshared = expected_plan_cost(no_sharing_plan(instance))
+        assert shared <= unshared + 1e-9
+
+    @settings(
+        deadline=None,
+        max_examples=20,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(query_families(max_queries=4, max_vars=7))
+    def test_cover_strategy_also_valid(self, family):
+        sets, rates = family
+        instance = SharedAggregationInstance.from_sets(sets, rates)
+        if not instance.queries:
+            return
+        plan = greedy_shared_plan(instance, pair_strategy="cover")
+        plan.validate()
+        assert expected_plan_cost(plan) <= expected_plan_cost(
+            no_sharing_plan(instance)
+        ) + 1e-9

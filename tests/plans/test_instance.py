@@ -1,0 +1,124 @@
+"""Tests for aggregate queries and shared-aggregation instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidPlanError
+from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+
+
+class TestAggregateQuery:
+    def test_basic(self):
+        query = AggregateQuery("boots", ["a", "b"], 0.4)
+        assert query.variables == frozenset({"a", "b"})
+        assert query.search_rate == 0.4
+        assert len(query) == 2
+
+    def test_requires_variables(self):
+        with pytest.raises(InvalidPlanError):
+            AggregateQuery("q", [])
+
+    @pytest.mark.parametrize("rate", [-0.2, 1.5])
+    def test_rate_range(self, rate):
+        with pytest.raises(InvalidPlanError):
+            AggregateQuery("q", ["a"], rate)
+
+    def test_duplicate_variables_collapse(self):
+        query = AggregateQuery("q", ["a", "a", "b"])
+        assert query.variables == frozenset({"a", "b"})
+
+
+class TestSharedAggregationInstance:
+    def test_basic(self):
+        instance = SharedAggregationInstance(
+            [
+                AggregateQuery("q1", ["a", "b"], 0.5),
+                AggregateQuery("q2", ["b", "c"], 0.7),
+            ]
+        )
+        assert len(instance) == 2
+        assert instance.variables == frozenset({"a", "b", "c"})
+        assert instance.base_cost == 2
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(InvalidPlanError):
+            SharedAggregationInstance(
+                [AggregateQuery("q", ["a", "b"]), AggregateQuery("q", ["c", "d"])]
+            )
+
+    def test_equivalent_queries_merge_with_combined_rate(self):
+        instance = SharedAggregationInstance(
+            [
+                AggregateQuery("q1", ["a", "b"], 0.5),
+                AggregateQuery("q2", ["b", "a"], 0.5),
+            ]
+        )
+        assert len(instance) == 1
+        (query,) = instance.queries
+        # 1 - (1-0.5)(1-0.5) = 0.75: independent occurrence events.
+        assert query.search_rate == pytest.approx(0.75)
+
+    def test_single_variable_queries_are_trivial(self):
+        instance = SharedAggregationInstance(
+            [
+                AggregateQuery("big", ["a", "b"]),
+                AggregateQuery("small", ["c"]),
+            ]
+        )
+        assert [q.name for q in instance.queries] == ["big"]
+        assert [q.name for q in instance.trivial_queries] == ["small"]
+        assert "c" in instance.variables
+
+    def test_needs_at_least_one_query(self):
+        with pytest.raises(InvalidPlanError):
+            SharedAggregationInstance([])
+
+    def test_query_by_name(self):
+        instance = SharedAggregationInstance(
+            [AggregateQuery("q1", ["a", "b"]), AggregateQuery("tiny", ["c"])]
+        )
+        assert instance.query_by_name("q1").variables == frozenset({"a", "b"})
+        assert instance.query_by_name("tiny").variables == frozenset({"c"})
+        with pytest.raises(InvalidPlanError):
+            instance.query_by_name("nope")
+
+    def test_membership_signature(self):
+        instance = SharedAggregationInstance(
+            [
+                AggregateQuery("p", ["a", "b"]),
+                AggregateQuery("q", ["b", "c"]),
+            ]
+        )
+        # Queries are name-sorted: p then q.
+        assert instance.membership_signature("a") == (True, False)
+        assert instance.membership_signature("b") == (True, True)
+        assert instance.membership_signature("c") == (False, True)
+
+    def test_search_rates_mapping(self):
+        instance = SharedAggregationInstance(
+            [
+                AggregateQuery("p", ["a", "b"], 0.3),
+                AggregateQuery("t", ["c"], 0.9),
+            ]
+        )
+        rates = instance.search_rates()
+        assert rates == {"p": 0.3, "t": 0.9}
+
+    def test_from_sets_uniform_rate(self):
+        instance = SharedAggregationInstance.from_sets(
+            {"p": ["a", "b"], "q": ["b", "c"]}, 0.25
+        )
+        assert all(q.search_rate == 0.25 for q in instance.queries)
+
+    def test_from_sets_mapping_rates(self):
+        instance = SharedAggregationInstance.from_sets(
+            {"p": ["a", "b"], "q": ["b", "c"]}, {"p": 0.1}
+        )
+        rates = instance.search_rates()
+        assert rates["p"] == 0.1
+        assert rates["q"] == 1.0
+
+    def test_repr(self):
+        instance = SharedAggregationInstance.from_sets({"p": ["a", "b"]})
+        assert "1 queries" in repr(instance)

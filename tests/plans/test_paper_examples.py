@@ -1,0 +1,66 @@
+"""E2: the Section II-B hiking-boots / high-heels sharing example.
+
+The paper: resolving the two phrases separately scans 240 + 230 = 470
+advertisers; sharing the general-store top-k scans 200 + 30 + 40 = 270 --
+"40% fewer advertisers".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plans.cost import expected_plan_cost
+from repro.plans.executor import PlanExecutor
+from repro.plans.fragments import identify_fragments
+from repro.plans.greedy_planner import greedy_shared_plan
+from repro.plans.baselines import no_sharing_plan
+from repro.workloads.scenarios import SHOE_COUNTS, shoe_store_instance
+
+
+@pytest.fixture(scope="module")
+def shoe_setup():
+    instance, groups = shoe_store_instance()
+    plan = greedy_shared_plan(instance, pair_strategy="cover")
+    return instance, groups, plan
+
+
+class TestShoeStoreExample:
+    def test_paper_counts(self):
+        assert SHOE_COUNTS == {"general": 200, "sports": 40, "fashion": 30}
+
+    def test_fragments_are_the_three_store_kinds(self, shoe_setup):
+        instance, groups, _plan = shoe_setup
+        fragments = identify_fragments(instance)
+        sizes = sorted(len(f) for f in fragments)
+        assert sizes == [30, 40, 200]
+
+    def test_shared_scan_count_is_270(self, shoe_setup):
+        instance, _groups, plan = shoe_setup
+        executor = PlanExecutor(plan, 5)
+        scores = {v: float(v % 97) for v in instance.variables}
+        result = executor.run_round(scores)
+        assert result.advertisers_scanned == 270
+
+    def test_unshared_scan_count_is_470(self, shoe_setup):
+        instance, _groups, _plan = shoe_setup
+        executor = PlanExecutor(no_sharing_plan(instance), 5)
+        scores = {v: float(v % 97) for v in instance.variables}
+        result = executor.run_round(scores)
+        assert result.advertisers_scanned == 470
+
+    def test_forty_percent_fewer(self, shoe_setup):
+        saving = 1 - 270 / 470
+        assert saving == pytest.approx(0.4255, abs=1e-3)
+
+    def test_answers_identical_between_modes(self, shoe_setup):
+        instance, _groups, plan = shoe_setup
+        scores = {v: float((v * 31) % 211) for v in instance.variables}
+        shared = PlanExecutor(plan, 5).run_round(scores)
+        unshared = PlanExecutor(no_sharing_plan(instance), 5).run_round(scores)
+        assert shared.answers == unshared.answers
+
+    def test_shared_plan_cheaper(self, shoe_setup):
+        instance, _groups, plan = shoe_setup
+        assert expected_plan_cost(plan) < expected_plan_cost(
+            no_sharing_plan(instance)
+        )

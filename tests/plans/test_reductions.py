@@ -1,0 +1,130 @@
+"""E4 support: executable Theorem 2 / Theorem 3 reductions.
+
+The key decoded identity on small instances: the minimum plan's extra
+cost is ``|minimum set cover| - 1`` for the closed (Theorem 3)
+construction, so optimal planning solves set cover.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanConstructionError
+from repro.plans.greedy_planner import greedy_shared_plan
+from repro.plans.optimal import optimal_plan
+from repro.plans.reductions import (
+    decode_cover_from_plan,
+    set_cover_to_instance,
+    set_cover_to_instance_closed,
+    universal_query_name,
+)
+from repro.plans.set_cover import exact_min_set_cover, is_exact_cover
+
+
+UNIVERSE = frozenset(range(6))
+COLLECTION = [
+    frozenset({0, 1}),
+    frozenset({2, 3}),
+    frozenset({4, 5}),
+    frozenset({0, 2, 4}),
+    frozenset({1, 3, 5}),
+]
+# Minimum cover: {0,2,4} + {1,3,5} = 2 sets.
+
+
+class TestConstruction:
+    def test_instance_has_universal_plus_sets(self):
+        instance = set_cover_to_instance(UNIVERSE, COLLECTION)
+        names = {q.name for q in instance.queries}
+        assert universal_query_name() in names
+        assert len(names) == len(COLLECTION) + 1
+
+    def test_rejects_non_subset(self):
+        with pytest.raises(PlanConstructionError):
+            set_cover_to_instance({1, 2}, [{1, 3}])
+
+    def test_rejects_non_covering(self):
+        with pytest.raises(PlanConstructionError):
+            set_cover_to_instance({1, 2, 3}, [{1, 2}])
+
+    def test_closed_construction_adds_suffixes(self):
+        instance = set_cover_to_instance_closed(UNIVERSE, COLLECTION)
+        varsets = {q.variables for q in instance.queries}
+        # The suffix {2, 4} of the sorted set {0, 2, 4} must be a query.
+        assert frozenset({2, 4}) in varsets
+        assert UNIVERSE in varsets
+
+    def test_closed_construction_degenerate_universe(self):
+        instance = set_cover_to_instance_closed({1, 2}, [{1, 2}])
+        varsets = {q.variables for q in instance.queries}
+        assert frozenset({1, 2}) in varsets
+
+
+class TestDecoding:
+    def test_optimal_extra_cost_decodes_min_cover(self):
+        """Theorem 3 in action: aggregating a cover of size ``c`` takes
+        ``c - 1`` operator nodes, one of which is the universal query
+        node itself (base cost), so the optimal extra cost is
+        ``c - 2``."""
+        universe = frozenset(range(4))
+        collection = [
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+            frozenset({1, 2}),
+            frozenset({0, 3}),
+        ]
+        instance = set_cover_to_instance_closed(universe, collection)
+        plan = optimal_plan(instance)
+        min_cover = exact_min_set_cover(universe, collection)
+        assert len(min_cover) == 2
+        assert plan.extra_cost == len(min_cover) - 2 == 0
+
+    def test_optimal_extra_cost_three_set_cover(self):
+        """A universe needing a 3-set cover forces exactly one extra node."""
+        universe = frozenset(range(6))
+        collection = [
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+            frozenset({4, 5}),
+            frozenset({0, 2}),
+            frozenset({1, 3}),
+        ]
+        instance = set_cover_to_instance_closed(universe, collection)
+        plan = optimal_plan(instance, extra_nodes=0)
+        min_cover = exact_min_set_cover(universe, collection)
+        assert len(min_cover) == 3
+        assert plan.extra_cost == len(min_cover) - 2 == 1
+
+    def test_decoded_cover_is_valid(self):
+        universe = frozenset(range(4))
+        collection = [
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+            frozenset({1, 2}),
+        ]
+        instance = set_cover_to_instance_closed(universe, collection)
+        plan = optimal_plan(instance)
+        cover = decode_cover_from_plan(plan, universe, collection)
+        assert is_exact_cover(universe, cover)
+        assert len(cover) == len(exact_min_set_cover(universe, collection))
+
+    def test_greedy_planner_cover_within_log_factor(self):
+        """The planner completes the universal query via greedy set
+        cover, so the decoded cover obeys the greedy guarantee."""
+        instance = set_cover_to_instance_closed(UNIVERSE, COLLECTION)
+        plan = greedy_shared_plan(instance)
+        cover = decode_cover_from_plan(plan, UNIVERSE, COLLECTION)
+        assert is_exact_cover(UNIVERSE, cover)
+        optimal_size = len(exact_min_set_cover(UNIVERSE, COLLECTION))
+        import math
+
+        bound = optimal_size * (1 + math.log(len(UNIVERSE)))
+        assert len(cover) <= bound
+
+    def test_decode_requires_universal_query(self):
+        from repro.plans.instance import SharedAggregationInstance
+
+        instance = SharedAggregationInstance.from_sets({"q": ["a", "b"]})
+        plan = greedy_shared_plan(instance)
+        with pytest.raises(PlanConstructionError):
+            decode_cover_from_plan(plan, {"a", "b", "c"}, [{"a", "b"}])

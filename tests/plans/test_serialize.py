@@ -1,0 +1,115 @@
+"""Tests for plan serialization round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.errors import InvalidPlanError
+from repro.plans.baselines import no_sharing_plan
+from repro.plans.cost import expected_plan_cost
+from repro.plans.executor import PlanExecutor
+from repro.plans.greedy_planner import greedy_shared_plan
+from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+from repro.plans.serialize import dumps, loads, plan_from_dict, plan_to_dict
+from tests.conftest import query_families
+
+
+@pytest.fixture
+def plan():
+    instance = SharedAggregationInstance(
+        [
+            AggregateQuery("pq", [1, 2, 3], 0.5),
+            AggregateQuery("qr", [2, 3, 4], 0.75),
+            AggregateQuery("solo", [9], 0.1),
+        ]
+    )
+    return greedy_shared_plan(instance)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_structure(self, plan):
+        restored = loads(dumps(plan))
+        assert restored.total_cost == plan.total_cost
+        assert [n.varset for n in restored.nodes] == [
+            n.varset for n in plan.nodes
+        ]
+        assert expected_plan_cost(restored) == pytest.approx(
+            expected_plan_cost(plan)
+        )
+
+    def test_round_trip_preserves_answers(self, plan):
+        scores = {v: float(hash(v) % 17) for v in plan.instance.variables}
+        original = PlanExecutor(plan, 2).run_round(scores)
+        restored = PlanExecutor(loads(dumps(plan)), 2).run_round(scores)
+        assert original.answers == restored.answers
+        assert original.nodes_materialized == restored.nodes_materialized
+
+    def test_duplicate_label_plans_survive(self):
+        instance = SharedAggregationInstance.from_sets(
+            {"p": [1, 2], "q": [1, 2, 3]}
+        )
+        plan = no_sharing_plan(instance)
+        restored = loads(dumps(plan))
+        assert restored.total_cost == plan.total_cost == 3
+        assert expected_plan_cost(restored) == pytest.approx(
+            expected_plan_cost(plan)
+        )
+
+    def test_string_variables(self):
+        instance = SharedAggregationInstance.from_sets(
+            {"p": ["alice", "bob"], "q": ["bob", "carol"]}
+        )
+        plan = greedy_shared_plan(instance)
+        restored = loads(dumps(plan))
+        assert restored.instance.variables == instance.variables
+
+    @settings(
+        deadline=None,
+        max_examples=20,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(query_families(max_queries=4, max_vars=6))
+    def test_round_trip_property(self, family):
+        sets, rates = family
+        instance = SharedAggregationInstance.from_sets(sets, rates)
+        if not instance.queries:
+            return
+        plan = greedy_shared_plan(instance)
+        restored = loads(dumps(plan))
+        assert restored.total_cost == plan.total_cost
+        assert expected_plan_cost(restored) == pytest.approx(
+            expected_plan_cost(plan)
+        )
+
+
+class TestErrors:
+    def test_invalid_json_rejected(self):
+        with pytest.raises(InvalidPlanError):
+            loads("{not json")
+
+    def test_wrong_version_rejected(self, plan):
+        data = plan_to_dict(plan)
+        data["version"] = 99
+        with pytest.raises(InvalidPlanError):
+            plan_from_dict(data)
+
+    def test_malformed_nodes_rejected(self, plan):
+        data = plan_to_dict(plan)
+        data["internal_nodes"] = [{"id": 1}]
+        with pytest.raises(InvalidPlanError):
+            plan_from_dict(data)
+
+    def test_incomplete_plan_rejected_on_load(self, plan):
+        data = plan_to_dict(plan)
+        data["internal_nodes"] = []
+        with pytest.raises(InvalidPlanError):
+            plan_from_dict(data)
+
+    def test_unserializable_variable_rejected(self):
+        instance = SharedAggregationInstance.from_sets(
+            {"p": [(1, 2), (3, 4)]}
+        )
+        plan = greedy_shared_plan(instance)
+        with pytest.raises(InvalidPlanError):
+            dumps(plan)

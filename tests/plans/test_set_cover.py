@@ -1,0 +1,122 @@
+"""Tests for greedy and exact set cover."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlanConstructionError
+from repro.plans.set_cover import (
+    exact_min_set_cover,
+    greedy_set_cover,
+    is_exact_cover,
+)
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestIsExactCover:
+    def test_valid_cover(self):
+        assert is_exact_cover(fs(1, 2, 3), [fs(1, 2), fs(3)])
+
+    def test_overlapping_cover_allowed(self):
+        assert is_exact_cover(fs(1, 2, 3), [fs(1, 2), fs(2, 3)])
+
+    def test_superset_rejected(self):
+        assert not is_exact_cover(fs(1, 2), [fs(1, 2, 3)])
+
+    def test_partial_rejected(self):
+        assert not is_exact_cover(fs(1, 2, 3), [fs(1, 2)])
+
+
+class TestGreedySetCover:
+    def test_trivial(self):
+        assert greedy_set_cover(fs(1), [fs(1)]) == [fs(1)]
+
+    def test_prefers_bigger_sets(self):
+        cover = greedy_set_cover(
+            fs(1, 2, 3, 4), [fs(1), fs(2), fs(3), fs(4), fs(1, 2, 3)]
+        )
+        assert cover[0] == fs(1, 2, 3)
+        assert len(cover) == 2
+
+    def test_ignores_sets_outside_target(self):
+        cover = greedy_set_cover(fs(1, 2), [fs(1, 2, 3), fs(1), fs(2)])
+        assert fs(1, 2, 3) not in cover
+        assert is_exact_cover(fs(1, 2), cover)
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(PlanConstructionError):
+            greedy_set_cover(fs(1, 2), [fs(1)])
+
+    def test_greedy_worst_case(self):
+        """The classic greedy trap: pairs vs. a big set chain."""
+        target = fs(*range(6))
+        candidates = [
+            fs(0, 1),
+            fs(2, 3),
+            fs(4, 5),
+            fs(0, 2, 4),
+            fs(1, 3, 5),
+        ]
+        greedy = greedy_set_cover(target, candidates)
+        exact = exact_min_set_cover(target, candidates)
+        assert len(exact) == 2
+        assert len(greedy) >= len(exact)
+
+    def test_deterministic_tie_breaking(self):
+        cover1 = greedy_set_cover(fs("a", "b"), [fs("a"), fs("b")])
+        cover2 = greedy_set_cover(fs("a", "b"), [fs("b"), fs("a")])
+        assert cover1 == cover2
+
+
+class TestExactMinSetCover:
+    def test_finds_minimum(self):
+        target = fs(*range(6))
+        candidates = [
+            fs(0, 1),
+            fs(2, 3),
+            fs(4, 5),
+            fs(0, 2, 4),
+            fs(1, 3, 5),
+        ]
+        exact = exact_min_set_cover(target, candidates)
+        assert len(exact) == 2
+        assert is_exact_cover(target, exact)
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(PlanConstructionError):
+            exact_min_set_cover(fs(1, 2), [fs(1)])
+
+    def test_single_set_cover(self):
+        assert exact_min_set_cover(fs(1, 2), [fs(1), fs(1, 2)]) == [fs(1, 2)]
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.integers(min_value=1, max_value=6).flatmap(
+            lambda n: st.tuples(
+                st.just(frozenset(range(n))),
+                st.lists(
+                    st.sets(
+                        st.integers(min_value=0, max_value=n - 1), min_size=1
+                    ).map(frozenset),
+                    min_size=1,
+                    max_size=8,
+                ),
+            )
+        )
+    )
+    def test_exact_at_most_greedy(self, data):
+        target, candidates = data
+        coverable = set().union(*(c & target for c in candidates))
+        if coverable != set(target):
+            with pytest.raises(PlanConstructionError):
+                exact_min_set_cover(target, candidates)
+            return
+        greedy = greedy_set_cover(target, candidates)
+        exact = exact_min_set_cover(target, candidates)
+        assert is_exact_cover(target, greedy)
+        assert is_exact_cover(target, exact)
+        assert len(exact) <= len(greedy)

@@ -1,0 +1,149 @@
+"""Tests for the syntactic (non-associative) optimal planner."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.axioms import Axiom, AxiomProfile
+from repro.algebra.expressions import Op, Var
+from repro.errors import InvalidPlanError
+from repro.plans.syntactic import SyntacticPlan, count_distinct_subterms
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+BARE = AxiomProfile()
+A3 = AxiomProfile({Axiom.A3})
+A4 = AxiomProfile({Axiom.A4})
+A3A4 = AxiomProfile({Axiom.A3, Axiom.A4})
+ASSOC = AxiomProfile({Axiom.A1})
+
+
+class TestConstruction:
+    def test_rejects_associative_profiles(self):
+        with pytest.raises(InvalidPlanError):
+            SyntacticPlan({"q": Op(X, Y)}, ASSOC)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidPlanError):
+            SyntacticPlan({}, BARE)
+
+    def test_single_op(self):
+        plan = SyntacticPlan({"q": Op(X, Y)}, BARE)
+        assert plan.optimal_cost == 1
+        assert plan.num_leaves == 2
+
+    def test_identical_queries_share_fully(self):
+        plan = SyntacticPlan({"p": Op(X, Y), "q": Op(X, Y)}, BARE)
+        assert plan.optimal_cost == 1
+        assert plan.root_of("p") == plan.root_of("q")
+
+    def test_subexpression_shared(self):
+        inner = Op(X, Y)
+        plan = SyntacticPlan(
+            {"small": inner, "big": Op(inner, Z)}, BARE
+        )
+        assert plan.optimal_cost == 2
+        assert plan.root_of("small") in plan.shared_nodes()
+
+    def test_bare_profile_distinguishes_operand_order(self):
+        plan = SyntacticPlan({"p": Op(X, Y), "q": Op(Y, X)}, BARE)
+        assert plan.optimal_cost == 2
+
+    def test_commutative_profile_merges_swapped_operands(self):
+        plan = SyntacticPlan({"p": Op(X, Y), "q": Op(Y, X)}, A4)
+        assert plan.optimal_cost == 1
+        assert plan.root_of("p") == plan.root_of("q")
+
+    def test_idempotent_profile_collapses_squares(self):
+        plan = SyntacticPlan({"p": Op(X, X)}, A3)
+        assert plan.optimal_cost == 0  # x ⊕ x is just x
+        plan_bare = SyntacticPlan({"p": Op(X, X)}, BARE)
+        assert plan_bare.optimal_cost == 1
+
+    def test_nested_idempotent_collapse(self):
+        expr = Op(Op(X, X), Op(X, X))
+        assert SyntacticPlan({"p": expr}, A3).optimal_cost == 0
+        assert SyntacticPlan({"p": expr}, BARE).optimal_cost == 2
+
+    def test_unknown_query_raises(self):
+        plan = SyntacticPlan({"q": Op(X, Y)}, BARE)
+        with pytest.raises(InvalidPlanError):
+            plan.root_of("nope")
+
+
+class TestEvaluation:
+    def test_subtraction_evaluates_correctly(self):
+        """Subtraction is non-associative, non-commutative: the perfect
+        client for the syntactic planner."""
+        queries = {
+            "p": Op(Op(X, Y), Z),
+            "q": Op(X, Op(Y, Z)),
+            "r": Op(X, Y),
+        }
+        plan = SyntacticPlan(queries, BARE)
+        values = plan.evaluate(
+            lambda a, b: a - b, {"x": 10.0, "y": 3.0, "z": 2.0}
+        )
+        assert values == {"p": 5.0, "q": 9.0, "r": 7.0}
+        # Distinct subterms: (x-y) [shared by p and r], ((x-y)-z),
+        # (y-z), (x-(y-z)) -- four operator nodes instead of five.
+        assert plan.optimal_cost == 4
+        assert plan.root_of("r") in plan.shared_nodes()
+
+    def test_missing_binding_raises(self):
+        plan = SyntacticPlan({"q": Op(X, Y)}, BARE)
+        with pytest.raises(InvalidPlanError):
+            plan.evaluate(lambda a, b: a, {"x": 1.0})
+
+    def test_commutative_sharing_stays_correct(self):
+        plan = SyntacticPlan({"p": Op(X, Y), "q": Op(Y, X)}, A4)
+        values = plan.evaluate(lambda a, b: a * b, {"x": 3.0, "y": 4.0})
+        assert values["p"] == values["q"] == 12.0
+
+
+@st.composite
+def small_exprs(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return Var(draw(st.sampled_from(["x", "y", "z"])))
+    return Op(draw(small_exprs(depth=depth - 1)), draw(small_exprs(depth=depth - 1)))
+
+
+class TestOptimality:
+    @settings(deadline=None, max_examples=60)
+    @given(st.lists(small_exprs(), min_size=1, max_size=4))
+    def test_cost_equals_distinct_subterm_count(self, exprs):
+        queries = {f"q{i}": e for i, e in enumerate(exprs)}
+        for profile in (BARE, A3, A4, A3A4):
+            plan = SyntacticPlan(queries, profile)
+            assert plan.optimal_cost == count_distinct_subterms(
+                queries, profile
+            )
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.lists(small_exprs(), min_size=1, max_size=3))
+    def test_stronger_profiles_never_cost_more(self, exprs):
+        queries = {f"q{i}": e for i, e in enumerate(exprs)}
+        bare = SyntacticPlan(queries, BARE).optimal_cost
+        commutative = SyntacticPlan(queries, A4).optimal_cost
+        idempotent = SyntacticPlan(queries, A3).optimal_cost
+        both = SyntacticPlan(queries, A3A4).optimal_cost
+        assert commutative <= bare
+        assert idempotent <= bare
+        assert both <= min(commutative, idempotent)
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.lists(small_exprs(depth=2), min_size=1, max_size=3))
+    def test_evaluation_matches_direct_recursion(self, exprs):
+        queries = {f"q{i}": e for i, e in enumerate(exprs)}
+        assignment = {"x": 2.0, "y": 5.0, "z": 11.0}
+
+        def direct(expr):
+            if isinstance(expr, Var):
+                return assignment[expr.name]
+            return direct(expr.left) - direct(expr.right)
+
+        plan = SyntacticPlan(queries, BARE)
+        values = plan.evaluate(lambda a, b: a - b, assignment)
+        for name, expr in queries.items():
+            assert values[name] == pytest.approx(direct(expr))

@@ -1,0 +1,112 @@
+"""Tests for the shared-sort cost model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sharedsort.cost import (
+    expected_full_sort_cost,
+    expected_occurrences_beyond_first,
+    expected_occurrences_beyond_first_closed_form,
+    expected_savings_of_merge,
+    independent_sort_cost,
+)
+from repro.sharedsort.plan import _huffman_merge_cost
+
+rates_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=0,
+    max_size=8,
+)
+
+
+class TestExpectedOccurrencesBeyondFirst:
+    def test_empty(self):
+        assert expected_occurrences_beyond_first([]) == 0.0
+
+    def test_single_phrase_never_beyond_first(self):
+        assert expected_occurrences_beyond_first([0.8]) == 0.0
+
+    def test_two_certain_phrases(self):
+        assert expected_occurrences_beyond_first([1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_two_halves(self):
+        # E[N] - Pr[N >= 1] = 1.0 - 0.75 = 0.25.
+        assert expected_occurrences_beyond_first([0.5, 0.5]) == pytest.approx(0.25)
+
+    @settings(deadline=None, max_examples=60)
+    @given(rates_lists)
+    def test_paper_form_equals_closed_form(self, rates):
+        paper = expected_occurrences_beyond_first(rates)
+        closed = expected_occurrences_beyond_first_closed_form(rates)
+        assert paper == pytest.approx(closed, abs=1e-9)
+
+    @settings(deadline=None, max_examples=30)
+    @given(rates_lists)
+    def test_matches_monte_carlo(self, rates):
+        rng = random.Random(13)
+        trials = 4000
+        total = 0
+        for _ in range(trials):
+            occurring = sum(1 for r in rates if rng.random() < r)
+            total += max(0, occurring - 1)
+        estimate = total / trials
+        exact = expected_occurrences_beyond_first(rates)
+        assert abs(estimate - exact) < 0.08 * max(1.0, exact) + 0.05
+
+    @settings(deadline=None, max_examples=60)
+    @given(rates_lists)
+    def test_order_invariant(self, rates):
+        shuffled = list(reversed(rates))
+        assert expected_occurrences_beyond_first(
+            rates
+        ) == pytest.approx(expected_occurrences_beyond_first(shuffled))
+
+
+class TestSavingsAndCost:
+    def test_savings_scale_with_size(self):
+        small = expected_savings_of_merge(2, [0.5, 0.5])
+        big = expected_savings_of_merge(8, [0.5, 0.5])
+        assert big == pytest.approx(4 * small)
+
+    def test_no_savings_for_single_phrase(self):
+        assert expected_savings_of_merge(16, [0.9]) == 0.0
+
+    def test_expected_full_sort_cost(self):
+        cost = expected_full_sort_cost(
+            [(4, [1.0]), (2, [0.5, 0.5])]
+        )
+        assert cost == pytest.approx(4 * 1.0 + 2 * 0.75)
+
+    def test_independent_sort_cost_power_of_two(self):
+        # 4 items balanced: sizes 2 + 2 + 4 = 8 per phrase.
+        cost = independent_sort_cost({"p": 4}, {"p": 1.0})
+        assert cost == pytest.approx(8.0)
+
+    def test_independent_sort_cost_scales_with_rate(self):
+        full = independent_sort_cost({"p": 8}, {"p": 1.0})
+        half = independent_sort_cost({"p": 8}, {"p": 0.5})
+        assert half == pytest.approx(full / 2)
+
+    def test_single_item_phrase_costs_nothing(self):
+        assert independent_sort_cost({"p": 1}, {"p": 1.0}) == 0.0
+
+
+class TestHuffmanMergeCost:
+    def test_single_run(self):
+        assert _huffman_merge_cost([5]) == 0
+
+    def test_two_runs(self):
+        assert _huffman_merge_cost([3, 4]) == 7
+
+    def test_huffman_beats_chain(self):
+        sizes = [1, 1, 1, 8]
+        # Chain largest-first: 9 + 10 + 11 = 30; Huffman: 2 + 3 + 11 = 16.
+        assert _huffman_merge_cost(sizes) == 16
+
+    def test_equal_runs_match_balanced(self):
+        # 4 equal runs of 2: merges 4 + 4 + 8 = 16.
+        assert _huffman_merge_cost([2, 2, 2, 2]) == 16

@@ -1,0 +1,140 @@
+"""Tests for on-demand merge operators and their caches."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidPlanError
+from repro.sharedsort.operators import LeafSource, MergeOperator
+
+
+def drain(stream):
+    items = []
+    index = 0
+    while (item := stream.item(index)) is not None:
+        items.append(item)
+        index += 1
+    return items
+
+
+class TestLeafSource:
+    def test_single_item(self):
+        leaf = LeafSource(2.5, 7)
+        assert leaf.item(0) == (2.5, 7)
+        assert leaf.item(1) is None
+        assert leaf.advertiser_ids == frozenset({7})
+
+    def test_pull_counted_once(self):
+        leaf = LeafSource(1.0, 1)
+        leaf.item(0)
+        leaf.item(0)
+        assert leaf.pulls == 1
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(InvalidPlanError):
+            LeafSource(1.0, 1).item(-1)
+
+
+class TestMergeOperator:
+    def test_merges_descending(self):
+        merged = MergeOperator(LeafSource(1.0, 1), LeafSource(3.0, 2))
+        assert drain(merged) == [(3.0, 2), (1.0, 1)]
+
+    def test_tie_broken_by_lower_id(self):
+        merged = MergeOperator(LeafSource(2.0, 5), LeafSource(2.0, 3))
+        assert drain(merged) == [(2.0, 3), (2.0, 5)]
+
+    def test_rejects_overlapping_children(self):
+        with pytest.raises(InvalidPlanError):
+            MergeOperator(LeafSource(1.0, 1), LeafSource(2.0, 1))
+
+    def test_advertiser_ids_union(self):
+        merged = MergeOperator(LeafSource(1.0, 1), LeafSource(2.0, 2))
+        assert merged.advertiser_ids == frozenset({1, 2})
+
+    def test_lazy_no_work_before_demand(self):
+        merged = MergeOperator(LeafSource(1.0, 1), LeafSource(2.0, 2))
+        assert merged.pulls == 0
+
+    def test_on_demand_pull_count(self):
+        left = MergeOperator(LeafSource(9.0, 1), LeafSource(7.0, 2))
+        right = MergeOperator(LeafSource(1.0, 3), LeafSource(2.0, 4))
+        root = MergeOperator(left, right)
+        root.item(0)  # just the top item
+        assert root.pulls == 1
+        # The losing subtree only needed to produce its best candidate.
+        assert right.pulls == 1
+        assert left.pulls == 1
+
+    def test_cache_replay_costs_nothing(self):
+        merged = MergeOperator(LeafSource(1.0, 1), LeafSource(2.0, 2))
+        drain(merged)
+        pulls = merged.pulls
+        drain(merged)
+        assert merged.pulls == pulls
+
+    def test_shared_child_serves_two_parents(self):
+        shared = MergeOperator(LeafSource(5.0, 1), LeafSource(4.0, 2))
+        parent_a = MergeOperator(shared, LeafSource(3.0, 3))
+        parent_b = MergeOperator(shared, LeafSource(6.0, 4))
+        assert [i for _, i in drain(parent_a)] == [1, 2, 3]
+        pulls_after_a = shared.pulls
+        assert [i for _, i in drain(parent_b)] == [4, 1, 2]
+        # Parent B replayed the shared child's cache: no extra pulls.
+        assert shared.pulls == pulls_after_a
+
+    def test_emitted_prefix(self):
+        merged = MergeOperator(LeafSource(1.0, 1), LeafSource(2.0, 2))
+        merged.item(0)
+        assert merged.emitted() == ((2.0, 2),)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    def test_balanced_tree_full_sort(self, bids):
+        leaves = [LeafSource(b, i) for i, b in enumerate(bids)]
+        level = leaves
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(MergeOperator(level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        expected = sorted(
+            ((b, i) for i, b in enumerate(bids)),
+            key=lambda t: (-t[0], t[1]),
+        )
+        assert drain(level[0]) == expected
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=2,
+            max_size=12,
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_worst_case_pulls_bounded_by_subtree(self, bids, demand):
+        leaves = [LeafSource(b, i) for i, b in enumerate(bids)]
+        level = leaves
+        operators = []
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                op = MergeOperator(level[i], level[i + 1])
+                operators.append(op)
+                nxt.append(op)
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        root = level[0]
+        for index in range(min(demand, len(bids))):
+            root.item(index)
+        for op in operators:
+            assert op.pulls <= len(op.advertiser_ids)

@@ -1,0 +1,138 @@
+"""Tests for the threshold algorithm."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidPlanError
+from repro.sharedsort.operators import LeafSource, MergeOperator
+from repro.sharedsort.threshold import threshold_top_k
+
+
+def build_stream(bids):
+    """A balanced on-demand merge tree over {id: bid}."""
+    leaves = [LeafSource(bid, advertiser) for advertiser, bid in sorted(bids.items())]
+    level = leaves
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(MergeOperator(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def brute_force(bids, factors, k):
+    order = sorted(bids, key=lambda i: (-bids[i] * factors[i], i))
+    return order[:k]
+
+
+def run_ta(bids, factors, k):
+    stream = build_stream(bids)
+    ctr_order = sorted(bids, key=lambda i: (-factors[i], i))
+    return threshold_top_k(k, stream, ctr_order, bids, factors)
+
+
+class TestCorrectness:
+    def test_simple(self):
+        bids = {1: 10.0, 2: 5.0, 3: 1.0}
+        factors = {1: 0.1, 2: 1.0, 3: 2.0}
+        result = run_ta(bids, factors, 2)
+        assert list(result.ranking.advertiser_ids()) == brute_force(
+            bids, factors, 2
+        )
+
+    def test_k_larger_than_population(self):
+        bids = {1: 1.0, 2: 2.0}
+        factors = {1: 1.0, 2: 1.0}
+        result = run_ta(bids, factors, 5)
+        assert list(result.ranking.advertiser_ids()) == [2, 1]
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(InvalidPlanError):
+            threshold_top_k(0, build_stream({1: 1.0}), [1], {1: 1.0}, {1: 1.0})
+
+    def test_missing_random_access_raises(self):
+        with pytest.raises(InvalidPlanError):
+            threshold_top_k(1, build_stream({1: 1.0}), [1], {1: 1.0}, {})
+
+    @settings(deadline=None, max_examples=80)
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=30),
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=1,
+            max_size=16,
+        ),
+        st.integers(min_value=1, max_value=5),
+        st.randoms(use_true_random=False),
+    )
+    def test_matches_brute_force(self, bids, k, rnd):
+        factors = {i: rnd.uniform(0.1, 2.0) for i in bids}
+        result = run_ta(bids, factors, k)
+        assert list(result.ranking.advertiser_ids()) == brute_force(
+            bids, factors, k
+        )
+
+
+class TestEfficiency:
+    def test_early_termination_on_aligned_lists(self):
+        """When bid order and factor order agree, TA stops after ~k stages."""
+        n = 64
+        bids = {i: float(n - i) for i in range(n)}
+        factors = {i: (n - i) / n for i in range(n)}
+        result = run_ta(bids, factors, 3)
+        assert result.stages < n / 2
+        assert result.sorted_accesses < n
+
+    def test_full_scan_worst_case_bounded(self):
+        """Anti-correlated lists force deep scans but never beyond both
+        lists' lengths."""
+        n = 32
+        bids = {i: float(i) for i in range(n)}
+        factors = {i: float(n - i) for i in range(n)}
+        result = run_ta(bids, factors, 2)
+        assert result.stages <= n
+        assert result.sorted_accesses <= 2 * n
+
+    def test_counters_consistent(self):
+        bids = {i: float(i * 7 % 13) for i in range(10)}
+        factors = {i: float(i * 5 % 7 + 1) for i in range(10)}
+        result = run_ta(bids, factors, 3)
+        assert result.random_accesses <= 2 * result.stages
+        assert result.sorted_accesses <= 2 * result.stages
+        assert len(result.ranking) == 3
+
+
+class TestSharedStreamIntegration:
+    def test_ta_over_shared_plan_stream(self):
+        from repro.sharedsort.plan import build_shared_sort_plan
+
+        phrases = {
+            "books": [1, 2, 3, 4],
+            "music": [1, 2, 5, 6],
+        }
+        bids = {1: 9.0, 2: 3.0, 3: 7.0, 4: 1.0, 5: 8.0, 6: 2.0}
+        factors = {
+            "books": {1: 0.5, 2: 1.5, 3: 1.0, 4: 2.0},
+            "music": {1: 1.0, 2: 1.0, 5: 0.2, 6: 3.0},
+        }
+        plan = build_shared_sort_plan(phrases, 1.0)
+        live = plan.instantiate(bids)
+        for phrase, ads in phrases.items():
+            ctr_order = sorted(
+                ads, key=lambda i: (-factors[phrase][i], i)
+            )
+            result = threshold_top_k(
+                2,
+                live.stream_for_phrase(phrase),
+                ctr_order,
+                bids,
+                factors[phrase],
+            )
+            expected = sorted(
+                ads, key=lambda i: (-bids[i] * factors[phrase][i], i)
+            )[:2]
+            assert list(result.ranking.advertiser_ids()) == expected

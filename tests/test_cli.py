@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_engine_mode_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["engine", "--mode", "warp"])
+
+
+class TestCommands:
+    def test_example(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "Figures 1-3" in out
+        assert "A" in out and "B" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "greedy shared" in out
+
+    def test_shoes_small(self, capsys):
+        assert main(["shoes", "--general", "10", "--sports", "4", "--fashion", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "scans" in out
+
+    def test_gaming(self, capsys):
+        assert main(["gaming", "--rounds", "30", "--delay", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "naive" in out and "throttled" in out
+
+    def test_engine(self, capsys):
+        assert main(["engine", "--rounds", "5", "--mode", "unshared"]) == 0
+        out = capsys.readouterr().out
+        assert "Engine run" in out
+
+    def test_plan_to_stdout(self, capsys, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "queries": {"p": ["a", "b"], "q": ["b", "c"]},
+                    "search_rates": {"p": 0.5},
+                }
+            )
+        )
+        assert main(["plan", str(spec)]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        assert data["version"] == 1
+
+    def test_plan_to_file_round_trips(self, capsys, tmp_path):
+        from repro.plans.serialize import loads
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"queries": {"p": ["a", "b", "c"]}}))
+        out_path = tmp_path / "plan.json"
+        assert main(["plan", str(spec), "--output", str(out_path)]) == 0
+        plan = loads(out_path.read_text())
+        assert plan.total_cost == 2

@@ -1,0 +1,225 @@
+"""Cross-cutting edge cases and regression guards.
+
+Each test here pins behavior at a boundary that once bit (or could
+plausibly bite) the implementation: duplicate phrases with identical
+advertiser sets, single-advertiser markets, empty rounds, saturated
+budgets, degenerate top-k capacities, and extreme search rates.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.advertiser import Advertiser
+from repro.core.topk import TopKList, top_k_merge, top_k_scan
+from repro.engine import SharedAuctionEngine
+from repro.errors import InvalidPlanError
+from repro.plans.baselines import no_sharing_plan
+from repro.plans.cost import expected_plan_cost
+from repro.plans.executor import PlanExecutor
+from repro.plans.greedy_planner import greedy_shared_plan
+from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+from repro.sharedsort.plan import build_shared_sort_plan
+
+
+class TestIdenticalPhraseDedup:
+    """Two phrases with the same advertiser set are one plan query."""
+
+    def test_engine_resolves_aliased_phrases(self):
+        advertisers = [
+            Advertiser(i, bid=1.0 + i / 10, phrases=frozenset({"a", "b"}))
+            for i in range(5)
+        ]
+        engine = SharedAuctionEngine(
+            advertisers,
+            slot_factors=[0.3],
+            search_rates={"a": 1.0, "b": 1.0},
+            mode="shared",
+            throttle=False,
+            seed=0,
+        )
+        report = engine.run_round(["a", "b"])
+        # Both phrases auctioned; the plan computed the ranking once.
+        assert len(report.occurring_phrases) == 2
+        assert report.displays == 2
+
+    def test_instance_merges_rates(self):
+        instance = SharedAggregationInstance(
+            [
+                AggregateQuery("a", [1, 2], 0.5),
+                AggregateQuery("b", [2, 1], 0.5),
+            ]
+        )
+        assert len(instance.queries) == 1
+        assert instance.queries[0].search_rate == pytest.approx(0.75)
+
+
+class TestDegenerateSizes:
+    def test_single_advertiser_market(self):
+        advertisers = [Advertiser(0, bid=1.0, phrases=frozenset({"p"}))]
+        engine = SharedAuctionEngine(
+            advertisers,
+            slot_factors=[0.3, 0.2],
+            search_rates={"p": 1.0},
+            throttle=False,
+            seed=1,
+        )
+        report = engine.run_round(["p"])
+        # One advertiser, slot 2 empty; GSP price for a lone winner is 0,
+        # so nothing is displayed for pay (price 0 ads are skipped).
+        assert report.displays == 0
+
+    def test_top1_list(self):
+        ranking = TopKList(1, [(3.0, 1), (5.0, 2)])
+        assert ranking.advertiser_ids() == (2,)
+        assert top_k_merge(ranking, TopKList(1, [(9.0, 3)])).advertiser_ids() == (3,)
+
+    def test_plan_for_two_variable_query(self):
+        instance = SharedAggregationInstance.from_sets({"p": ["a", "b"]})
+        plan = greedy_shared_plan(instance)
+        assert plan.total_cost == 1
+        assert expected_plan_cost(plan) == 1.0
+
+    def test_shared_sort_single_advertiser_phrase(self):
+        plan = build_shared_sort_plan({"p": [7]}, 1.0)
+        live = plan.instantiate({7: 2.5})
+        stream = live.stream_for_phrase("p")
+        assert stream.item(0) == (2.5, 7)
+        assert stream.item(1) is None
+
+
+class TestExtremeRates:
+    def test_zero_rate_queries_cost_nothing(self):
+        instance = SharedAggregationInstance(
+            [
+                AggregateQuery("hot", ["a", "b", "c"], 1.0),
+                AggregateQuery("never", ["c", "d", "e"], 0.0),
+            ]
+        )
+        plan = greedy_shared_plan(instance)
+        # The hot chain costs 2; the never-query's extra nodes cost 0.
+        hot_cost = expected_plan_cost(plan)
+        assert hot_cost == pytest.approx(2.0)
+
+    def test_engine_with_zero_rate_never_auctions(self):
+        advertisers = [
+            Advertiser(0, bid=1.0, phrases=frozenset({"p"})),
+            Advertiser(1, bid=2.0, phrases=frozenset({"p"})),
+        ]
+        engine = SharedAuctionEngine(
+            advertisers,
+            slot_factors=[0.3],
+            search_rates={"p": 0.0},
+            seed=2,
+        )
+        report = engine.run(20)
+        assert report.auctions == 0
+        assert report.revenue_cents == 0
+
+
+class TestBudgetSaturation:
+    def test_fully_exhausted_market_goes_quiet(self):
+        advertisers = [
+            Advertiser(
+                i, bid=2.0, daily_budget=0.02, phrases=frozenset({"p"})
+            )
+            for i in range(3)
+        ]
+        engine = SharedAuctionEngine(
+            advertisers,
+            slot_factors=[0.9],
+            search_rates={"p": 1.0},
+            throttle=True,
+            mean_click_delay_rounds=0.0,
+            seed=3,
+        )
+        report = engine.run(60)
+        assert report.forgiven_cents == 0
+        for advertiser in advertisers:
+            assert engine.budget_manager.spent_cents(
+                advertiser.advertiser_id
+            ) <= 2
+
+    def test_throttled_scores_never_negative(self):
+        advertisers = [
+            Advertiser(0, bid=5.0, daily_budget=0.01, phrases=frozenset({"p"})),
+            Advertiser(1, bid=0.5, phrases=frozenset({"p"})),
+        ]
+        engine = SharedAuctionEngine(
+            advertisers,
+            slot_factors=[0.5],
+            search_rates={"p": 1.0},
+            throttle=True,
+            seed=4,
+        )
+        for _ in range(10):
+            engine.run_round(["p"])
+        # No assertion failure = no negative scores fed into top-k.
+
+
+class TestExecutorBoundaries:
+    def test_round_with_no_occurring_queries(self):
+        instance = SharedAggregationInstance.from_sets({"p": [1, 2]})
+        executor = PlanExecutor(greedy_shared_plan(instance), 2)
+        result = executor.run_round({1: 1.0, 2: 2.0}, occurring=[])
+        assert result.answers == {}
+        assert result.nodes_materialized == 0
+
+    def test_scores_with_negative_values(self):
+        """Throttling can push effective scores to zero but the executor
+        must tolerate arbitrary floats."""
+        instance = SharedAggregationInstance.from_sets({"p": [1, 2]})
+        executor = PlanExecutor(greedy_shared_plan(instance), 2)
+        result = executor.run_round({1: -1.0, 2: 0.0})
+        assert result.answers["p"].advertiser_ids() == (2, 1)
+
+    def test_duplicate_scan_entries(self):
+        ranking = top_k_scan(3, [(1.0, 5), (2.0, 5), (0.5, 5)])
+        assert ranking.advertiser_ids() == (5,)
+        assert ranking[0].score == 2.0
+
+    def test_no_sharing_plan_single_query_equals_greedy(self):
+        instance = SharedAggregationInstance.from_sets({"p": list(range(6))})
+        assert (
+            no_sharing_plan(instance).total_cost
+            == greedy_shared_plan(instance).total_cost
+            == 5
+        )
+
+
+class TestDeterminismUnderConcurrentStructures:
+    def test_plan_building_is_order_independent(self):
+        """Feeding queries in different orders yields the same cost
+        (names differ, structure cost must not)."""
+        sets_a = {"q1": ["a", "b", "c"], "q2": ["b", "c", "d"]}
+        sets_b = {"q2": ["b", "c", "d"], "q1": ["a", "b", "c"]}
+        cost_a = expected_plan_cost(
+            greedy_shared_plan(SharedAggregationInstance.from_sets(sets_a))
+        )
+        cost_b = expected_plan_cost(
+            greedy_shared_plan(SharedAggregationInstance.from_sets(sets_b))
+        )
+        assert cost_a == pytest.approx(cost_b)
+
+    def test_engine_history_sums_to_totals(self):
+        rng = random.Random(0)
+        advertisers = [
+            Advertiser(
+                i,
+                bid=rng.uniform(0.5, 2.0),
+                phrases=frozenset({"p", "q"} if i % 2 else {"p"}),
+            )
+            for i in range(8)
+        ]
+        engine = SharedAuctionEngine(
+            advertisers,
+            slot_factors=[0.3, 0.2],
+            search_rates={"p": 0.7, "q": 0.5},
+            seed=6,
+        )
+        report = engine.run(30)
+        assert report.merges == sum(r.merges for r in report.history)
+        assert report.scans == sum(r.scans for r in report.history)
+        assert report.displays == sum(r.displays for r in report.history)
