@@ -12,13 +12,14 @@ from __future__ import annotations
 import pytest
 
 from repro.engine import SharedAuctionEngine
-from repro.metrics.tables import ExperimentTable
+from repro.instrument import MetricsCollector, names
+from repro.metrics.tables import WORK_COLUMN_NAMES, ExperimentTable, work_columns
 from repro.workloads.generator import MarketConfig, generate_market
 
 ROUNDS = 30
 
 
-def build_engine(market, mode: str) -> SharedAuctionEngine:
+def build_engine(market, mode: str, collector=None) -> SharedAuctionEngine:
     return SharedAuctionEngine(
         market.advertisers,
         slot_factors=[0.3, 0.2, 0.1],
@@ -26,6 +27,7 @@ def build_engine(market, mode: str) -> SharedAuctionEngine:
         mode=mode,
         throttle=True,
         seed=13,
+        collector=collector,
     )
 
 
@@ -36,8 +38,7 @@ def test_shared_vs_unshared_work(benchmark):
         [
             "generalists",
             "mode",
-            "scans",
-            "merges",
+            *WORK_COLUMN_NAMES,
             "revenue ($)",
             "identical outcomes",
         ],
@@ -54,9 +55,14 @@ def test_shared_vs_unshared_work(benchmark):
             )
         )
         reports = {}
+        work = {}
         for mode in ("shared", "unshared"):
-            engine = build_engine(market, mode)
+            # The work table comes from measured counters; the timed
+            # benchmark below runs a separate collector-free engine.
+            collector = MetricsCollector()
+            engine = build_engine(market, mode, collector)
             reports[mode] = engine.run(ROUNDS)
+            work[mode] = work_columns(collector)
         identical = (
             reports["shared"].revenue_cents == reports["unshared"].revenue_cents
             and reports["shared"].displays == reports["unshared"].displays
@@ -66,13 +72,19 @@ def test_shared_vs_unshared_work(benchmark):
             table.add(
                 generalists,
                 mode,
-                report.scans,
-                report.merges,
+                *work[mode],
                 report.revenue_cents / 100,
                 identical,
             )
         assert identical
         assert reports["shared"].scans <= reports["unshared"].scans
+        # The counters must tell the same story as the report fields.
+        assert work["shared"][WORK_COLUMN_NAMES.index("leaf scans")] == (
+            reports["shared"].scans
+        )
+        assert work["unshared"][WORK_COLUMN_NAMES.index("scan entries")] == (
+            reports["unshared"].scans
+        )
     table.show()
 
     market = generate_market(

@@ -24,6 +24,13 @@ from repro.metrics.tables import ExperimentTable
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {number}")
+    return number
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -44,6 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     shoes.add_argument("--general", type=int, default=200)
     shoes.add_argument("--sports", type=int, default=40)
     shoes.add_argument("--fashion", type=int, default=30)
+    shoes.add_argument("--seed", type=int, default=0, help="score-draw seed")
 
     gaming = sub.add_parser("gaming", help="Section IV gaming attack")
     gaming.add_argument("--rounds", type=int, default=120)
@@ -57,6 +65,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="shared",
     )
     engine.add_argument("--seed", type=int, default=0)
+    engine.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        help=(
+            "run with an enabled metrics collector and write counters, "
+            "gauges, timers, and the trace-event ring to PATH as JSON; "
+            "also prints the per-subsystem work counter table"
+        ),
+    )
+    engine.add_argument(
+        "--trace-capacity",
+        type=_positive_int,
+        default=65536,
+        help="trace ring capacity (events beyond it drop oldest-first)",
+    )
 
     plan = sub.add_parser(
         "plan", help="build and serialize a shared plan from JSON"
@@ -120,7 +143,7 @@ def _cmd_fig4(seeds: int) -> int:
     return 0
 
 
-def _cmd_shoes(general: int, sports: int, fashion: int) -> int:
+def _cmd_shoes(general: int, sports: int, fashion: int, seed: int = 0) -> int:
     import random
 
     from repro.plans.baselines import no_sharing_plan
@@ -129,7 +152,7 @@ def _cmd_shoes(general: int, sports: int, fashion: int) -> int:
     from repro.workloads.scenarios import shoe_store_instance
 
     instance, _groups = shoe_store_instance(general, sports, fashion)
-    rng = random.Random(0)
+    rng = random.Random(seed)
     scores = {v: rng.uniform(0.1, 5.0) for v in instance.variables}
     shared = PlanExecutor(
         greedy_shared_plan(instance, pair_strategy="cover"), 5
@@ -172,10 +195,29 @@ def _cmd_gaming(rounds: int, delay: int) -> int:
     return 0
 
 
-def _cmd_engine(rounds: int, mode: str, seed: int) -> int:
+def _cmd_engine(
+    rounds: int,
+    mode: str,
+    seed: int,
+    trace_json: Optional[str] = None,
+    trace_capacity: int = 65536,
+) -> int:
     from repro.engine import SharedAuctionEngine
     from repro.workloads.generator import MarketConfig, generate_market
 
+    collector = None
+    if trace_json is not None:
+        from repro.instrument import MetricsCollector, TraceRing
+
+        # Fail before the run, not after: a long simulation should not
+        # end in a traceback because the output directory is missing.
+        try:
+            with open(trace_json, "w"):
+                pass
+        except OSError as error:
+            print(f"cannot write trace to {trace_json}: {error}", file=sys.stderr)
+            return 1
+        collector = MetricsCollector(trace=TraceRing(trace_capacity))
     market = generate_market(MarketConfig(seed=seed))
     engine = SharedAuctionEngine(
         market.advertisers,
@@ -183,6 +225,7 @@ def _cmd_engine(rounds: int, mode: str, seed: int) -> int:
         search_rates=market.search_rates,
         mode=mode,
         seed=seed,
+        collector=collector,
     )
     report = engine.run(rounds)
     table = ExperimentTable(
@@ -197,6 +240,12 @@ def _cmd_engine(rounds: int, mode: str, seed: int) -> int:
         report.forgiven_cents / 100,
     )
     table.show()
+    if collector is not None and trace_json is not None:
+        from repro.metrics.tables import counter_table
+
+        counter_table(collector, title=f"Work counters: mode={mode}").show()
+        collector.dump(trace_json)
+        print(f"metrics + trace written to {trace_json}")
     return 0
 
 
@@ -237,11 +286,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "fig4":
         return _cmd_fig4(args.seeds)
     if args.command == "shoes":
-        return _cmd_shoes(args.general, args.sports, args.fashion)
+        return _cmd_shoes(args.general, args.sports, args.fashion, args.seed)
     if args.command == "gaming":
         return _cmd_gaming(args.rounds, args.delay)
     if args.command == "engine":
-        return _cmd_engine(args.rounds, args.mode, args.seed)
+        return _cmd_engine(
+            args.rounds,
+            args.mode,
+            args.seed,
+            args.trace_json,
+            args.trace_capacity,
+        )
     if args.command == "plan":
         return _cmd_plan(args.spec, args.output)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence, Tuple
 
 from repro.errors import InvalidAuctionError
+from repro.instrument import NULL, Collector, names as metric_names
 
 __all__ = ["ScoredAdvertiser", "TopKList", "top_k_merge", "top_k_scan"]
 
@@ -151,7 +152,9 @@ class TopKList:
         return TopKList(self._k, (*self._entries, entry))
 
 
-def top_k_merge(left: TopKList, right: TopKList) -> TopKList:
+def top_k_merge(
+    left: TopKList, right: TopKList, collector: Collector = NULL
+) -> TopKList:
     """The paper's binary top-k aggregation operator ``⊕``.
 
     Returns the top ``k`` of the union of the two input k-lists.  The
@@ -159,9 +162,19 @@ def top_k_merge(left: TopKList, right: TopKList) -> TopKList:
     has :meth:`TopKList.empty` as identity (A2); those properties are what
     Section II-C abstracts into the semilattice-with-identity axioms.
 
+    Args:
+        left: One operand.
+        right: The other operand (same capacity).
+        collector: Counts one ``topk.merges`` per call.  Callers that
+            already account merges at a higher level (the plan executor)
+            leave the default no-op collector here to avoid double
+            counting.
+
     Raises:
         InvalidAuctionError: If the two lists have different capacities.
     """
+    if collector.enabled:
+        collector.incr(metric_names.TOPK_MERGES)
     if left.k != right.k:
         raise InvalidAuctionError(
             f"cannot merge top-k lists with different k: {left.k} vs {right.k}"
@@ -194,7 +207,9 @@ def top_k_merge(left: TopKList, right: TopKList) -> TopKList:
 
 
 def top_k_scan(
-    k: int, scored: Iterable[ScoredAdvertiser | Tuple[float, int]]
+    k: int,
+    scored: Iterable[ScoredAdvertiser | Tuple[float, int]],
+    collector: Collector = NULL,
 ) -> TopKList:
     """Single-scan top-k over a stream of scored advertisers.
 
@@ -203,10 +218,20 @@ def top_k_scan(
     advertiser appearing multiple times keeps only its best score (it can
     win at most one slot); duplicate appearances of the current heap
     members are resolved through the final canonicalization.
+
+    Args:
+        k: Capacity of the result.
+        scored: The stream of scored advertisers.
+        collector: Counts one ``topk.scans`` per call and one
+            ``topk.scan_entries`` per stream element (flushed once at the
+            end of the pass, so the disabled overhead is two no-op calls
+            per scan, not per entry).
     """
     heap: list[Tuple[Tuple[float, int], ScoredAdvertiser]] = []
     members: dict[int, Tuple[float, int]] = {}
+    entries_seen = 0
     for entry in scored:
+        entries_seen += 1
         if not isinstance(entry, ScoredAdvertiser):
             score, advertiser_id = entry
             entry = ScoredAdvertiser(float(score), int(advertiser_id))
@@ -230,4 +255,6 @@ def top_k_scan(
             evicted = heapq.heapreplace(heap, item)
             del members[evicted[1].advertiser_id]
             members[entry.advertiser_id] = entry.sort_key
+    collector.incr(metric_names.TOPK_SCANS)
+    collector.incr(metric_names.TOPK_SCAN_ENTRIES, entries_seen)
     return TopKList(k, (entry for _, entry in heap))

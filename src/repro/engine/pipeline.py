@@ -28,6 +28,7 @@ from repro.core.topk import ScoredAdvertiser, TopKList, top_k_scan
 from repro.engine.budget_manager import BudgetManager
 from repro.engine.click_model import DelayedClickModel
 from repro.errors import InvalidAuctionError
+from repro.instrument import NULL, Collector, names as metric_names
 from repro.plans.executor import PlanExecutor
 from repro.plans.greedy_planner import greedy_shared_plan
 from repro.plans.instance import AggregateQuery, SharedAggregationInstance
@@ -49,6 +50,14 @@ class RoundReport:
         forgiven_cents: Click value forgiven this round.
         displays: Ads displayed this round.
         clicks: Clicks that arrived this round.
+        allocations: Per occurring phrase, the displayed ads as
+            ``(slot, advertiser_id, price_cents)`` triples in slot
+            order -- the round's full auction outcome, used by the
+            differential tests to assert shared and unshared modes agree
+            winner by winner.
+        counters: When the engine runs with an enabled collector, the
+            collector's counter increments attributable to this round
+            (zero deltas omitted); ``None`` otherwise.
     """
 
     round_index: int
@@ -59,11 +68,21 @@ class RoundReport:
     forgiven_cents: int = 0
     displays: int = 0
     clicks: int = 0
+    allocations: Dict[str, Tuple[Tuple[int, int, int], ...]] = field(
+        default_factory=dict
+    )
+    counters: Optional[Dict[str, int]] = None
 
 
 @dataclass
 class EngineReport:
-    """Aggregate counters over a whole run."""
+    """Aggregate counters over a whole run.
+
+    Attributes:
+        counters: Cumulative counter increments across all absorbed
+            rounds when the engine ran with an enabled collector,
+            ``None`` otherwise.
+    """
 
     rounds: int = 0
     auctions: int = 0
@@ -74,6 +93,7 @@ class EngineReport:
     displays: int = 0
     clicks: int = 0
     history: List[RoundReport] = field(default_factory=list)
+    counters: Optional[Dict[str, int]] = None
 
     def absorb(self, report: RoundReport) -> None:
         """Fold one round's counters into the totals."""
@@ -85,6 +105,11 @@ class EngineReport:
         self.forgiven_cents += report.forgiven_cents
         self.displays += report.displays
         self.clicks += report.clicks
+        if report.counters is not None:
+            if self.counters is None:
+                self.counters = {}
+            for name, value in report.counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
         self.history.append(report)
 
 
@@ -111,6 +136,25 @@ class SharedAuctionEngine:
         mean_click_delay_rounds: Mean click arrival delay.
         click_horizon_rounds: Rounds after which an unclicked ad expires.
         seed: Seed for phrase occurrence and click simulation.
+        collector: Optional :class:`repro.instrument.Collector`.  When an
+            enabled collector is supplied, the engine threads it through
+            the plan executor / shared-sort network / threshold algorithm
+            / per-phrase scans, flushes ``engine.*`` rollups, and attaches
+            per-round counter deltas to :attr:`RoundReport.counters` and
+            cumulative totals to :attr:`EngineReport.counters`.  ``None``
+            (the default) uses the shared no-op collector; the engine
+            then does no metric bookkeeping beyond the report fields.
+
+    Determinism contract: a fixed ``(advertisers, slot_factors,
+    search_rates, mode, throttle, decay, click delays, seed)`` tuple
+    yields a bit-identical run -- same occurring phrases, allocations,
+    prices, clicks, and work counters -- independent of process, platform,
+    and ``PYTHONHASHSEED`` (all set/dict iteration feeding planning or
+    sampling is explicitly sorted).  All randomness flows from the single
+    ``random.Random(seed)`` shared by phrase sampling and the click
+    model, so two engines in different modes stay draw-for-draw aligned
+    exactly as long as their outcomes are identical -- which the
+    differential tests assert they always are.
     """
 
     def __init__(
@@ -124,12 +168,14 @@ class SharedAuctionEngine:
         mean_click_delay_rounds: float = 2.0,
         click_horizon_rounds: int = 16,
         seed: int = 0,
+        collector: Optional[Collector] = None,
     ) -> None:
         if mode not in ("shared", "unshared", "shared-sort"):
             raise InvalidAuctionError(f"unknown engine mode {mode!r}")
         self.advertisers = tuple(advertisers)
         self.mode = mode
         self.throttle = throttle
+        self.collector: Collector = collector if collector is not None else NULL
         self._by_id = {a.advertiser_id: a for a in self.advertisers}
         if len(self._by_id) != len(self.advertisers):
             raise InvalidAuctionError("duplicate advertiser ids")
@@ -140,12 +186,18 @@ class SharedAuctionEngine:
         self.k = len(tuple(slot_factors))
         phrase_map: Dict[str, List[int]] = {}
         for advertiser in self.advertisers:
-            for phrase in advertiser.phrases:
+            # Iterate phrases sorted: frozenset order depends on string
+            # hashing, and letting it leak into dict build order would
+            # make plan tie-breaking (hence work counters) vary with
+            # PYTHONHASHSEED.  Outcomes were never affected; the plan
+            # *shape* was.
+            for phrase in sorted(advertiser.phrases):
                 phrase_map.setdefault(phrase, []).append(
                     advertiser.advertiser_id
                 )
         self.phrase_advertisers: Dict[str, Tuple[int, ...]] = {
-            phrase: tuple(sorted(ids)) for phrase, ids in phrase_map.items()
+            phrase: tuple(sorted(ids))
+            for phrase, ids in sorted(phrase_map.items())
         }
         self.search_rates: Dict[str, float] = {
             phrase: float(search_rates.get(phrase, 1.0))
@@ -175,7 +227,7 @@ class SharedAuctionEngine:
             strategy = "cover" if len(instance.variables) > 64 else "full"
             plan = greedy_shared_plan(instance, pair_strategy=strategy)
             # k + 1 so GSP can read the runner-up score.
-            self._executor = PlanExecutor(plan, self.k + 1)
+            self._executor = PlanExecutor(plan, self.k + 1, self.collector)
             # Phrases with identical advertiser sets are A-equivalent and
             # deduplicate to one plan query; map each phrase to the
             # surviving query's name.
@@ -226,7 +278,39 @@ class SharedAuctionEngine:
         Args:
             occurring: The phrases that occur; sampled from the search
                 rates when omitted.
+
+        Returns:
+            The round's report.  With an enabled collector the report
+            additionally carries the round's counter deltas in
+            :attr:`RoundReport.counters`.
         """
+        collector = self.collector
+        if not collector.enabled:
+            return self._resolve_round(occurring)
+        snapshot = collector.snapshot()
+        with collector.timer(metric_names.ENGINE_ROUND_TIMER):
+            report = self._resolve_round(occurring)
+        collector.incr(metric_names.ENGINE_ROUNDS)
+        collector.incr(metric_names.ENGINE_PHRASES, len(report.occurring_phrases))
+        collector.incr(metric_names.ENGINE_DISPLAYS, report.displays)
+        collector.incr(metric_names.ENGINE_CLICKS, report.clicks)
+        collector.incr(metric_names.ENGINE_REVENUE_CENTS, report.revenue_cents)
+        collector.incr(metric_names.ENGINE_FORGIVEN_CENTS, report.forgiven_cents)
+        report.counters = collector.delta_since(snapshot)
+        collector.event(
+            "engine.round",
+            round_index=report.round_index,
+            phrases=len(report.occurring_phrases),
+            displays=report.displays,
+            clicks=report.clicks,
+            revenue_cents=report.revenue_cents,
+        )
+        return report
+
+    def _resolve_round(
+        self, occurring: Optional[Iterable[str]] = None
+    ) -> RoundReport:
+        """The uninstrumented round resolution (see :meth:`run_round`)."""
         round_index = self._round_index
         self._round_index += 1
         phrases = (
@@ -297,7 +381,7 @@ class SharedAuctionEngine:
                 advertiser_id: value / 100.0
                 for advertiser_id, value in effective_bid_cents.items()
             }
-            live = self._sort_plan.instantiate(bids)
+            live = self._sort_plan.instantiate(bids, self.collector)
             for phrase in phrases:
                 ids = self.phrase_advertisers[phrase]
                 factors = {
@@ -309,6 +393,7 @@ class SharedAuctionEngine:
                     self._ctr_orders[phrase],
                     bids,
                     factors,
+                    self.collector,
                 )
                 rankings[phrase] = ta.ranking
                 report.scans += ta.sorted_accesses
@@ -320,12 +405,14 @@ class SharedAuctionEngine:
                 rankings[phrase] = top_k_scan(
                     self.k + 1,
                     (ScoredAdvertiser(scores[i], i) for i in ids),
+                    self.collector,
                 )
 
         # 4. Allocate, price (GSP), display.
         for phrase in phrases:
             ranking = rankings[phrase]
             entries = ranking.entries
+            allocated: List[Tuple[int, int, int]] = []
             for slot in range(min(self.k, len(entries))):
                 entry = entries[slot]
                 advertiser = self._by_id[entry.advertiser_id]
@@ -356,6 +443,8 @@ class SharedAuctionEngine:
                     entry.advertiser_id, phrase, price, ctr, round_index
                 )
                 report.displays += 1
+                allocated.append((slot, entry.advertiser_id, price))
+            report.allocations[phrase] = tuple(allocated)
         return report
 
     def run(self, rounds: int) -> EngineReport:

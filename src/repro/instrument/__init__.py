@@ -1,0 +1,45 @@
+"""Engine-wide instrumentation: metric registry and trace events.
+
+The paper's claims are *work* claims -- shared plans materialize fewer
+nodes (Section II), shared merge-sort streams feed the threshold
+algorithm with fewer accesses (Section III) -- so the library threads a
+collector through every hot path to account for where work happens.
+
+Usage:
+
+    from repro.instrument import MetricsCollector, TraceRing, names
+
+    collector = MetricsCollector(trace=TraceRing())
+    engine = SharedAuctionEngine(..., collector=collector)
+    engine.run(100)
+    print(collector.counter(names.PLAN_NODES))
+    collector.dump("trace.json")
+
+Instrumentation is off by default: every instrumented entry point
+defaults to :data:`NULL`, a shared no-op collector whose methods do
+nothing, and hot loops accumulate counts locally and flush once, so the
+disabled overhead is a handful of no-op calls per round.  See
+:mod:`repro.instrument.names` for the canonical counter vocabulary and
+its mapping onto the paper's cost models.
+"""
+
+from repro.instrument import names
+from repro.instrument.registry import (
+    NULL,
+    Collector,
+    MetricsCollector,
+    NullCollector,
+    TimerStats,
+)
+from repro.instrument.trace import TraceEvent, TraceRing
+
+__all__ = [
+    "Collector",
+    "MetricsCollector",
+    "NullCollector",
+    "TimerStats",
+    "NULL",
+    "TraceEvent",
+    "TraceRing",
+    "names",
+]

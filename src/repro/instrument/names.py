@@ -1,0 +1,128 @@
+"""Canonical counter, gauge, and timer names.
+
+Every instrumented module draws its metric names from this table so
+tests, benchmarks, and exports agree on spelling.  The names map onto
+the paper's work accounting as follows:
+
+========================  ==================================================
+name                      meaning (paper reference)
+========================  ==================================================
+``plan.nodes``            operator nodes materialized by the plan executor
+                          per the Section II-B cost model
+                          ``sum_v (1 - prod_q (1 - sr_q))``; on sr=1
+                          instances the per-round average equals
+                          :func:`repro.plans.cost.expected_plan_cost`
+                          exactly.
+``plan.merges``           binary top-k merges performed (one per
+                          materialized operator node).
+``plan.cache_hits``       round-memo hits: a node requested again within
+                          the round after materialization (sharing paying
+                          off inside one round).
+``plan.cache_misses``     round-memo misses (first materialization of a
+                          node in a round, leaves included).
+``plan.leaf_scans``       advertiser leaf values read by operator nodes
+                          (the shoe-store example's 470-vs-270 scan
+                          bookkeeping).
+``plan.node_merges``      *keyed* counter: merges per plan node id.
+``topk.scans``            :func:`repro.core.topk.top_k_scan` invocations
+                          (one per unshared per-phrase ranking).
+``topk.scan_entries``     entries consumed by ``top_k_scan`` -- the
+                          Section II-A unshared baseline's work.
+``topk.merges``           :func:`repro.core.topk.top_k_merge` calls made
+                          with an enabled collector.
+``sort.leaf_reads``       advertiser bids read from the store by the
+                          Section III merge network (sequential accesses).
+``sort.operator_pulls``   items produced by on-demand merge operators --
+                          the full-sort cost model's unit of work.
+``sort.cache_replays``    stream reads served from an operator's output
+                          cache with zero child pulls (sharing across
+                          phrases paying off).
+``sort.node_pulls``       *keyed* counter: pulls per shared-sort plan node
+                          (assembly operators keyed by phrase).
+``ta.runs``               threshold-algorithm invocations (one per
+                          occurring phrase in shared-sort mode).
+``ta.sorted_accesses``    Section III sorted accesses across both lists.
+``ta.random_accesses``    random-access score resolutions.
+``ta.stages``             total stages executed; the gauge
+                          ``ta.stop_depth`` holds the depth at which the
+                          most recent run stopped.
+``engine.rounds``         rounds resolved by the engine.
+``engine.phrases``        phrase auctions resolved.
+``engine.displays``       ads displayed.
+``engine.clicks``         clicks settled *within rounds*.
+``engine.revenue_cents``  click payments charged within rounds.  The
+                          end-of-run flush of still-pending clicks
+                          (:meth:`SharedAuctionEngine.run`) settles
+                          outside any round and is reported on
+                          :class:`EngineReport` only, so a short run's
+                          ``EngineReport.revenue_cents`` can exceed this
+                          counter.
+``engine.forgiven_cents`` click value forgiven (over-budget clicks),
+                          within rounds -- same flush caveat as revenue.
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PLAN_NODES",
+    "PLAN_MERGES",
+    "PLAN_CACHE_HITS",
+    "PLAN_CACHE_MISSES",
+    "PLAN_LEAF_SCANS",
+    "PLAN_NODE_MERGES",
+    "TOPK_SCANS",
+    "TOPK_SCAN_ENTRIES",
+    "TOPK_MERGES",
+    "SORT_LEAF_READS",
+    "SORT_OPERATOR_PULLS",
+    "SORT_CACHE_REPLAYS",
+    "SORT_NODE_PULLS",
+    "TA_RUNS",
+    "TA_SORTED_ACCESSES",
+    "TA_RANDOM_ACCESSES",
+    "TA_STAGES",
+    "TA_STOP_DEPTH",
+    "ENGINE_ROUNDS",
+    "ENGINE_PHRASES",
+    "ENGINE_DISPLAYS",
+    "ENGINE_CLICKS",
+    "ENGINE_REVENUE_CENTS",
+    "ENGINE_FORGIVEN_CENTS",
+    "ENGINE_ROUND_TIMER",
+]
+
+# Shared-plan executor (Section II).
+PLAN_NODES = "plan.nodes"
+PLAN_MERGES = "plan.merges"
+PLAN_CACHE_HITS = "plan.cache_hits"
+PLAN_CACHE_MISSES = "plan.cache_misses"
+PLAN_LEAF_SCANS = "plan.leaf_scans"
+PLAN_NODE_MERGES = "plan.node_merges"
+
+# Top-k primitives (Section II-A).
+TOPK_SCANS = "topk.scans"
+TOPK_SCAN_ENTRIES = "topk.scan_entries"
+TOPK_MERGES = "topk.merges"
+
+# Shared on-demand merge-sort (Section III-B).
+SORT_LEAF_READS = "sort.leaf_reads"
+SORT_OPERATOR_PULLS = "sort.operator_pulls"
+SORT_CACHE_REPLAYS = "sort.cache_replays"
+SORT_NODE_PULLS = "sort.node_pulls"
+
+# Threshold algorithm (Section III-A).
+TA_RUNS = "ta.runs"
+TA_SORTED_ACCESSES = "ta.sorted_accesses"
+TA_RANDOM_ACCESSES = "ta.random_accesses"
+TA_STAGES = "ta.stages"
+TA_STOP_DEPTH = "ta.stop_depth"
+
+# Engine rollups.
+ENGINE_ROUNDS = "engine.rounds"
+ENGINE_PHRASES = "engine.phrases"
+ENGINE_DISPLAYS = "engine.displays"
+ENGINE_CLICKS = "engine.clicks"
+ENGINE_REVENUE_CENTS = "engine.revenue_cents"
+ENGINE_FORGIVEN_CENTS = "engine.forgiven_cents"
+ENGINE_ROUND_TIMER = "engine.round_seconds"

@@ -1,0 +1,118 @@
+"""Structured trace events in a bounded ring buffer.
+
+A :class:`TraceRing` records :class:`TraceEvent` tuples emitted by an
+enabled collector.  The buffer is a fixed-capacity ring: once full, the
+oldest events are dropped (and counted in :attr:`TraceRing.dropped`) so
+tracing a long engine run has bounded memory no matter how many rounds
+execute.  Events carry a monotonically increasing sequence number, a
+perf-counter timestamp relative to the ring's creation, an event name,
+and a flat mapping of JSON-serializable fields.
+
+The export format is deliberately plain -- ``{"events": [...],
+"dropped": n}`` with one object per event -- so traces can be consumed
+by ``jq``, pandas, or the Chrome-trace-style tooling of choice without a
+schema dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Mapping, Optional
+
+from repro.errors import InvalidAuctionError
+
+__all__ = ["TraceEvent", "TraceRing"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    Attributes:
+        seq: Monotonically increasing sequence number (never reused, even
+            when earlier events have been dropped from the ring).
+        elapsed_s: Seconds since the ring was created (perf-counter
+            clock; informational only -- never asserted on by tests).
+        name: Event name, dotted like counter names (e.g.
+            ``"engine.round"``).
+        fields: Flat JSON-serializable payload.
+    """
+
+    seq: int
+    elapsed_s: float
+    name: str
+    fields: Mapping[str, Any]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The event as a plain JSON-ready dict."""
+        return {
+            "seq": self.seq,
+            "elapsed_s": self.elapsed_s,
+            "name": self.name,
+            **dict(self.fields),
+        }
+
+
+class TraceRing:
+    """A fixed-capacity ring buffer of trace events.
+
+    Args:
+        capacity: Maximum events retained; older events are dropped
+            (counted) once the ring is full.  Must be positive.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise InvalidAuctionError(
+                f"trace ring capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._next_seq = 0
+        self.dropped = 0
+        self._start = time.perf_counter()
+
+    def append(self, name: str, **fields: Any) -> TraceEvent:
+        """Record one event; returns the stored record."""
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        event = TraceEvent(
+            seq=self._next_seq,
+            elapsed_s=time.perf_counter() - self._start,
+            name=name,
+            fields=fields,
+        )
+        self._next_seq += 1
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        """Drop all retained events (sequence numbers keep increasing)."""
+        self._events.clear()
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The ring contents as a JSON-ready dict."""
+        return {
+            "dropped": self.dropped,
+            "events": [event.as_dict() for event in self._events],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize the ring contents to JSON text."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    def dump(self, path: str, indent: Optional[int] = 2) -> None:
+        """Write the ring contents to ``path`` as JSON."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json(indent=indent))
+            handle.write("\n")

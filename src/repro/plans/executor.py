@@ -18,6 +18,7 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.topk import ScoredAdvertiser, TopKList, top_k_merge
 from repro.errors import InvalidPlanError
+from repro.instrument import NULL, Collector, names as metric_names
 from repro.plans.dag import Plan
 
 __all__ = ["PlanExecutor", "ExecutionResult"]
@@ -37,12 +38,19 @@ class ExecutionResult:
             operator node -- kept separate in case subclasses batch.
         advertisers_scanned: Leaf values read this round (used by the
             scan-count comparisons, e.g. the shoe-store example E2).
+        cache_hits: Node requests served by the round memo -- a node
+            shared by several occurring queries is materialized once and
+            hit here thereafter.
+        cache_misses: First materializations within the round (leaves
+            included), the complement of ``cache_hits``.
     """
 
     answers: Dict[str, TopKList] = field(default_factory=dict)
     nodes_materialized: int = 0
     merges_performed: int = 0
     advertisers_scanned: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 class PlanExecutor:
@@ -51,14 +59,19 @@ class PlanExecutor:
     Args:
         plan: A validated complete plan.
         k: The top-k capacity (number of ad slots).
+        collector: Receives ``plan.*`` counters each round (see
+            :mod:`repro.instrument.names`).  The default no-op collector
+            keeps the executor's own ``ExecutionResult`` counters as the
+            only bookkeeping.
     """
 
-    def __init__(self, plan: Plan, k: int) -> None:
+    def __init__(self, plan: Plan, k: int, collector: Collector = NULL) -> None:
         plan.validate()
         if k <= 0:
             raise InvalidPlanError(f"k must be positive, got {k}")
         self.plan = plan
         self.k = k
+        self.collector = collector
 
     def run_round(
         self,
@@ -86,6 +99,8 @@ class PlanExecutor:
             names = list(occurring)
         result = ExecutionResult()
         cache: Dict[int, TopKList] = {}
+        collector = self.collector
+        keyed = collector.enabled
 
         def materialize(node_id: int) -> TopKList:
             """Evaluate a node, memoized for the round.
@@ -100,7 +115,9 @@ class PlanExecutor:
             """
             cached = cache.get(node_id)
             if cached is not None:
+                result.cache_hits += 1
                 return cached
+            result.cache_misses += 1
             node = plan.node(node_id)
             if node.is_leaf:
                 variable = node.variable
@@ -121,6 +138,8 @@ class PlanExecutor:
                 )
                 result.nodes_materialized += 1
                 result.merges_performed += 1
+                if keyed:
+                    collector.incr_keyed(metric_names.PLAN_NODE_MERGES, node_id)
             cache[node_id] = value
             return value
 
@@ -132,6 +151,22 @@ class PlanExecutor:
             if plan.node(node_id).is_leaf:
                 result.advertisers_scanned += 1
             result.answers[name] = materialize(node_id)
+
+        # Flush the round's tallies once; with the null collector these
+        # five calls are the executor's entire instrumentation overhead.
+        collector.incr(metric_names.PLAN_NODES, result.nodes_materialized)
+        collector.incr(metric_names.PLAN_MERGES, result.merges_performed)
+        collector.incr(metric_names.PLAN_LEAF_SCANS, result.advertisers_scanned)
+        collector.incr(metric_names.PLAN_CACHE_HITS, result.cache_hits)
+        collector.incr(metric_names.PLAN_CACHE_MISSES, result.cache_misses)
+        if keyed:
+            collector.event(
+                "plan.round",
+                queries=len(names),
+                nodes=result.nodes_materialized,
+                cache_hits=result.cache_hits,
+                leaf_scans=result.advertisers_scanned,
+            )
         return result
 
     def average_cost(

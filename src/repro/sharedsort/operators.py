@@ -16,9 +16,10 @@ library).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidPlanError
+from repro.instrument import NULL, Collector, names as metric_names
 
 __all__ = ["SortStream", "LeafSource", "MergeOperator"]
 
@@ -39,20 +40,39 @@ class SortStream:
     (phrases) can read the same stream at their own pace, which is what
     makes the operators shareable.  Subclasses implement
     :meth:`_produce_next` returning the next item or ``None``.
+
+    Args:
+        collector: Receives ``sort.*`` counters: ``sort.cache_replays``
+            for reads served from the output cache (zero child pulls),
+            ``sort.leaf_reads`` / ``sort.operator_pulls`` for produced
+            items, and -- when enabled and a ``label`` is set --
+            ``sort.node_pulls`` keyed by the label.
+        label: Stable identity of this stream within its plan (node id,
+            or a phrase-assembly tag); used only for keyed counters.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, collector: Collector = NULL, label: Optional[Hashable] = None
+    ) -> None:
         self._cache: List[Item] = []
         self._exhausted = False
         self.pulls = 0
+        self.collector = collector
+        self.label = label
 
     def item(self, index: int) -> Optional[Item]:
         """Return the ``index``-th item (0-based), or ``None`` past the end.
 
-        Items already emitted are served from the cache without work.
+        Items already emitted are served from the cache without work: a
+        replayed read performs zero child pulls by construction (counted
+        as ``sort.cache_replays`` when collection is on).
         """
         if index < 0:
             raise InvalidPlanError(f"stream index must be non-negative: {index}")
+        if index < len(self._cache):
+            if self.collector.enabled:
+                self.collector.incr(metric_names.SORT_CACHE_REPLAYS)
+            return self._cache[index]
         while len(self._cache) <= index and not self._exhausted:
             produced = self._produce_next()
             if produced is None:
@@ -78,8 +98,14 @@ class LeafSource(SortStream):
     one sequential access to the advertiser's bid.
     """
 
-    def __init__(self, bid: float, advertiser_id: int) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        bid: float,
+        advertiser_id: int,
+        collector: Collector = NULL,
+        label: Optional[Hashable] = None,
+    ) -> None:
+        super().__init__(collector, label)
         self._item: Optional[Item] = (float(bid), int(advertiser_id))
         self.advertiser_ids = frozenset({int(advertiser_id)})
 
@@ -87,6 +113,7 @@ class LeafSource(SortStream):
         item, self._item = self._item, None
         if item is not None:
             self.pulls += 1
+            self.collector.incr(metric_names.SORT_LEAF_READS)
         return item
 
 
@@ -106,8 +133,14 @@ class MergeOperator(SortStream):
             invocation count, at most ``|I_v|``.
     """
 
-    def __init__(self, left: SortStream, right: SortStream) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        left: SortStream,
+        right: SortStream,
+        collector: Collector = NULL,
+        label: Optional[Hashable] = None,
+    ) -> None:
+        super().__init__(collector, label)
         left_ids = getattr(left, "advertiser_ids", frozenset())
         right_ids = getattr(right, "advertiser_ids", frozenset())
         if left_ids & right_ids:
@@ -131,8 +164,13 @@ class MergeOperator(SortStream):
             and _rank_key(left_item) >= _rank_key(right_item)
         ):
             self._left_cursor += 1
-            self.pulls += 1
-            return left_item
-        self._right_cursor += 1
+            item = left_item
+        else:
+            self._right_cursor += 1
+            item = right_item
         self.pulls += 1
-        return right_item
+        collector = self.collector
+        collector.incr(metric_names.SORT_OPERATOR_PULLS)
+        if collector.enabled and self.label is not None:
+            collector.incr_keyed(metric_names.SORT_NODE_PULLS, self.label)
+        return item

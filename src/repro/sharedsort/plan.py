@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import InvalidPlanError, PlanConstructionError
+from repro.instrument import NULL, Collector
 from repro.sharedsort.cost import (
     expected_full_sort_cost,
     expected_savings_of_merge,
@@ -145,9 +146,18 @@ class SharedSortPlan:
         """Total expected full-sort cost: shared plus assembly."""
         return self.shared_expected_cost() + self.assembly_expected_cost()
 
-    def instantiate(self, bids: Mapping[int, float]) -> "LiveSharedSort":
-        """Create the live operator network for one round's bids."""
-        return LiveSharedSort(self, bids)
+    def instantiate(
+        self, bids: Mapping[int, float], collector: Collector = NULL
+    ) -> "LiveSharedSort":
+        """Create the live operator network for one round's bids.
+
+        Args:
+            bids: ``{advertiser_id: b_i}`` covering every leaf.
+            collector: Threaded into every operator; ``sort.node_pulls``
+                is keyed by plan node id (assembly operators by
+                ``("assembly", phrase, depth)``).
+        """
+        return LiveSharedSort(self, bids, collector)
 
 
 class LiveSharedSort:
@@ -159,9 +169,15 @@ class LiveSharedSort:
     phrases exactly as Section III-B describes.
     """
 
-    def __init__(self, plan: SharedSortPlan, bids: Mapping[int, float]) -> None:
+    def __init__(
+        self,
+        plan: SharedSortPlan,
+        bids: Mapping[int, float],
+        collector: Collector = NULL,
+    ) -> None:
         self.plan = plan
         self._bids = dict(bids)
+        self.collector = collector
         self._streams: Dict[int, SortStream] = {}
         self._phrase_streams: Dict[str, SortStream] = {}
 
@@ -178,12 +194,16 @@ class LiveSharedSort:
                 raise InvalidPlanError(
                     f"no bid provided for advertiser {advertiser_id}"
                 ) from None
-            stream = LeafSource(bid, advertiser_id)
+            stream = LeafSource(
+                bid, advertiser_id, self.collector, label=node_id
+            )
         else:
             assert node.left is not None and node.right is not None
             stream = MergeOperator(
                 self._stream_for_node(node.left),
                 self._stream_for_node(node.right),
+                self.collector,
+                label=node_id,
             )
         self._streams[node_id] = stream
         return stream
@@ -201,9 +221,16 @@ class LiveSharedSort:
         # matching the cost model in assembly_expected_cost.
         runs = [self._stream_for_node(node_id) for node_id in roots]
         runs.sort(key=lambda s: len(getattr(s, "advertiser_ids", ())))
+        depth = 0
         while len(runs) > 1:
             runs.sort(key=lambda s: len(getattr(s, "advertiser_ids", ())))
-            merged = MergeOperator(runs[0], runs[1])
+            merged = MergeOperator(
+                runs[0],
+                runs[1],
+                self.collector,
+                label=("assembly", phrase, depth),
+            )
+            depth += 1
             runs = [merged] + runs[2:]
         stream = runs[0]
         self._phrase_streams[phrase] = stream

@@ -22,6 +22,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.core.topk import ScoredAdvertiser, TopKList
 from repro.errors import InvalidPlanError
+from repro.instrument import NULL, Collector, names as metric_names
 from repro.sharedsort.operators import SortStream
 
 __all__ = ["ThresholdResult", "threshold_top_k"]
@@ -52,6 +53,7 @@ def threshold_top_k(
     ctr_order: Sequence[int],
     bids: Mapping[int, float],
     ctr_factors: Mapping[int, float],
+    collector: Collector = NULL,
 ) -> ThresholdResult:
     """Run the threshold algorithm for one bid phrase.
 
@@ -63,6 +65,8 @@ def threshold_top_k(
             ``c_i^q`` (ties by ascending id), the precomputed second list.
         bids: Random access ``i -> b_i``; must cover ``I_q``.
         ctr_factors: Random access ``i -> c_i^q``; must cover ``I_q``.
+        collector: Receives the ``ta.*`` access counters (flushed once
+            per run) and the ``ta.stop_depth`` gauge.
 
     Returns:
         The ranking and access counters.
@@ -136,6 +140,12 @@ def threshold_top_k(
         ):
             break
 
+    collector.incr(metric_names.TA_RUNS)
+    collector.incr(metric_names.TA_SORTED_ACCESSES, sorted_accesses)
+    collector.incr(metric_names.TA_RANDOM_ACCESSES, random_accesses)
+    collector.incr(metric_names.TA_STAGES, stages)
+    if collector.enabled:
+        collector.gauge(metric_names.TA_STOP_DEPTH, stages)
     return ThresholdResult(
         ranking=top,
         stages=stages,

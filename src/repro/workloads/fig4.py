@@ -45,6 +45,12 @@ def fig4_instance(
         queries with fewer than two advertisers are redrawn too (the
         planning problem drops single-variable queries, so keeping them
         would silently shrink the instance).
+
+    Determinism contract: the draw is fully determined by the arguments
+    (all randomness comes from ``random.Random(seed)``; membership sets
+    are ``frozenset`` but only ever compared/stored, never iterated), so
+    the same ``(query_probability, ..., seed)`` tuple reproduces the
+    identical instance on any platform and ``PYTHONHASHSEED``.
     """
     rng = random.Random(seed)
     seen: set[frozenset[int]] = set()

@@ -85,7 +85,17 @@ class Market:
 
 
 def generate_market(config: MarketConfig) -> Market:
-    """Generate a reproducible market from a config."""
+    """Generate a reproducible market from a config.
+
+    Determinism contract: all randomness flows from
+    ``random.Random(config.seed)``; the same config yields a
+    bit-identical market -- same advertisers, bids, budgets, interests,
+    and search rates -- independent of process, platform, and
+    ``PYTHONHASHSEED`` (phrase iteration is over ordered lists, and
+    ``phrase_advertisers`` is keyed and sorted deterministically).  There
+    is no other stochastic entry point in this module; callers wanting
+    distinct markets vary ``config.seed`` explicitly.
+    """
     rng = random.Random(config.seed)
     phrases: List[str] = []
     category_phrases: List[List[str]] = []

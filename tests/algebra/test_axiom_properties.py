@@ -1,0 +1,146 @@
+"""Property-based axiom checks for every shipped aggregation operator.
+
+The finite-magma tests exhaustively verify the axioms on tiny projected
+carriers; these hypothesis tests complement them by checking A1-A4 on
+*random elements of the real carriers* (floats, TopKLists, Bloom
+filters), as declared by each operator's :class:`AxiomProfile`.
+
+Raw scores are drawn as integer-valued floats so sums and products are
+exact in IEEE-754 arithmetic and associativity/commutativity can be
+asserted with ``==`` rather than approximately.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.aggregates.operators import (
+    AggregateOperator,
+    bloom_intersection_operator,
+    bloom_union_operator,
+    count_operator,
+    max_operator,
+    min_operator,
+    product_operator,
+    sum_operator,
+    top_k_operator,
+)
+from repro.algebra.axioms import (
+    SEMILATTICE_WITH_IDENTITY,
+    Axiom,
+    AxiomProfile,
+    structure_names,
+)
+from repro.errors import AlgebraError
+
+SHIPPED_OPERATORS = [
+    sum_operator(),
+    count_operator(),
+    product_operator(),
+    max_operator(),
+    min_operator(),
+    top_k_operator(3),
+    bloom_union_operator(width=32),
+    bloom_intersection_operator(width=32),
+]
+
+# Integer raw scores: exact under +, *, max, min up to well below 2**53
+# (products of four lifts stay <= 12**4).
+_raw_scores = st.integers(min_value=1, max_value=12).map(float)
+_advertisers = st.integers(min_value=0, max_value=40)
+
+
+def carrier_elements(operator: AggregateOperator):
+    """Random carrier elements: folds of one to four lifted raw values."""
+    lifted = st.tuples(_raw_scores, _advertisers).map(
+        lambda pair: operator.lift(*pair)
+    )
+    return st.lists(lifted, min_size=1, max_size=4).map(operator.fold)
+
+
+@pytest.mark.parametrize(
+    "operator", SHIPPED_OPERATORS, ids=lambda op: op.name
+)
+class TestDeclaredAxiomsHold:
+    """A1-A4 of each operator's declared profile on random carrier values."""
+
+    @given(data=st.data())
+    def test_a1_associativity(self, operator, data):
+        assert operator.profile.associative  # every shipped operator
+        elements = carrier_elements(operator)
+        a, b, c = (data.draw(elements, label=n) for n in "abc")
+        assert operator.combine(operator.combine(a, b), c) == operator.combine(
+            a, operator.combine(b, c)
+        )
+
+    @given(data=st.data())
+    def test_a2_identity(self, operator, data):
+        assert operator.profile.has_identity
+        a = data.draw(carrier_elements(operator), label="a")
+        assert operator.combine(a, operator.identity) == a
+        assert operator.combine(operator.identity, a) == a
+
+    @given(data=st.data())
+    def test_a3_idempotence(self, operator, data):
+        if not operator.profile.idempotent:
+            pytest.skip(f"{operator.name} does not declare A3")
+        a = data.draw(carrier_elements(operator), label="a")
+        assert operator.combine(a, a) == a
+
+    @given(data=st.data())
+    def test_a4_commutativity(self, operator, data):
+        assert operator.profile.commutative
+        elements = carrier_elements(operator)
+        a = data.draw(elements, label="a")
+        b = data.draw(elements, label="b")
+        assert operator.combine(a, b) == operator.combine(b, a)
+
+    @given(data=st.data())
+    def test_fold_agrees_with_pairwise_combination(self, operator, data):
+        elements = data.draw(
+            st.lists(carrier_elements(operator), min_size=1, max_size=5)
+        )
+        folded = operator.fold(elements)
+        accumulator = elements[0]
+        for value in elements[1:]:
+            accumulator = operator.combine(accumulator, value)
+        assert folded == accumulator
+
+    def test_fold_of_nothing_is_identity(self, operator):
+        assert operator.fold([]) == operator.identity
+
+
+class TestProfileMachinery:
+    def test_identity_and_profile_must_agree(self):
+        with pytest.raises(AlgebraError):
+            AggregateOperator(
+                name="broken",
+                combine=lambda a, b: a,
+                lift=lambda score, _ad: score,
+                profile=AxiomProfile({Axiom.A1, Axiom.A2}),
+                identity=None,
+            )
+
+    def test_semilattice_profile_structures(self):
+        names = structure_names(SEMILATTICE_WITH_IDENTITY)
+        assert names[0] == "semilattice"
+        assert set(names) == {"semilattice", "band", "monoid", "semigroup"}
+
+    @given(
+        st.frozensets(st.sampled_from(list(Axiom))),
+        st.frozensets(st.sampled_from(list(Axiom))),
+    )
+    def test_structure_names_monotone_in_profile(self, small, extra):
+        weak = AxiomProfile(small)
+        strong = AxiomProfile(small | extra)
+        assert set(structure_names(weak)) <= set(structure_names(strong))
+
+    @given(st.frozensets(st.sampled_from(list(Axiom))))
+    def test_profile_predicates_match_membership(self, axioms):
+        profile = AxiomProfile(axioms)
+        assert profile.associative == (Axiom.A1 in axioms)
+        assert profile.has_identity == (Axiom.A2 in axioms)
+        assert profile.idempotent == (Axiom.A3 in axioms)
+        assert profile.commutative == (Axiom.A4 in axioms)
+        assert profile.divisible == (Axiom.A5 in axioms)

@@ -1,0 +1,107 @@
+"""Property-based tests for the top-k merge algebra.
+
+``top_k_merge`` is the semilattice-with-identity operator of Section
+II-C: associative (A1), with ``TopKList.empty`` as identity (A2),
+idempotent (A3), commutative (A4).  Beyond the raw axioms, the key
+structural fact the shared plans rely on is that merge is a
+*homomorphism from concatenation*: top-k of a merge of two k-lists
+equals top-k of the concatenation of their underlying entries, so any
+aggregation tree over the same leaves yields the same answer.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.topk import TopKList, top_k_merge, top_k_scan
+from repro.instrument import MetricsCollector, names
+
+from tests.conftest import scored_advertisers, topk_lists
+
+
+@st.composite
+def same_k_lists(draw, count: int = 2, max_k: int = 5):
+    """``count`` TopKLists sharing one capacity (merge requires equal k)."""
+    k = draw(st.integers(min_value=1, max_value=max_k))
+    out = []
+    for _ in range(count):
+        entries = draw(st.lists(scored_advertisers(), max_size=10))
+        out.append(TopKList(k, entries))
+    return out
+
+
+class TestMergeAxioms:
+    @given(same_k_lists(count=3))
+    def test_a1_associativity(self, lists):
+        a, b, c = lists
+        assert top_k_merge(top_k_merge(a, b), c) == top_k_merge(
+            a, top_k_merge(b, c)
+        )
+
+    @given(topk_lists())
+    def test_a2_identity(self, a):
+        identity = TopKList.empty(a.k)
+        assert top_k_merge(a, identity) == a
+        assert top_k_merge(identity, a) == a
+
+    @given(topk_lists())
+    def test_a3_idempotence(self, a):
+        assert top_k_merge(a, a) == a
+
+    @given(same_k_lists(count=2))
+    def test_a4_commutativity(self, lists):
+        a, b = lists
+        assert top_k_merge(a, b) == top_k_merge(b, a)
+
+
+class TestMergeSemantics:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.lists(scored_advertisers(), max_size=10),
+        st.lists(scored_advertisers(), max_size=10),
+    )
+    def test_merge_equals_topk_of_concatenation(self, k, left, right):
+        merged = top_k_merge(TopKList(k, left), TopKList(k, right))
+        assert merged == TopKList(k, left + right)
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.lists(scored_advertisers(), max_size=14),
+    )
+    def test_scan_equals_constructor(self, k, entries):
+        assert top_k_scan(k, entries) == TopKList(k, entries)
+
+    @given(topk_lists())
+    def test_merge_result_is_canonical(self, a):
+        merged = top_k_merge(a, a)
+        # The fast-path constructor bypass must still yield canonical
+        # (sorted, deduplicated, truncated) lists.
+        assert merged == TopKList(merged.k, merged.entries)
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.lists(scored_advertisers(), min_size=1, max_size=10),
+    )
+    def test_threshold_bounds_retained_entries(self, k, entries):
+        result = TopKList(k, entries)
+        for entry in result:
+            assert entry.score >= result.threshold() or len(result) < k
+
+
+class TestScanInstrumentation:
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.lists(scored_advertisers(), max_size=12),
+    )
+    def test_scan_counts_every_entry(self, k, entries):
+        collector = MetricsCollector()
+        top_k_scan(k, entries, collector)
+        assert collector.counter(names.TOPK_SCANS) == 1
+        assert collector.counter(names.TOPK_SCAN_ENTRIES) == len(entries)
+
+    def test_merge_counts_when_collector_passed(self):
+        collector = MetricsCollector()
+        a = TopKList(2, [(1.0, 1)])
+        top_k_merge(a, a, collector)
+        top_k_merge(a, a, collector)
+        assert collector.counter(names.TOPK_MERGES) == 2

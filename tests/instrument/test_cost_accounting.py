@@ -1,0 +1,126 @@
+"""Work-accounting invariants: counters vs the analytic cost model.
+
+The acceptance bar for the instrumentation layer: with collection
+enabled, the counter-derived expected materialized-node cost equals
+``plans/cost.py``'s closed form *exactly* on deterministic (sr = 1)
+instances, and matches in expectation on stochastic ones.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.instrument import MetricsCollector, names
+from repro.plans.baselines import no_sharing_plan
+from repro.plans.cost import expected_plan_cost
+from repro.plans.executor import PlanExecutor
+from repro.plans.greedy_planner import greedy_shared_plan
+from repro.plans.instance import SharedAggregationInstance
+from repro.workloads.fig4 import fig4_instance
+
+from tests.conftest import query_families
+
+
+def _scores(instance) -> dict:
+    rng = random.Random(0xFEED)
+    return {v: rng.uniform(0.1, 9.0) for v in instance.variables}
+
+
+class TestDeterministicCostMatch:
+    """On sr=1 instances every node materializes every round: the
+    per-round counter average must equal the closed form exactly."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("planner", [greedy_shared_plan, no_sharing_plan])
+    def test_counter_cost_equals_analytic_cost(self, seed, planner):
+        instance = fig4_instance(1.0, num_queries=6, num_advertisers=12, seed=seed)
+        plan = planner(instance)
+        collector = MetricsCollector()
+        executor = PlanExecutor(plan, 3, collector)
+        rounds = 4
+        scores = _scores(instance)
+        for _ in range(rounds):
+            executor.run_round(scores)
+        analytic = expected_plan_cost(plan)
+        assert analytic == float(int(analytic))  # sr=1 -> integral cost
+        assert collector.counter(names.PLAN_NODES) == rounds * int(analytic)
+        assert collector.counter(names.PLAN_MERGES) == rounds * int(analytic)
+
+    def test_monte_carlo_cost_matches_in_expectation(self):
+        instance = fig4_instance(0.6, num_queries=6, num_advertisers=12, seed=1)
+        plan = greedy_shared_plan(instance)
+        collector = MetricsCollector()
+        executor = PlanExecutor(plan, 3, collector)
+        rng = random.Random(31337)
+        rounds = 3000
+        scores = _scores(instance)
+        for _ in range(rounds):
+            occurring = [
+                q.name for q in instance.queries if rng.random() < q.search_rate
+            ]
+            executor.run_round(scores, occurring)
+        empirical = collector.counter(names.PLAN_NODES) / rounds
+        assert empirical == pytest.approx(expected_plan_cost(plan), rel=0.06)
+
+
+class TestCounterConsistency:
+    """Collector counters must mirror the executor's own result fields."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(query_families(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_collector_mirrors_execution_result(self, family, occ_seed):
+        sets, rates = family
+        instance = SharedAggregationInstance.from_sets(sets, rates)
+        plan = greedy_shared_plan(instance)
+        collector = MetricsCollector()
+        executor = PlanExecutor(plan, 2, collector)
+        rng = random.Random(occ_seed)
+        names_all = [q.name for q in instance.queries] + [
+            q.name for q in instance.trivial_queries
+        ]
+        occurring = [n for n in names_all if rng.random() < 0.7]
+        result = executor.run_round(_scores(instance), occurring)
+        assert collector.counter(names.PLAN_NODES) == result.nodes_materialized
+        assert collector.counter(names.PLAN_MERGES) == result.merges_performed
+        assert (
+            collector.counter(names.PLAN_LEAF_SCANS)
+            == result.advertisers_scanned
+        )
+        assert collector.counter(names.PLAN_CACHE_HITS) == result.cache_hits
+        assert collector.counter(names.PLAN_CACHE_MISSES) == result.cache_misses
+        # One merge per materialized operator node, keyed by node id.
+        node_merges = collector.keyed(names.PLAN_NODE_MERGES)
+        assert sum(node_merges.values()) == result.nodes_materialized
+        assert all(count == 1 for count in node_merges.values())
+
+    def test_cache_hits_appear_when_queries_share_nodes(self):
+        # Two identical-variable queries dedupe to one plan query; two
+        # *overlapping* queries share fragment nodes, so executing both
+        # in one round must hit the round memo at least once.
+        instance = SharedAggregationInstance.from_sets(
+            {"p": ["a", "b", "c"], "q": ["a", "b", "d"]}, 1.0
+        )
+        plan = greedy_shared_plan(instance)
+        collector = MetricsCollector()
+        executor = PlanExecutor(plan, 2, collector)
+        result = executor.run_round(_scores(instance))
+        assert result.cache_hits > 0
+        assert result.cache_misses >= result.nodes_materialized
+        assert collector.counter(names.PLAN_CACHE_HITS) == result.cache_hits
+
+    def test_null_collector_leaves_result_counters_intact(self):
+        instance = SharedAggregationInstance.from_sets(
+            {"p": ["a", "b", "c"], "q": ["a", "b", "d"]}, 1.0
+        )
+        plan = greedy_shared_plan(instance)
+        plain = PlanExecutor(plan, 2).run_round(_scores(instance))
+        collector = MetricsCollector()
+        instrumented = PlanExecutor(plan, 2, collector).run_round(
+            _scores(instance)
+        )
+        assert plain.answers == instrumented.answers
+        assert plain.nodes_materialized == instrumented.nodes_materialized
+        assert plain.advertisers_scanned == instrumented.advertisers_scanned

@@ -1,0 +1,79 @@
+"""Unit tests for the trace-event ring buffer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidAuctionError
+from repro.instrument import TraceRing
+
+
+class TestTraceRing:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(InvalidAuctionError):
+            TraceRing(0)
+
+    def test_records_in_order_with_sequence_numbers(self):
+        ring = TraceRing(10)
+        ring.append("a", x=1)
+        ring.append("b", x=2)
+        events = ring.events()
+        assert [e.name for e in events] == ["a", "b"]
+        assert [e.seq for e in events] == [0, 1]
+        assert events[0].elapsed_s <= events[1].elapsed_s
+
+    def test_ring_drops_oldest_and_counts(self):
+        ring = TraceRing(3)
+        for index in range(5):
+            ring.append("e", i=index)
+        assert len(ring) == 3
+        assert ring.dropped == 2
+        events = ring.events()
+        # The oldest two were dropped; sequence numbers are never reused.
+        assert [e.fields["i"] for e in events] == [2, 3, 4]
+        assert [e.seq for e in events] == [2, 3, 4]
+
+    def test_clear_keeps_sequence_monotone(self):
+        ring = TraceRing(4)
+        ring.append("a")
+        ring.clear()
+        event = ring.append("b")
+        assert len(ring) == 1
+        assert event.seq == 1
+
+    def test_json_export(self):
+        ring = TraceRing(4)
+        ring.append("engine.round", round_index=0, displays=3)
+        payload = json.loads(ring.to_json())
+        assert payload["dropped"] == 0
+        (event,) = payload["events"]
+        assert event["name"] == "engine.round"
+        assert event["displays"] == 3
+        assert event["seq"] == 0
+        assert "elapsed_s" in event
+
+    def test_dump_writes_file(self, tmp_path):
+        ring = TraceRing(4)
+        ring.append("a", v=1)
+        path = tmp_path / "trace.json"
+        ring.dump(str(path))
+        assert json.loads(path.read_text())["events"][0]["v"] == 1
+
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=64),
+    )
+    def test_ring_invariants(self, capacity, appended):
+        ring = TraceRing(capacity)
+        for index in range(appended):
+            ring.append("e", i=index)
+        assert len(ring) == min(capacity, appended)
+        assert ring.dropped == max(0, appended - capacity)
+        events = ring.events()
+        # Retained events are the newest ones, in order.
+        assert [e.fields["i"] for e in events] == list(
+            range(max(0, appended - capacity), appended)
+        )

@@ -22,6 +22,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["engine", "--mode", "warp"])
 
+    def test_trace_capacity_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["engine", "--trace-capacity", "0"])
+        assert "must be positive" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_example(self, capsys):
@@ -50,6 +55,92 @@ class TestCommands:
         assert main(["engine", "--rounds", "5", "--mode", "unshared"]) == 0
         out = capsys.readouterr().out
         assert "Engine run" in out
+
+    @pytest.mark.parametrize("mode", ["shared", "unshared", "shared-sort"])
+    def test_engine_trace_json(self, capsys, tmp_path, mode):
+        trace = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "engine",
+                    "--rounds",
+                    "4",
+                    "--mode",
+                    mode,
+                    "--trace-json",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Work counters" in out
+        assert f"written to {trace}" in out
+        payload = json.loads(trace.read_text())
+        assert payload["counters"]["engine.rounds"] == 4
+        assert payload["timers"]["engine.round_seconds"]["count"] == 4
+        round_events = [
+            e for e in payload["trace"]["events"] if e["name"] == "engine.round"
+        ]
+        assert len(round_events) == 4
+        if mode == "shared":
+            assert payload["counters"]["plan.nodes"] > 0
+        elif mode == "unshared":
+            assert payload["counters"]["topk.scans"] > 0
+        else:
+            assert payload["counters"]["ta.runs"] > 0
+            assert payload["gauges"]["ta.stop_depth"] >= 1
+
+    def test_engine_trace_capacity_bounds_ring(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "engine",
+                    "--rounds",
+                    "6",
+                    "--trace-json",
+                    str(trace),
+                    "--trace-capacity",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(trace.read_text())
+        assert len(payload["trace"]["events"]) <= 2
+        assert payload["trace"]["dropped"] > 0
+
+    def test_engine_trace_json_unwritable_path_fails_fast(self, capsys):
+        assert (
+            main(
+                [
+                    "engine",
+                    "--rounds",
+                    "2",
+                    "--trace-json",
+                    "/nonexistent-dir/trace.json",
+                ]
+            )
+            == 1
+        )
+        captured = capsys.readouterr()
+        assert "cannot write trace" in captured.err
+        assert "Engine run" not in captured.out  # nothing ran
+
+    def test_engine_without_trace_has_no_collector_output(self, capsys):
+        assert main(["engine", "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Work counters" not in out
+
+    def test_shoes_seed_changes_scores_not_structure(self, capsys):
+        args = ["shoes", "--general", "10", "--sports", "4", "--fashion", "3"]
+        assert main(args + ["--seed", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--seed", "1"]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # same seed reproduces the run exactly
+        assert "scans" in first
 
     def test_plan_to_stdout(self, capsys, tmp_path):
         spec = tmp_path / "spec.json"
