@@ -1,0 +1,146 @@
+"""E11 -- cross-round incremental execution vs from-scratch rounds.
+
+The tentpole claim of the incremental layer: between consecutive rounds
+only a small dirty set of advertisers changes score, so keeping
+materialized top-k nodes alive and recomputing only the invalidated
+cone cuts the cumulative materialization work hard -- on the Fig. 4 and
+shoe-store workloads with their default rates, cached runs must stay at
+or below 60% of the uncached node count over 50 rounds, while every
+answer stays bit-identical.  The per-seed guard is absolute: cached
+work can *never* exceed uncached work, on any seed, because the
+recomputed cone is always a subset of the needed cone.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.instrument import MetricsCollector, names
+from repro.metrics.tables import ExperimentTable
+from repro.plans.executor import CrossRoundPlanExecutor, PlanExecutor
+from repro.plans.greedy_planner import greedy_shared_plan
+from repro.workloads.fig4 import fig4_instance
+from repro.workloads.scenarios import shoe_store_instance
+
+ROUNDS = 50
+DIRTY_FRACTION = 0.05
+RATIO_CEILING = 0.60
+SEEDS = range(5)
+
+
+def _paired_run(instance, k, seed, rounds=ROUNDS):
+    """Drive cached and uncached executors through identical rounds.
+
+    Each round perturbs ~5% of advertiser scores (at least one) and
+    samples occurring queries by their search rates; both executors see
+    the exact same scores and occurring lists, so any divergence is the
+    cache's fault.
+
+    Returns:
+        ``(cached_nodes, uncached_nodes, reused)`` cumulative counters.
+    """
+    plan = greedy_shared_plan(
+        instance,
+        pair_strategy="cover" if len(instance.variables) > 64 else "full",
+    )
+    rng = random.Random(seed)
+    variables = sorted(instance.variables, key=repr)
+    scores = {v: rng.uniform(0.1, 100.0) for v in variables}
+    dirty_count = max(1, int(len(variables) * DIRTY_FRACTION))
+
+    cached_collector = MetricsCollector()
+    uncached_collector = MetricsCollector()
+    cached = CrossRoundPlanExecutor(plan, k, cached_collector)
+    uncached = PlanExecutor(plan, k, uncached_collector)
+
+    for round_index in range(rounds):
+        dirty = set()
+        if round_index:
+            for v in rng.sample(variables, dirty_count):
+                scores[v] = rng.uniform(0.1, 100.0)
+                dirty.add(v)
+        occurring = [
+            q.name
+            for q in instance.queries
+            if rng.random() < q.search_rate
+        ]
+        a = cached.run_round(dict(scores), occurring, dirty)
+        b = uncached.run_round(dict(scores), occurring)
+        assert a.answers == b.answers, (
+            f"cached answers diverged in round {round_index} (seed {seed})"
+        )
+        assert a.nodes_materialized <= b.nodes_materialized
+
+    return (
+        cached_collector.counter(names.PLAN_NODES),
+        uncached_collector.counter(names.PLAN_NODES),
+        cached_collector.counter(names.PLAN_NODES_REUSED),
+    )
+
+
+@pytest.mark.experiment("ExecCache")
+def test_fig4_and_shoes_cached_work_ratio(benchmark):
+    table = ExperimentTable(
+        f"Cross-round cache, {ROUNDS} rounds, "
+        f"{DIRTY_FRACTION:.0%} dirty per round",
+        ["workload", "seed", "cached nodes", "uncached nodes", "ratio",
+         "reused"],
+    )
+    workloads = {
+        "fig4 sr=0.5": (fig4_instance(0.5), 3),
+        "fig4 sr=0.9": (fig4_instance(0.9), 3),
+        "shoes": (shoe_store_instance()[0], 5),
+    }
+    ratios = {}
+    for label, (instance, k) in workloads.items():
+        for seed in SEEDS:
+            cached_nodes, uncached_nodes, reused = _paired_run(
+                instance, k, seed
+            )
+            ratio = cached_nodes / uncached_nodes if uncached_nodes else 0.0
+            table.add(label, seed, cached_nodes, uncached_nodes, ratio, reused)
+            # Absolute per-seed guard: caching can never cost extra work.
+            assert cached_nodes <= uncached_nodes, (label, seed)
+            ratios.setdefault(label, []).append(ratio)
+    table.show()
+    # The acceptance ceiling on the paper workloads with default rates.
+    for label, series in ratios.items():
+        worst = max(series)
+        assert worst <= RATIO_CEILING, (
+            f"{label}: cached/uncached ratio {worst:.2f} exceeds "
+            f"{RATIO_CEILING:.0%}"
+        )
+
+    instance, k = workloads["fig4 sr=0.9"]
+    plan = greedy_shared_plan(instance)
+    rng = random.Random(0)
+    variables = sorted(instance.variables)
+    scores = {v: rng.uniform(0.1, 100.0) for v in variables}
+    executor = CrossRoundPlanExecutor(plan, k)
+    executor.run_round(dict(scores))
+
+    def cached_round():
+        v = variables[rng.randrange(len(variables))]
+        scores[v] = rng.uniform(0.1, 100.0)
+        executor.run_round(dict(scores), dirty={v})
+
+    benchmark(cached_round)
+
+
+@pytest.mark.experiment("ExecCache")
+def test_uncached_round_baseline(benchmark):
+    instance = fig4_instance(0.9)
+    plan = greedy_shared_plan(instance)
+    rng = random.Random(0)
+    variables = sorted(instance.variables)
+    scores = {v: rng.uniform(0.1, 100.0) for v in variables}
+    executor = PlanExecutor(plan, 3)
+
+    def uncached_round():
+        v = variables[rng.randrange(len(variables))]
+        scores[v] = rng.uniform(0.1, 100.0)
+        executor.run_round(dict(scores))
+
+    benchmark(uncached_round)

@@ -66,6 +66,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine.add_argument("--seed", type=int, default=0)
     engine.add_argument(
+        "--exec-cache",
+        action="store_true",
+        help=(
+            "keep materialized top-k nodes alive across rounds and "
+            "recompute only the invalidated cone (shared mode only)"
+        ),
+    )
+    engine.add_argument(
         "--trace-json",
         metavar="PATH",
         help=(
@@ -201,6 +209,7 @@ def _cmd_engine(
     seed: int,
     trace_json: Optional[str] = None,
     trace_capacity: int = 65536,
+    exec_cache: bool = False,
 ) -> int:
     from repro.engine import SharedAuctionEngine
     from repro.workloads.generator import MarketConfig, generate_market
@@ -226,10 +235,12 @@ def _cmd_engine(
         mode=mode,
         seed=seed,
         collector=collector,
+        exec_cache=exec_cache,
     )
     report = engine.run(rounds)
+    label = f"mode={mode}" + (" +exec-cache" if exec_cache else "")
     table = ExperimentTable(
-        f"Engine run: mode={mode}, {rounds} rounds",
+        f"Engine run: {label}, {rounds} rounds",
         ["auctions", "merges", "scans", "revenue ($)", "forgiven ($)"],
     )
     table.add(
@@ -243,7 +254,7 @@ def _cmd_engine(
     if collector is not None and trace_json is not None:
         from repro.metrics.tables import counter_table
 
-        counter_table(collector, title=f"Work counters: mode={mode}").show()
+        counter_table(collector, title=f"Work counters: {label}").show()
         collector.dump(trace_json)
         print(f"metrics + trace written to {trace_json}")
     return 0
@@ -296,6 +307,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.seed,
             args.trace_json,
             args.trace_capacity,
+            args.exec_cache,
         )
     if args.command == "plan":
         return _cmd_plan(args.spec, args.output)

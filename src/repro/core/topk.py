@@ -107,6 +107,26 @@ class TopKList:
         """Return the identity element for ``top_k_merge`` at capacity k."""
         return cls(k)
 
+    @classmethod
+    def singleton(cls, k: int, score: float, advertiser_id: int) -> "TopKList":
+        """A one-entry list, skipping the normalization pass.
+
+        A single entry is trivially sorted, deduplicated, and within
+        capacity, so the canonicalizing constructor is pure overhead.
+        This is the leaf-materialization fast path: plan executors build
+        one singleton per advertiser leaf per (re)computation, which
+        makes it the hottest ``TopKList`` construction site in a round.
+
+        Raises:
+            InvalidAuctionError: If ``k`` is not positive.
+        """
+        if k <= 0:
+            raise InvalidAuctionError(f"k must be positive, got {k}")
+        result = cls.__new__(cls)
+        result._k = k
+        result._entries = (ScoredAdvertiser(float(score), int(advertiser_id)),)
+        return result
+
     def __len__(self) -> int:
         return len(self._entries)
 

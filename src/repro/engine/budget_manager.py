@@ -116,9 +116,24 @@ class BudgetManager:
 
     def expire_outstanding(self, round_index: int) -> int:
         """Drop outstanding ads whose click probability decayed to zero."""
-        return sum(
-            ledger.prune(round_index) for ledger in self._ledgers.values()
-        )
+        return sum(self.expire_outstanding_by_advertiser(round_index).values())
+
+    def expire_outstanding_by_advertiser(
+        self, round_index: int
+    ) -> Dict[int, int]:
+        """Per-advertiser expiry counts (zero-count advertisers omitted).
+
+        Same pruning as :meth:`expire_outstanding`, but reporting *who*
+        lost outstanding ads: an expiry shrinks the advertiser's
+        outstanding debt and therefore moves its throttled bid, so the
+        engine's dirty-set tracking needs the ids, not just the total.
+        """
+        expired: Dict[int, int] = {}
+        for advertiser_id, ledger in self._ledgers.items():
+            pruned = ledger.prune(round_index)
+            if pruned:
+                expired[advertiser_id] = pruned
+        return expired
 
     def throttle_problem(
         self,

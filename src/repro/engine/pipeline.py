@@ -29,7 +29,7 @@ from repro.engine.budget_manager import BudgetManager
 from repro.engine.click_model import DelayedClickModel
 from repro.errors import InvalidAuctionError
 from repro.instrument import NULL, Collector, names as metric_names
-from repro.plans.executor import PlanExecutor
+from repro.plans.executor import CrossRoundPlanExecutor, PlanExecutor
 from repro.plans.greedy_planner import greedy_shared_plan
 from repro.plans.instance import AggregateQuery, SharedAggregationInstance
 
@@ -132,6 +132,20 @@ class SharedAuctionEngine:
             factors (:attr:`Advertiser.phrase_ctr_factors`);
             ``"unshared"`` scans each phrase's advertisers independently.
         throttle: Apply Section IV bid throttling against outstanding ads.
+        exec_cache: Shared mode only: resolve rounds through a
+            :class:`repro.plans.executor.CrossRoundPlanExecutor`, which
+            keeps materialized top-k nodes alive between rounds and
+            recomputes only the ancestor cone of advertisers whose
+            effective score changed.  The engine derives that dirty set
+            from its own events -- clicks settled, ads displayed or
+            expired, auction-multiplicity changes, and (under a decaying
+            model) outstanding debt aging -- and declares it to the
+            executor, which verifies soundness against an exact score
+            diff and raises on any undeclared change.  Outcomes are
+            bit-identical with and without the cache; only the work
+            counters move.
+        exec_cache_capacity: Optional bound on resident cached nodes
+            (LRU eviction); ``None`` keeps every node.
         decay: Click-decay model for outstanding ads.
         mean_click_delay_rounds: Mean click arrival delay.
         click_horizon_rounds: Rounds after which an unclicked ad expires.
@@ -164,6 +178,8 @@ class SharedAuctionEngine:
         search_rates: Mapping[str, float],
         mode: str = "shared",
         throttle: bool = True,
+        exec_cache: bool = False,
+        exec_cache_capacity: Optional[int] = None,
         decay: Optional[ClickDecayModel] = None,
         mean_click_delay_rounds: float = 2.0,
         click_horizon_rounds: int = 16,
@@ -172,9 +188,15 @@ class SharedAuctionEngine:
     ) -> None:
         if mode not in ("shared", "unshared", "shared-sort"):
             raise InvalidAuctionError(f"unknown engine mode {mode!r}")
+        if exec_cache and mode != "shared":
+            raise InvalidAuctionError(
+                "exec_cache requires mode='shared' (the cross-round cache "
+                "lives in the shared plan executor)"
+            )
         self.advertisers = tuple(advertisers)
         self.mode = mode
         self.throttle = throttle
+        self.exec_cache = exec_cache
         self.collector: Collector = collector if collector is not None else NULL
         self._by_id = {a.advertiser_id: a for a in self.advertisers}
         if len(self._by_id) != len(self.advertisers):
@@ -208,9 +230,14 @@ class SharedAuctionEngine:
             for a in self.advertisers
             if a.daily_budget != float("inf")
         }
-        self.budget_manager = BudgetManager(
-            budgets, decay if decay is not None else NoDecay()
-        )
+        decay_model = decay if decay is not None else NoDecay()
+        self.budget_manager = BudgetManager(budgets, decay_model)
+        # Dirty-set tracking for the cross-round executor: advertisers
+        # touched by budget/click events since their scores were last
+        # absorbed, plus whether outstanding debt re-weighs every round.
+        self._dirty_events: set[int] = set()
+        self._last_multiplicity: Dict[int, int] = {}
+        self._decay_varies = not isinstance(decay_model, NoDecay)
         self._rng = random.Random(seed)
         self.click_model = DelayedClickModel(
             mean_click_delay_rounds, click_horizon_rounds, self._rng
@@ -227,7 +254,15 @@ class SharedAuctionEngine:
             strategy = "cover" if len(instance.variables) > 64 else "full"
             plan = greedy_shared_plan(instance, pair_strategy=strategy)
             # k + 1 so GSP can read the runner-up score.
-            self._executor = PlanExecutor(plan, self.k + 1, self.collector)
+            if exec_cache:
+                self._executor = CrossRoundPlanExecutor(
+                    plan,
+                    self.k + 1,
+                    self.collector,
+                    capacity=exec_cache_capacity,
+                )
+            else:
+                self._executor = PlanExecutor(plan, self.k + 1, self.collector)
             # Phrases with identical advertiser sets are A-equivalent and
             # deduplicate to one plan query; map each phrase to the
             # surviving query's name.
@@ -324,6 +359,7 @@ class SharedAuctionEngine:
         report = RoundReport(round_index, tuple(phrases))
 
         # 1. Deliver due clicks and settle payments.
+        track_dirty = self.exec_cache
         for click in self.click_model.arrivals(round_index):
             charge = self.budget_manager.settle_click(
                 click.advertiser_id, click.price_cents, click.display_round
@@ -331,7 +367,19 @@ class SharedAuctionEngine:
             report.revenue_cents += charge.charged_cents
             report.forgiven_cents += charge.forgiven_cents
             report.clicks += 1
-        self.budget_manager.expire_outstanding(round_index)
+            if track_dirty:
+                self._dirty_events.add(click.advertiser_id)
+        expired = self.budget_manager.expire_outstanding_by_advertiser(
+            round_index
+        )
+        if track_dirty:
+            self._dirty_events.update(expired)
+            if self._decay_varies:
+                # A decaying model re-weighs every outstanding ad each
+                # round, so any advertiser carrying debt can move.
+                self._dirty_events.update(
+                    self.budget_manager.outstanding_counts()
+                )
 
         if not phrases:
             return report
@@ -363,7 +411,22 @@ class SharedAuctionEngine:
         if self.mode == "shared":
             assert self._executor is not None
             canonical = sorted({self._phrase_alias[p] for p in phrases})
-            result = self._executor.run_round(scores, canonical)
+            if track_dirty:
+                assert isinstance(self._executor, CrossRoundPlanExecutor)
+                # Declared dirty set: event-touched advertisers plus any
+                # whose auction multiplicity m_i moved since their score
+                # was last absorbed (m_i feeds the throttle problem).
+                declared = set(self._dirty_events)
+                for advertiser_id, m in auctions_of.items():
+                    if self._last_multiplicity.get(advertiser_id) != m:
+                        declared.add(advertiser_id)
+                result = self._executor.run_round(scores, canonical, declared)
+                self._last_multiplicity.update(auctions_of)
+                # Advertisers scored this round are absorbed; events for
+                # everyone else must survive until they next occur.
+                self._dirty_events.difference_update(scores)
+            else:
+                result = self._executor.run_round(scores, canonical)
             rankings = {
                 phrase: result.answers[self._phrase_alias[phrase]]
                 for phrase in phrases
@@ -442,6 +505,9 @@ class SharedAuctionEngine:
                 self.click_model.record_display(
                     entry.advertiser_id, phrase, price, ctr, round_index
                 )
+                if track_dirty:
+                    # New outstanding debt moves next round's throttled bid.
+                    self._dirty_events.add(entry.advertiser_id)
                 report.displays += 1
                 allocated.append((slot, entry.advertiser_id, price))
             report.allocations[phrase] = tuple(allocated)
@@ -459,4 +525,8 @@ class SharedAuctionEngine:
             report.revenue_cents += charge.charged_cents
             report.forgiven_cents += charge.forgiven_cents
             report.clicks += 1
+            if self.exec_cache:
+                # The flush settles outside any round; budgets moved, so
+                # later rounds must treat these advertisers as dirty.
+                self._dirty_events.add(click.advertiser_id)
         return report

@@ -24,6 +24,25 @@ name                      meaning (paper reference)
                           (the shoe-store example's 470-vs-270 scan
                           bookkeeping).
 ``plan.node_merges``      *keyed* counter: merges per plan node id.
+``plan.nodes_reused``     needed operator nodes served unchanged from the
+                          cross-round cache (no merge, no leaf read) --
+                          the per-round work the incremental executor
+                          amortizes away.
+``plan.nodes_invalidated``  cached node values invalidated by a round's
+                          dirty leaves (the ancestor cone of changed
+                          scores, restricted to resident cache entries);
+                          plan rebinds after maintenance count their
+                          dropped entries here too.
+``plan.revalidations``    stale nodes proven unchanged without a merge
+                          (both operand values identical to the last
+                          computation); these count as materializations
+                          but not merges, which is why the incremental
+                          mode may report ``plan.merges <
+                          plan.nodes``.
+``plan.cache_evictions``  cross-round cache entries evicted by the
+                          capacity bound (LRU order).
+``plan.cache_resident``   *gauge*: entries resident in the cross-round
+                          cache after the most recent round.
 ``topk.scans``            :func:`repro.core.topk.top_k_scan` invocations
                           (one per unshared per-phrase ranking).
 ``topk.scan_entries``     entries consumed by ``top_k_scan`` -- the
@@ -71,6 +90,11 @@ __all__ = [
     "PLAN_CACHE_MISSES",
     "PLAN_LEAF_SCANS",
     "PLAN_NODE_MERGES",
+    "PLAN_NODES_REUSED",
+    "PLAN_NODES_INVALIDATED",
+    "PLAN_REVALIDATIONS",
+    "PLAN_CACHE_EVICTIONS",
+    "PLAN_CACHE_RESIDENT",
     "TOPK_SCANS",
     "TOPK_SCAN_ENTRIES",
     "TOPK_MERGES",
@@ -99,6 +123,13 @@ PLAN_CACHE_HITS = "plan.cache_hits"
 PLAN_CACHE_MISSES = "plan.cache_misses"
 PLAN_LEAF_SCANS = "plan.leaf_scans"
 PLAN_NODE_MERGES = "plan.node_merges"
+
+# Cross-round incremental execution (dirty-set invalidation layer).
+PLAN_NODES_REUSED = "plan.nodes_reused"
+PLAN_NODES_INVALIDATED = "plan.nodes_invalidated"
+PLAN_REVALIDATIONS = "plan.revalidations"
+PLAN_CACHE_EVICTIONS = "plan.cache_evictions"
+PLAN_CACHE_RESIDENT = "plan.cache_resident"
 
 # Top-k primitives (Section II-A).
 TOPK_SCANS = "topk.scans"

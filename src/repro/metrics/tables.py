@@ -112,14 +112,16 @@ WORK_COLUMN_NAMES: Tuple[str, ...] = (
     "scan entries",
     "operator pulls",
     "sorted accesses",
+    "reused",
 )
 """Headers matching :func:`work_columns`, mode-agnostic.
 
 ``nodes``/``merges``/``leaf scans`` carry Section II shared-plan work,
 ``scan entries`` the unshared baseline, ``operator pulls``/``sorted
-accesses`` the Section III shared-sort pipeline; counters a mode does
-not touch render as 0, so rows from different engine modes line up in
-one table (the Fig. 4/5 presentation).
+accesses`` the Section III shared-sort pipeline, and ``reused`` the
+cross-round cache's amortized nodes (nonzero only with ``--exec-cache``);
+counters a mode does not touch render as 0, so rows from different
+engine modes line up in one table (the Fig. 4/5 presentation).
 """
 
 
@@ -138,4 +140,5 @@ def work_columns(collector: "MetricsCollector") -> Tuple[int, ...]:
         collector.counter(names.TOPK_SCAN_ENTRIES),
         collector.counter(names.SORT_OPERATOR_PULLS),
         collector.counter(names.TA_SORTED_ACCESSES),
+        collector.counter(names.PLAN_NODES_REUSED),
     )

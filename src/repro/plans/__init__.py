@@ -23,7 +23,12 @@ Modules:
 from repro.plans.baselines import fragment_only_plan, no_sharing_plan
 from repro.plans.cost import expected_plan_cost, node_materialization_probability
 from repro.plans.dag import Plan, PlanNode
-from repro.plans.executor import ExecutionResult, PlanExecutor
+from repro.plans.executor import (
+    CrossRoundCache,
+    CrossRoundPlanExecutor,
+    ExecutionResult,
+    PlanExecutor,
+)
 from repro.plans.fragments import Fragment, identify_fragments
 from repro.plans.greedy_planner import greedy_shared_plan
 from repro.plans.instance import AggregateQuery, SharedAggregationInstance
@@ -32,6 +37,8 @@ from repro.plans.set_cover import exact_min_set_cover, greedy_set_cover
 
 __all__ = [
     "AggregateQuery",
+    "CrossRoundCache",
+    "CrossRoundPlanExecutor",
     "ExecutionResult",
     "Fragment",
     "Plan",

@@ -1,29 +1,59 @@
 """Executing a shared plan on live bids, round by round.
 
 The planners fix the plan *offline*; each round, bids have changed and a
-subset of the bid phrases occurs.  The executor materializes -- lazily
-and memoized within the round -- exactly the nodes needed for the queries
-that occurred, mirroring the paper's cost model: a node is materialized
-iff it is used to compute some occurring query.
+subset of the bid phrases occurs.  :class:`PlanExecutor` materializes --
+lazily and memoized within the round -- exactly the nodes needed for the
+queries that occurred, mirroring the paper's cost model: a node is
+materialized iff it is used to compute some occurring query.
+
+:class:`CrossRoundPlanExecutor` extends that model *across* rounds.
+Between consecutive rounds only a small dirty set of advertisers
+actually changes score (a click settles, a budget depletes, a throttle
+flips), so rebuilding every needed node from scratch wastes the work the
+previous round already paid for.  The incremental executor versions
+every leaf with a monotone epoch, keeps materialized :class:`TopKList`
+values alive in a bounded :class:`CrossRoundCache` keyed by plan-node
+id, and on each round invalidates only the ancestor cone of the dirty
+leaves (computed through :meth:`repro.plans.dag.Plan.dirty_closure`).
+Everything outside the cone is served unchanged from the cache; the
+saved work is observable through the ``plan.nodes_reused`` /
+``plan.nodes_invalidated`` counters and the ``plan.cache_resident``
+gauge.
+
+Work-accounting contract: the base executor performs exactly one binary
+merge per materialized operator node, and :meth:`PlanExecutor.run_round`
+*enforces* ``merges_performed == nodes_materialized`` after every round.
+The incremental executor legitimately diverges the two: a stale node
+whose operand values turn out identical to its last computation is
+*revalidated* without a merge, so there the invariant weakens to
+``merges_performed + nodes_revalidated == nodes_materialized``.
 
 The executor counts materialized operator nodes so tests can check the
 closed-form expected cost against the empirical average over random
-rounds, and benchmarks can report actual work saved by sharing.
+rounds, and benchmarks can report actual work saved by sharing and by
+cross-round reuse.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.topk import ScoredAdvertiser, TopKList, top_k_merge
 from repro.errors import InvalidPlanError
 from repro.instrument import NULL, Collector, names as metric_names
 from repro.plans.dag import Plan
 
-__all__ = ["PlanExecutor", "ExecutionResult"]
+__all__ = [
+    "PlanExecutor",
+    "CrossRoundPlanExecutor",
+    "CrossRoundCache",
+    "ExecutionResult",
+]
 
 Variable = Hashable
+NodeId = int
 
 
 @dataclass
@@ -32,17 +62,42 @@ class ExecutionResult:
 
     Attributes:
         answers: Per occurring query, the top-k list of its advertisers.
-        nodes_materialized: Operator nodes evaluated this round (the
-            paper's per-round cost).
-        merges_performed: Same as ``nodes_materialized`` -- one merge per
-            operator node -- kept separate in case subclasses batch.
+        nodes_materialized: Operator nodes whose value was established
+            this round (the paper's per-round cost): fresh merges plus,
+            in cross-round mode, merge-free revalidations.
+        merges_performed: Binary top-k merges actually executed.  The
+            base executor performs exactly one merge per materialized
+            operator node and :meth:`PlanExecutor.run_round` *checks*
+            ``merges_performed == nodes_materialized`` after every round;
+            the cross-round executor batches work by revalidating
+            unchanged nodes without merging, so there the enforced
+            invariant is ``merges_performed + nodes_revalidated ==
+            nodes_materialized`` and the two counters legitimately
+            diverge.
         advertisers_scanned: Leaf values read this round (used by the
-            scan-count comparisons, e.g. the shoe-store example E2).
+            scan-count comparisons, e.g. the shoe-store example E2).  In
+            cross-round mode a reused or revalidated node reads no
+            leaves, so this counts only the reads performed by actual
+            merges and rebuilt trivial-query leaves.
         cache_hits: Node requests served by the round memo -- a node
             shared by several occurring queries is materialized once and
             hit here thereafter.
         cache_misses: First materializations within the round (leaves
-            included), the complement of ``cache_hits``.
+            included), the complement of ``cache_hits``.  In cross-round
+            mode, first touches served *unchanged* from the cross-round
+            cache are counted as ``nodes_reused`` instead -- nothing was
+            missed.
+        nodes_reused: Cross-round mode only: needed operator nodes
+            served unchanged from the cross-round cache (no merge, no
+            leaf read).
+        nodes_invalidated: Cross-round mode only: resident cache entries
+            invalidated by this round's dirty leaves (the ancestor cone
+            of changed scores, leaves included).
+        nodes_revalidated: Cross-round mode only: stale nodes proven
+            unchanged without a merge because both operand values were
+            identical to the node's last computation.
+        cache_evictions: Cross-round mode only: entries evicted from the
+            bounded cache during this round (LRU order).
     """
 
     answers: Dict[str, TopKList] = field(default_factory=dict)
@@ -51,6 +106,101 @@ class ExecutionResult:
     advertisers_scanned: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    nodes_reused: int = 0
+    nodes_invalidated: int = 0
+    nodes_revalidated: int = 0
+    cache_evictions: int = 0
+
+
+@dataclass
+class _CacheEntry:
+    """One cross-round cache slot.
+
+    Attributes:
+        value: The node's materialized top-k list.
+        left_value: The left operand's value object at the time of the
+            last merge, or ``None`` for leaves (and for entries carried
+            across a plan rebind, whose operand structure may have
+            changed).  Compared *by identity* to detect that a stale
+            node's inputs did not actually change.
+        right_value: Same for the right operand.
+    """
+
+    value: TopKList
+    left_value: Optional[TopKList] = None
+    right_value: Optional[TopKList] = None
+
+
+class CrossRoundCache:
+    """Bounded LRU store of materialized node values, keyed by node id.
+
+    The cache also tracks which resident entries are *stale* -- ancestors
+    of leaves whose score changed since the entry was computed.  A stale
+    entry is never served; it is either recomputed (and refreshed) on
+    demand or evicted.  Invariant maintained jointly with the executor:
+    if a node is stale, every ancestor of it is stale or absent, so
+    serving a non-stale entry can never leak an outdated value upward.
+
+    Args:
+        capacity: Maximum resident entries; ``None`` means unbounded.
+            Eviction is LRU over lookups and stores.
+
+    Attributes:
+        capacity: The configured bound.
+        evictions: Lifetime count of capacity evictions.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise InvalidPlanError(
+                f"cache capacity must be positive or None, got {capacity}"
+            )
+        self.capacity = capacity
+        self.evictions = 0
+        self._entries: "OrderedDict[NodeId, _CacheEntry]" = OrderedDict()
+        self._stale: Set[NodeId] = set()
+
+    @property
+    def resident(self) -> int:
+        """Number of entries currently resident."""
+        return len(self._entries)
+
+    def lookup(self, node_id: NodeId) -> Optional[_CacheEntry]:
+        """The entry for ``node_id`` (refreshing its LRU position)."""
+        entry = self._entries.get(node_id)
+        if entry is not None:
+            self._entries.move_to_end(node_id)
+        return entry
+
+    def is_stale(self, node_id: NodeId) -> bool:
+        """Whether the resident entry for ``node_id`` is invalidated."""
+        return node_id in self._stale
+
+    def mark_stale(self, node_id: NodeId) -> bool:
+        """Invalidate ``node_id``'s entry; True if a resident entry was
+        newly invalidated (absent or already-stale entries return False).
+        """
+        if node_id in self._entries and node_id not in self._stale:
+            self._stale.add(node_id)
+            return True
+        return False
+
+    def store(self, node_id: NodeId, entry: _CacheEntry) -> None:
+        """Insert or refresh an entry, clearing staleness and evicting
+        least-recently-used entries beyond the capacity bound."""
+        self._entries[node_id] = entry
+        self._entries.move_to_end(node_id)
+        self._stale.discard(node_id)
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                evicted_id, _ = self._entries.popitem(last=False)
+                self._stale.discard(evicted_id)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry and staleness mark."""
+        self._entries.clear()
+        self._stale.clear()
 
 
 class PlanExecutor:
@@ -88,15 +238,15 @@ class PlanExecutor:
 
         Returns:
             The per-query top-k answers and work counters.
+
+        Raises:
+            InvalidPlanError: On unknown queries, missing scores, or a
+                violated work-accounting invariant (see
+                :meth:`_check_round_invariants`).
         """
         plan = self.plan
         instance = plan.instance
-        if occurring is None:
-            names = [q.name for q in instance.queries] + [
-                q.name for q in instance.trivial_queries
-            ]
-        else:
-            names = list(occurring)
+        names = self._occurring_names(occurring)
         result = ExecutionResult()
         cache: Dict[int, TopKList] = {}
         collector = self.collector
@@ -127,7 +277,7 @@ class PlanExecutor:
                     raise InvalidPlanError(
                         f"no score provided for advertiser {variable!r}"
                     ) from None
-                value = TopKList(self.k, [(float(score), _as_int(variable))])
+                value = TopKList.singleton(self.k, score, _as_int(variable))
             else:
                 assert node.left is not None and node.right is not None
                 for child in (node.left, node.right):
@@ -152,22 +302,70 @@ class PlanExecutor:
                 result.advertisers_scanned += 1
             result.answers[name] = materialize(node_id)
 
-        # Flush the round's tallies once; with the null collector these
-        # five calls are the executor's entire instrumentation overhead.
+        self._check_round_invariants(result)
+        self._flush_round(result, len(names))
+        return result
+
+    def _occurring_names(self, occurring: Optional[Iterable[str]]) -> List[str]:
+        """Resolve the occurring-query names for one round."""
+        if occurring is None:
+            instance = self.plan.instance
+            return [q.name for q in instance.queries] + [
+                q.name for q in instance.trivial_queries
+            ]
+        return list(occurring)
+
+    def _check_round_invariants(self, result: ExecutionResult) -> None:
+        """Enforce the base executor's work-accounting invariants.
+
+        One binary merge per materialized operator node, and no
+        cross-round bookkeeping: the base executor starts every round
+        from scratch.  Subclasses that batch or reuse work override this
+        with their own (weaker) invariant rather than silently breaking
+        the accounting -- see
+        :meth:`CrossRoundPlanExecutor._check_round_invariants`.
+
+        Raises:
+            InvalidPlanError: If the counters disagree.
+        """
+        if result.merges_performed != result.nodes_materialized:
+            raise InvalidPlanError(
+                "work-accounting invariant violated: "
+                f"{result.merges_performed} merges vs "
+                f"{result.nodes_materialized} materialized nodes (the base "
+                "executor performs exactly one merge per operator node)"
+            )
+        if (
+            result.nodes_reused
+            or result.nodes_invalidated
+            or result.nodes_revalidated
+            or result.cache_evictions
+        ):
+            raise InvalidPlanError(
+                "work-accounting invariant violated: the base executor must "
+                "not report cross-round counters"
+            )
+
+    def _flush_round(self, result: ExecutionResult, num_queries: int) -> None:
+        """Flush the round's tallies to the collector once.
+
+        With the null collector these five calls are the executor's
+        entire instrumentation overhead.
+        """
+        collector = self.collector
         collector.incr(metric_names.PLAN_NODES, result.nodes_materialized)
         collector.incr(metric_names.PLAN_MERGES, result.merges_performed)
         collector.incr(metric_names.PLAN_LEAF_SCANS, result.advertisers_scanned)
         collector.incr(metric_names.PLAN_CACHE_HITS, result.cache_hits)
         collector.incr(metric_names.PLAN_CACHE_MISSES, result.cache_misses)
-        if keyed:
+        if collector.enabled:
             collector.event(
                 "plan.round",
-                queries=len(names),
+                queries=num_queries,
                 nodes=result.nodes_materialized,
                 cache_hits=result.cache_hits,
                 leaf_scans=result.advertisers_scanned,
             )
-        return result
 
     def average_cost(
         self,
@@ -198,6 +396,301 @@ class PlanExecutor:
             ]
             total += self.run_round(scores, occurring).nodes_materialized
         return total / rounds if rounds else 0.0
+
+
+class CrossRoundPlanExecutor(PlanExecutor):
+    """Incremental plan executor with dirty-set invalidation.
+
+    Keeps every materialized node value alive in a
+    :class:`CrossRoundCache` between rounds.  Each round, the executor
+    diffs the incoming scores against the last scores it saw; every leaf
+    whose score changed gets its epoch bumped and its ancestor cone
+    (via :meth:`repro.plans.dag.Plan.dirty_closure`) invalidated.
+    Materialization then recomputes exactly the stale part of the needed
+    cone and serves everything else unchanged from the cache.
+
+    Determinism contract: for identical ``(plan, k, scores-sequence,
+    occurring-sequence)`` inputs the answers are bit-identical to a
+    fresh :class:`PlanExecutor` evaluating every round from scratch --
+    caching changes the *work*, never the *values*.  The differential
+    and stateful suites assert exactly this.
+
+    Args:
+        plan: A validated complete plan.
+        k: The top-k capacity.
+        collector: Receives the ``plan.*`` counters plus the
+            cross-round ``plan.nodes_reused`` / ``plan.nodes_invalidated``
+            / ``plan.revalidations`` / ``plan.cache_evictions`` counters
+            and the ``plan.cache_resident`` gauge.
+        cache: An existing cache to adopt (e.g. to persist across
+            executors); mutually exclusive with ``capacity``.
+        capacity: Bound for a newly created cache; ``None`` (default)
+            keeps every node value resident.
+    """
+
+    def __init__(
+        self,
+        plan: Plan,
+        k: int,
+        collector: Collector = NULL,
+        cache: Optional[CrossRoundCache] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        super().__init__(plan, k, collector)
+        if cache is not None and capacity is not None:
+            raise InvalidPlanError(
+                "pass either an existing cache or a capacity, not both"
+            )
+        self.cache = cache if cache is not None else CrossRoundCache(capacity)
+        self.rebinds = 0
+        self._last_scores: Dict[Variable, float] = {}
+        self._leaf_epochs: Dict[Variable, int] = {}
+
+    # ------------------------------------------------------------------
+    # leaf versioning
+    # ------------------------------------------------------------------
+    def leaf_epoch(self, variable: Variable) -> int:
+        """The monotone epoch of a leaf score (0 if never seen).
+
+        Bumped exactly when a round's score for ``variable`` differs
+        from the last score the executor absorbed for it.
+        """
+        return self._leaf_epochs.get(variable, 0)
+
+    def _absorb_scores(
+        self,
+        scores: Mapping[Variable, float],
+        dirty: Optional[Iterable[Variable]],
+    ) -> int:
+        """Diff scores against the previous round and invalidate the cone.
+
+        Args:
+            scores: This round's scores.
+            dirty: Optional *declared* dirty set from the caller (e.g.
+                the engine's budget/throttle/click event tracking).  The
+                declaration may be a superset of the real changes --
+                over-reporting costs nothing because epochs bump only on
+                actual score changes -- but it must be *sound*: a score
+                that changed without being declared raises, which is what
+                keeps event-driven dirty tracking honest under test.
+                ``None`` skips the soundness check (pure auto-diff mode).
+
+        Returns:
+            The number of resident cache entries newly invalidated.
+        """
+        declared: Optional[Set[Variable]] = (
+            None if dirty is None else set(dirty)
+        )
+        changed: List[Variable] = []
+        for variable, score in scores.items():
+            value = float(score)
+            last = self._last_scores.get(variable)
+            if last is not None and last == value:
+                continue
+            if (
+                last is not None
+                and declared is not None
+                and variable not in declared
+            ):
+                raise InvalidPlanError(
+                    f"unsound dirty set: score of {variable!r} changed "
+                    f"({last} -> {value}) but the variable was not declared "
+                    "dirty"
+                )
+            self._last_scores[variable] = value
+            self._leaf_epochs[variable] = self._leaf_epochs.get(variable, 0) + 1
+            changed.append(variable)
+        if not changed:
+            return 0
+        newly = 0
+        for node_id in self.plan.dirty_closure(changed):
+            newly += self.cache.mark_stale(node_id)
+        return newly
+
+    # ------------------------------------------------------------------
+    # round execution
+    # ------------------------------------------------------------------
+    def run_round(
+        self,
+        scores: Mapping[Variable, float],
+        occurring: Optional[Iterable[str]] = None,
+        dirty: Optional[Iterable[Variable]] = None,
+    ) -> ExecutionResult:
+        """Execute one round, reusing unchanged work from prior rounds.
+
+        Args:
+            scores: Current score per variable.  Only *changed* scores
+                cost anything beyond a dict compare.
+            occurring: Names of the queries occurring this round;
+                defaults to all queries.
+            dirty: Optional declared dirty variables (see
+                :meth:`_absorb_scores`); ``None`` auto-diffs.
+
+        Returns:
+            The answers plus base and cross-round work counters.
+        """
+        plan = self.plan
+        instance = plan.instance
+        names = self._occurring_names(occurring)
+        result = ExecutionResult()
+        collector = self.collector
+        keyed = collector.enabled
+        cache = self.cache
+        evictions_before = cache.evictions
+
+        result.nodes_invalidated = self._absorb_scores(scores, dirty)
+
+        round_memo: Dict[NodeId, TopKList] = {}
+        rebuilt_leaves: Set[NodeId] = set()
+
+        def materialize(node_id: NodeId) -> TopKList:
+            memoized = round_memo.get(node_id)
+            if memoized is not None:
+                result.cache_hits += 1
+                return memoized
+            node = plan.node(node_id)
+            entry = cache.lookup(node_id)
+            if entry is not None and not cache.is_stale(node_id):
+                if not node.is_leaf:
+                    result.nodes_reused += 1
+                round_memo[node_id] = entry.value
+                return entry.value
+            result.cache_misses += 1
+            if node.is_leaf:
+                variable = node.variable
+                try:
+                    score = scores[variable]
+                except KeyError:
+                    raise InvalidPlanError(
+                        f"no score provided for advertiser {variable!r}"
+                    ) from None
+                value = TopKList.singleton(self.k, score, _as_int(variable))
+                rebuilt_leaves.add(node_id)
+                cache.store(node_id, _CacheEntry(value))
+            else:
+                assert node.left is not None and node.right is not None
+                left_value = materialize(node.left)
+                right_value = materialize(node.right)
+                if (
+                    entry is not None
+                    and entry.left_value is left_value
+                    and entry.right_value is right_value
+                ):
+                    # Both operands are the very objects of the last
+                    # computation: the value cannot have changed.  A
+                    # merge-free revalidation -- this is where
+                    # merges_performed diverges from nodes_materialized.
+                    value = entry.value
+                    result.nodes_materialized += 1
+                    result.nodes_revalidated += 1
+                else:
+                    for child in (node.left, node.right):
+                        if plan.node(child).is_leaf:
+                            result.advertisers_scanned += 1
+                    value = top_k_merge(left_value, right_value)
+                    result.nodes_materialized += 1
+                    result.merges_performed += 1
+                    if keyed:
+                        collector.incr_keyed(
+                            metric_names.PLAN_NODE_MERGES, node_id
+                        )
+                    if entry is not None and value == entry.value:
+                        # Equal recompute: keep the old object so stale
+                        # ancestors can revalidate by identity.
+                        value = entry.value
+                cache.store(node_id, _CacheEntry(value, left_value, right_value))
+            round_memo[node_id] = value
+            return value
+
+        for name in names:
+            query = instance.query_by_name(name)
+            node_id = plan.query_node(query)
+            if node_id is None:
+                raise InvalidPlanError(f"plan does not answer query {name!r}")
+            value = materialize(node_id)
+            if plan.node(node_id).is_leaf and node_id in rebuilt_leaves:
+                result.advertisers_scanned += 1
+            result.answers[name] = value
+
+        result.cache_evictions = cache.evictions - evictions_before
+        self._check_round_invariants(result)
+        self._flush_round(result, len(names))
+        return result
+
+    def _check_round_invariants(self, result: ExecutionResult) -> None:
+        """The incremental executor's weakened accounting invariant.
+
+        Every materialized node is either a fresh merge or a merge-free
+        revalidation, never both, and reuse never exceeds what a cache
+        can hold.
+
+        Raises:
+            InvalidPlanError: If the counters disagree.
+        """
+        if (
+            result.merges_performed + result.nodes_revalidated
+            != result.nodes_materialized
+        ):
+            raise InvalidPlanError(
+                "work-accounting invariant violated: "
+                f"{result.merges_performed} merges + "
+                f"{result.nodes_revalidated} revalidations != "
+                f"{result.nodes_materialized} materialized nodes"
+            )
+
+    def _flush_round(self, result: ExecutionResult, num_queries: int) -> None:
+        super()._flush_round(result, num_queries)
+        collector = self.collector
+        collector.incr(metric_names.PLAN_NODES_REUSED, result.nodes_reused)
+        collector.incr(
+            metric_names.PLAN_NODES_INVALIDATED, result.nodes_invalidated
+        )
+        collector.incr(metric_names.PLAN_REVALIDATIONS, result.nodes_revalidated)
+        collector.incr(metric_names.PLAN_CACHE_EVICTIONS, result.cache_evictions)
+        collector.gauge(metric_names.PLAN_CACHE_RESIDENT, self.cache.resident)
+
+    # ------------------------------------------------------------------
+    # plan maintenance
+    # ------------------------------------------------------------------
+    def rebind(self, plan: Plan) -> None:
+        """Adopt a repaired or replanned plan, keeping still-valid work.
+
+        A node's value depends only on its variable set and the leaf
+        scores, so cache entries survive a rebind exactly when the new
+        plan has a node with the same varset: the repaired subtree's
+        varsets are new, which invalidates (drops) precisely the touched
+        entries, while untouched structure keeps its values -- this is
+        how :class:`repro.plans.maintenance.PlanMaintainer` repairs and
+        caching compose.  Operand snapshots are discarded (the operand
+        *structure* may have changed even where varsets survive), so
+        revalidation resumes only after a node's first recompute under
+        the new plan.  Staleness marks and leaf epochs carry over.
+
+        Dropped entries are reported on the ``plan.nodes_invalidated``
+        counter immediately (rebinds happen between rounds, outside any
+        :class:`ExecutionResult`).
+        """
+        plan.validate()
+        old_plan = self.plan
+        cache = self.cache
+        entries: "OrderedDict[NodeId, _CacheEntry]" = OrderedDict()
+        stale: Set[NodeId] = set()
+        dropped = 0
+        for node_id, entry in cache._entries.items():
+            varset = old_plan.node(node_id).varset
+            new_id = plan.node_for_varset(varset)
+            if new_id is None:
+                dropped += 1
+                continue
+            entries[new_id] = _CacheEntry(entry.value)
+            if node_id in cache._stale:
+                stale.add(new_id)
+        cache._entries = entries
+        cache._stale = stale
+        self.plan = plan
+        self.rebinds += 1
+        self.collector.incr(metric_names.PLAN_NODES_INVALIDATED, dropped)
+        self.collector.gauge(metric_names.PLAN_CACHE_RESIDENT, cache.resident)
 
 
 def _as_int(variable: Variable) -> int:

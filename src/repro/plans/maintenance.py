@@ -23,7 +23,7 @@ validates and answers every live query.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, List, Optional, Set
+from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Set
 
 from repro.errors import InvalidPlanError, PlanConstructionError
 from repro.plans.cost import expected_plan_cost
@@ -67,7 +67,33 @@ class PlanMaintainer:
         self.replan_after = replan_after
         self.repairs_since_replan = 0
         self.replans = 0
+        self._listeners: List[Callable[[Plan], None]] = []
         self.plan = self._full_plan()
+
+    # ------------------------------------------------------------------
+    # plan-change notification
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: Callable[[Plan], None]) -> None:
+        """Register a callback invoked with every new plan.
+
+        Called after each repair or full replan, once the fresh plan has
+        validated.  The primary consumer is
+        :meth:`repro.plans.executor.CrossRoundPlanExecutor.rebind`, which
+        carries cached node values whose varsets survived the repair and
+        invalidates the touched subtree -- subscribing it keeps
+        incremental execution and plan maintenance composed:
+
+            maintainer.subscribe(executor.rebind)
+
+        Listeners fire in subscription order; exceptions propagate to
+        the mutation that triggered the change.
+        """
+        self._listeners.append(listener)
+
+    def _set_plan(self, plan: Plan) -> None:
+        self.plan = plan
+        for listener in self._listeners:
+            listener(plan)
 
     # ------------------------------------------------------------------
     # queries
@@ -156,7 +182,7 @@ class PlanMaintainer:
     def _after_change(self) -> None:
         self.repairs_since_replan += 1
         if self.repairs_since_replan >= self.replan_after:
-            self.plan = self._full_plan()
+            self._set_plan(self._full_plan())
             self.repairs_since_replan = 0
             self.replans += 1
             return
@@ -196,4 +222,4 @@ class PlanMaintainer:
             node_ids = [fresh.node_for_varset(c) for c in cover]
             fresh.add_chain([n for n in node_ids if n is not None])
         fresh.validate()
-        self.plan = fresh
+        self._set_plan(fresh)

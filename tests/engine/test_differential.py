@@ -35,7 +35,7 @@ def _small_market(seed: int):
     )
 
 
-def _build(market, mode, seed, collector=None):
+def _build(market, mode, seed, collector=None, exec_cache=False):
     return SharedAuctionEngine(
         market.advertisers,
         slot_factors=[0.3, 0.2, 0.1],
@@ -43,10 +43,13 @@ def _build(market, mode, seed, collector=None):
         mode=mode,
         seed=seed,
         collector=collector,
+        exec_cache=exec_cache,
     )
 
 
-def _run_paired(market, mode_a, mode_b, seed, rounds=8):
+def _run_paired(
+    market, mode_a, mode_b, seed, rounds=8, cache_a=False, cache_b=False
+):
     """Run two engines round-for-round on identical occurring phrases.
 
     Each engine holds its own ``random.Random(seed)``; sampling phrases
@@ -56,8 +59,8 @@ def _run_paired(market, mode_a, mode_b, seed, rounds=8):
     """
     collector_a = MetricsCollector()
     collector_b = MetricsCollector()
-    engine_a = _build(market, mode_a, seed, collector_a)
-    engine_b = _build(market, mode_b, seed, collector_b)
+    engine_a = _build(market, mode_a, seed, collector_a, exec_cache=cache_a)
+    engine_b = _build(market, mode_b, seed, collector_b, exec_cache=cache_b)
     for round_index in range(rounds):
         occurring = engine_a.sample_occurring_phrases()
         engine_b._rng.setstate(engine_a._rng.getstate())
@@ -105,6 +108,43 @@ class TestSharedSortMatchesUnshared:
         )
         assert shared_sort.counter(names.TA_RUNS) > 0
         assert shared_sort.counter(names.TA_SORTED_ACCESSES) > 0
+
+
+class TestExecCacheMatchesShared:
+    """Cross-round caching is invisible to the auction (the tentpole's
+    determinism contract): ``--exec-cache`` must replay the exact
+    winners, prices, budget trajectories, and per-round allocations of
+    uncached shared execution, while doing no more node work."""
+
+    @pytest.mark.parametrize("seed", DIFFERENTIAL_SEEDS)
+    def test_identical_outcomes_and_no_more_nodes(self, seed):
+        market = _small_market(seed)
+        cached, plain = _run_paired(
+            market, "shared", "shared", seed, cache_a=True
+        )
+        # _run_paired already asserted allocations, revenue, and budget
+        # trajectories round by round; here we check the work contract.
+        assert cached.counter(names.PLAN_NODES) <= plain.counter(
+            names.PLAN_NODES
+        )
+        assert cached.counter(names.PLAN_MERGES) <= plain.counter(
+            names.PLAN_MERGES
+        )
+        # The uncached engine must never report cross-round counters.
+        assert plain.counter(names.PLAN_NODES_REUSED) == 0
+        assert plain.counter(names.PLAN_REVALIDATIONS) == 0
+
+    def test_cache_actually_reuses_work(self):
+        market = _small_market(11)
+        cached, plain = _run_paired(
+            market, "shared", "shared", 11, rounds=12, cache_a=True
+        )
+        assert (
+            cached.counter(names.PLAN_NODES_REUSED)
+            + cached.counter(names.PLAN_REVALIDATIONS)
+            > 0
+        )
+        assert cached.gauges[names.PLAN_CACHE_RESIDENT] > 0
 
 
 class TestRoundCounterRollups:

@@ -1,0 +1,464 @@
+"""The cross-round incremental executor and its invalidation model.
+
+Covers the tentpole's correctness surface:
+
+- basic cross-round behavior: answers identical to a fresh executor,
+  full reuse on unchanged rounds, recomputation confined to the dirty
+  cone;
+- the crafted revalidation scenario where ``merges_performed``
+  legitimately diverges from ``nodes_materialized``;
+- the bounded LRU cache (capacity, evictions, correctness under
+  eviction);
+- soundness checking of declared dirty sets;
+- the base executor's enforced ``merges == nodes_materialized``
+  invariant and the cross-round executor's weakened form;
+- plan-maintenance composition through :meth:`rebind`;
+- the structural property behind dirty-set invalidation: the ancestor
+  closure of the dirty leaves is exactly the set of nodes whose varset
+  intersects the dirty variables, and node values outside it never
+  change.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topk import top_k_scan
+from repro.errors import InvalidPlanError
+from repro.instrument import MetricsCollector, names
+from repro.plans.dag import Plan
+from repro.plans.executor import (
+    CrossRoundCache,
+    CrossRoundPlanExecutor,
+    ExecutionResult,
+    PlanExecutor,
+)
+from repro.plans.greedy_planner import greedy_shared_plan
+from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+from repro.plans.maintenance import PlanMaintainer
+
+from tests.conftest import query_families
+
+
+def _greedy_plan(sets, rates):
+    instance = SharedAggregationInstance(
+        AggregateQuery(name, members, rates[name])
+        for name, members in sets.items()
+    )
+    return greedy_shared_plan(instance)
+
+
+def _chain_plan():
+    """Two queries sharing a prefix: P = a ⊕ b, G = P ⊕ c.
+
+    Leaves are integer advertiser ids with scores a=10, b=1, c=5.
+    """
+    instance = SharedAggregationInstance(
+        [
+            AggregateQuery("P", {1, 2}, 1.0),
+            AggregateQuery("G", {1, 2, 3}, 1.0),
+        ]
+    )
+    plan = Plan(instance)
+    p = plan.add_internal(plan.leaf_of(1), plan.leaf_of(2))
+    plan.add_internal(p, plan.leaf_of(3))
+    plan.validate()
+    return plan
+
+
+def _random_scores(variables, rng):
+    return {v: rng.uniform(0.1, 100.0) for v in variables}
+
+
+class TestCrossRoundBasics:
+    def test_answers_match_fresh_executor_across_rounds(self):
+        rng = random.Random(7)
+        sets = {
+            "q0": ["x0", "x1", "x2"],
+            "q1": ["x1", "x2", "x3", "x4"],
+            "q2": ["x0", "x4", "x5"],
+        }
+        rates = {name: 1.0 for name in sets}
+        plan = _greedy_plan(sets, rates)
+        cached = CrossRoundPlanExecutor(plan, 2)
+        fresh = PlanExecutor(plan, 2)
+        scores = _random_scores(plan.instance.variables, rng)
+        for _ in range(12):
+            for v in rng.sample(sorted(plan.instance.variables), 2):
+                scores[v] = rng.uniform(0.1, 100.0)
+            a = cached.run_round(dict(scores))
+            b = fresh.run_round(dict(scores))
+            assert a.answers == b.answers
+
+    def test_unchanged_round_is_pure_reuse(self):
+        plan = _chain_plan()
+        executor = CrossRoundPlanExecutor(plan, 2)
+        scores = {1: 10.0, 2: 1.0, 3: 5.0}
+        first = executor.run_round(scores)
+        assert first.nodes_materialized == 2
+        assert first.merges_performed == 2
+        second = executor.run_round(scores)
+        assert second.nodes_materialized == 0
+        assert second.merges_performed == 0
+        assert second.nodes_reused == 2
+        assert second.advertisers_scanned == 0
+        assert second.answers == first.answers
+
+    def test_recompute_confined_to_dirty_cone(self):
+        # G = P ⊕ c: changing c must recompute G but reuse P untouched.
+        plan = _chain_plan()
+        executor = CrossRoundPlanExecutor(plan, 2)
+        executor.run_round({1: 10.0, 2: 1.0, 3: 5.0})
+        result = executor.run_round({1: 10.0, 2: 1.0, 3: 50.0})
+        assert result.nodes_materialized == 1  # G only
+        assert result.merges_performed == 1
+        assert result.nodes_reused == 1  # P served from cache
+        assert list(result.answers["G"].advertiser_ids()) == [3, 1]
+        assert list(result.answers["P"].advertiser_ids()) == [1, 2]
+
+    def test_leaf_epochs_bump_only_on_actual_change(self):
+        plan = _chain_plan()
+        executor = CrossRoundPlanExecutor(plan, 2)
+        executor.run_round({1: 10.0, 2: 1.0, 3: 5.0})
+        assert executor.leaf_epoch(1) == 1
+        executor.run_round({1: 10.0, 2: 1.0, 3: 5.0}, dirty={1, 2, 3})
+        # Over-declared dirty set: no score changed, no epoch moved.
+        assert executor.leaf_epoch(1) == 1
+        executor.run_round({1: 11.0, 2: 1.0, 3: 5.0}, dirty={1})
+        assert executor.leaf_epoch(1) == 2
+        assert executor.leaf_epoch(2) == 1
+
+    def test_per_round_work_never_exceeds_uncached(self):
+        rng = random.Random(13)
+        sets = {f"q{i}": [f"x{j}" for j in range(i, i + 4)] for i in range(5)}
+        rates = {name: 1.0 for name in sets}
+        plan = _greedy_plan(sets, rates)
+        cached = CrossRoundPlanExecutor(plan, 3)
+        fresh = PlanExecutor(plan, 3)
+        scores = _random_scores(plan.instance.variables, rng)
+        for _ in range(10):
+            for v in rng.sample(sorted(plan.instance.variables), 1):
+                scores[v] = rng.uniform(0.1, 100.0)
+            a = cached.run_round(dict(scores))
+            b = fresh.run_round(dict(scores))
+            assert a.nodes_materialized <= b.nodes_materialized
+            assert a.advertisers_scanned <= b.advertisers_scanned
+
+
+class TestRevalidation:
+    def test_equal_recompute_revalidates_ancestors_without_merge(self):
+        """The crafted divergence scenario from the executor docstring.
+
+        k=1 with a=10, b=1, c=5.  Changing b to 2 dirties P and G; P's
+        merge reproduces top-1 = a (the equality cutoff keeps the *old*
+        object), so G sees both operands unchanged by identity and
+        revalidates without merging: one merge, two materializations.
+        """
+        plan = _chain_plan()
+        executor = CrossRoundPlanExecutor(plan, 1)
+        executor.run_round({1: 10.0, 2: 1.0, 3: 5.0})
+        result = executor.run_round({1: 10.0, 2: 2.0, 3: 5.0})
+        assert result.merges_performed == 1  # P only
+        assert result.nodes_materialized == 2  # P and G
+        assert result.nodes_revalidated == 1  # G, merge-free
+        assert list(result.answers["P"].advertiser_ids()) == [1]
+        assert list(result.answers["G"].advertiser_ids()) == [1]
+
+    def test_revalidated_values_stay_correct_downstream(self):
+        plan = _chain_plan()
+        executor = CrossRoundPlanExecutor(plan, 1)
+        fresh = PlanExecutor(plan, 1)
+        scores = {1: 10.0, 2: 1.0, 3: 5.0}
+        executor.run_round(dict(scores))
+        # A change that *does* move the top-1 must propagate through the
+        # previously revalidated chain.
+        for b_score in (2.0, 20.0, 3.0, 30.0):
+            scores[2] = b_score
+            a = executor.run_round(dict(scores))
+            b = fresh.run_round(dict(scores))
+            assert a.answers == b.answers
+
+
+class TestCacheBounds:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(InvalidPlanError):
+            CrossRoundCache(0)
+        with pytest.raises(InvalidPlanError):
+            CrossRoundCache(-3)
+
+    def test_rejects_cache_and_capacity_together(self):
+        plan = _chain_plan()
+        with pytest.raises(InvalidPlanError):
+            CrossRoundPlanExecutor(
+                plan, 2, cache=CrossRoundCache(), capacity=4
+            )
+
+    def test_lru_eviction_bounds_residency(self):
+        plan = _chain_plan()  # 3 leaves + 2 operators = 5 cacheable nodes
+        executor = CrossRoundPlanExecutor(plan, 2, capacity=2)
+        executor.run_round({1: 10.0, 2: 1.0, 3: 5.0})
+        assert executor.cache.resident == 2
+        assert executor.cache.evictions == 3
+
+    def test_eviction_never_corrupts_answers(self):
+        rng = random.Random(5)
+        sets = {
+            "q0": ["x0", "x1", "x2"],
+            "q1": ["x2", "x3", "x4"],
+            "q2": ["x0", "x4", "x5"],
+        }
+        rates = {name: 1.0 for name in sets}
+        plan = _greedy_plan(sets, rates)
+        bounded = CrossRoundPlanExecutor(plan, 2, capacity=3)
+        fresh = PlanExecutor(plan, 2)
+        scores = _random_scores(plan.instance.variables, rng)
+        total_evictions = 0
+        for _ in range(8):
+            for v in rng.sample(sorted(plan.instance.variables), 2):
+                scores[v] = rng.uniform(0.1, 100.0)
+            a = bounded.run_round(dict(scores))
+            b = fresh.run_round(dict(scores))
+            assert a.answers == b.answers
+            assert bounded.cache.resident <= 3
+            total_evictions += a.cache_evictions
+        assert total_evictions > 0
+
+    def test_adopted_cache_persists_across_executors(self):
+        plan = _chain_plan()
+        cache = CrossRoundCache()
+        scores = {1: 10.0, 2: 1.0, 3: 5.0}
+        first = CrossRoundPlanExecutor(plan, 2, cache=cache)
+        first.run_round(dict(scores))
+        second = CrossRoundPlanExecutor(plan, 2, cache=cache)
+        # The successor inherits values but NOT score history, so its
+        # first round must conservatively invalidate everything it sees
+        # (it cannot know the cached values match these scores) -- and
+        # from the second round on, reuse resumes.
+        result = second.run_round(dict(scores))
+        assert result.nodes_invalidated == 5
+        assert result.answers["P"].advertiser_ids() == (1, 2)
+        settled = second.run_round(dict(scores))
+        assert settled.nodes_reused == 2
+        assert settled.merges_performed == 0
+
+
+class TestDirtySetSoundness:
+    def test_undeclared_score_change_raises(self):
+        plan = _chain_plan()
+        executor = CrossRoundPlanExecutor(plan, 2)
+        executor.run_round({1: 10.0, 2: 1.0, 3: 5.0}, dirty=set())
+        with pytest.raises(InvalidPlanError, match="unsound dirty set"):
+            executor.run_round({1: 10.0, 2: 99.0, 3: 5.0}, dirty=set())
+
+    def test_over_declared_dirty_set_costs_nothing(self):
+        plan = _chain_plan()
+        executor = CrossRoundPlanExecutor(plan, 2)
+        scores = {1: 10.0, 2: 1.0, 3: 5.0}
+        executor.run_round(dict(scores))
+        result = executor.run_round(dict(scores), dirty={1, 2, 3})
+        assert result.nodes_invalidated == 0
+        assert result.nodes_reused == 2
+
+    def test_auto_diff_mode_needs_no_declaration(self):
+        plan = _chain_plan()
+        executor = CrossRoundPlanExecutor(plan, 2)
+        executor.run_round({1: 10.0, 2: 1.0, 3: 5.0})
+        result = executor.run_round({1: 10.0, 2: 99.0, 3: 5.0})
+        assert list(result.answers["P"].advertiser_ids()) == [2, 1]
+
+
+class TestWorkAccountingInvariants:
+    """Satellite: the base executor *enforces* one merge per node."""
+
+    def test_base_counters_agree_over_random_rounds(self):
+        rng = random.Random(3)
+        sets = {"q0": ["x0", "x1"], "q1": ["x0", "x1", "x2"]}
+        rates = {name: 1.0 for name in sets}
+        plan = _greedy_plan(sets, rates)
+        collector = MetricsCollector()
+        executor = PlanExecutor(plan, 2, collector)
+        for _ in range(6):
+            executor.run_round(_random_scores(plan.instance.variables, rng))
+        assert collector.counter(names.PLAN_MERGES) == collector.counter(
+            names.PLAN_NODES
+        )
+        assert collector.counter(names.PLAN_NODES_REUSED) == 0
+
+    def test_base_checker_rejects_merge_node_mismatch(self):
+        executor = PlanExecutor(_chain_plan(), 2)
+        bad = ExecutionResult(nodes_materialized=2, merges_performed=1)
+        with pytest.raises(InvalidPlanError, match="work-accounting"):
+            executor._check_round_invariants(bad)
+
+    def test_base_checker_rejects_cross_round_counters(self):
+        executor = PlanExecutor(_chain_plan(), 2)
+        bad = ExecutionResult(nodes_reused=1)
+        with pytest.raises(InvalidPlanError, match="cross-round"):
+            executor._check_round_invariants(bad)
+
+    def test_cached_checker_allows_revalidation_divergence(self):
+        executor = CrossRoundPlanExecutor(_chain_plan(), 2)
+        ok = ExecutionResult(
+            nodes_materialized=3, merges_performed=2, nodes_revalidated=1
+        )
+        executor._check_round_invariants(ok)  # must not raise
+        bad = ExecutionResult(
+            nodes_materialized=3, merges_performed=2, nodes_revalidated=0
+        )
+        with pytest.raises(InvalidPlanError, match="work-accounting"):
+            executor._check_round_invariants(bad)
+
+
+class TestRebindWithMaintainer:
+    def _oracle_check(self, executor, scores, k=2):
+        result = executor.run_round(dict(scores))
+        for query in executor.plan.instance.queries:
+            expected = top_k_scan(
+                k, [(scores[v], v) for v in sorted(query.variables)]
+            )
+            assert result.answers[query.name] == expected
+        return result
+
+    def test_repair_invalidates_touched_subtree_only(self):
+        maintainer = PlanMaintainer(
+            {"p": {0, 1, 2}, "q": {2, 3, 4}}, replan_after=100
+        )
+        executor = CrossRoundPlanExecutor(maintainer.plan, 2)
+        maintainer.subscribe(executor.rebind)
+        scores = {a: float(10 + a) for a in range(6)}
+        self._oracle_check(executor, scores)
+        maintainer.add_interest("p", 5)
+        assert executor.rebinds == 1
+        # Untouched varsets survive the rebind with their values.
+        assert executor.cache.resident > 0
+        self._oracle_check(executor, scores)
+
+    def test_full_replan_keeps_answers_exact(self):
+        maintainer = PlanMaintainer(
+            {"p": {0, 1, 2}, "q": {2, 3, 4}, "r": {4, 5, 0}}, replan_after=2
+        )
+        executor = CrossRoundPlanExecutor(maintainer.plan, 2)
+        maintainer.subscribe(executor.rebind)
+        scores = {a: float((a * 7) % 11 + 1) for a in range(8)}
+        self._oracle_check(executor, scores)
+        maintainer.add_interest("p", 6)
+        maintainer.add_interest("q", 7)  # triggers the replan
+        assert maintainer.replans == 1
+        assert executor.rebinds == 2
+        self._oracle_check(executor, scores)
+
+    def test_dropped_entries_hit_the_invalidation_counter(self):
+        collector = MetricsCollector()
+        maintainer = PlanMaintainer(
+            {"p": {0, 1, 2}, "q": {2, 3, 4}}, replan_after=100
+        )
+        executor = CrossRoundPlanExecutor(maintainer.plan, 2, collector)
+        maintainer.subscribe(executor.rebind)
+        scores = {a: float(10 + a) for a in range(5)}
+        executor.run_round(dict(scores))
+        before = collector.counter(names.PLAN_NODES_INVALIDATED)
+        maintainer.remove_interest("p", 1)
+        # The repaired query's old varset no longer exists: at least the
+        # old query node's entry must have been dropped and counted.
+        assert collector.counter(names.PLAN_NODES_INVALIDATED) > before
+
+
+@st.composite
+def _family_with_dirty(draw):
+    sets, rates = draw(query_families(max_queries=4, max_vars=7))
+    variables = sorted({v for members in sets.values() for v in members})
+    dirty = draw(
+        st.sets(st.sampled_from(variables), min_size=1, max_size=len(variables))
+    )
+    return sets, rates, dirty
+
+
+class TestDirtyClosureProperty:
+    """Satellite: the ancestor closure is sound and minimal.
+
+    Minimality is structural: the closure is *exactly* the nodes whose
+    varset intersects the dirty variables, and soundness is semantic:
+    any node whose value changes after a perturbation of the dirty
+    leaves lies inside the closure -- so invalidating the closure never
+    recomputes an unaffected node, and never misses an affected one.
+    """
+
+    @given(_family_with_dirty())
+    @settings(max_examples=60, deadline=None)
+    def test_closure_is_exactly_varset_intersection(self, family):
+        sets, rates, dirty = family
+        plan = _greedy_plan(sets, rates)
+        closure = plan.dirty_closure(dirty)
+        expected = {
+            node.node_id
+            for node in plan.nodes
+            if node.varset & frozenset(dirty)
+        }
+        assert closure == expected
+
+    @given(_family_with_dirty(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_values_outside_closure_never_change(self, family, k):
+        sets, rates, dirty = family
+        plan = _greedy_plan(sets, rates)
+        variables = sorted(plan.instance.variables)
+        ids = {v: index for index, v in enumerate(variables)}
+
+        def node_values(scores):
+            return {
+                node.node_id: top_k_scan(
+                    k,
+                    [(scores[v], ids[v]) for v in sorted(node.varset)],
+                )
+                for node in plan.nodes
+            }
+
+        before_scores = {v: float(1 + ids[v]) for v in variables}
+        after_scores = dict(before_scores)
+        for v in dirty:
+            after_scores[v] = before_scores[v] + 100.0
+        before = node_values(before_scores)
+        after = node_values(after_scores)
+        closure = plan.dirty_closure(dirty)
+        changed = {
+            node_id
+            for node_id in before
+            if before[node_id] != after[node_id]
+        }
+        # Soundness: everything that changed is inside the closure.
+        assert changed <= closure
+        # Minimality: everything outside the closure kept its value.
+        for node_id in set(before) - closure:
+            assert before[node_id] == after[node_id]
+
+
+class TestAncestorIndex:
+    def test_parent_index_inverts_operand_edges(self):
+        plan = _chain_plan()
+        index = plan.parent_index()
+        p = plan.node_for_varset(frozenset({1, 2}))
+        g = plan.node_for_varset(frozenset({1, 2, 3}))
+        assert index[plan.leaf_of(1)] == (p,)
+        assert index[plan.leaf_of(2)] == (p,)
+        assert index[plan.leaf_of(3)] == (g,)
+        assert index[p] == (g,)
+        assert index[g] == ()
+
+    def test_ancestors_include_seeds(self):
+        plan = _chain_plan()
+        p = plan.node_for_varset(frozenset({1, 2}))
+        g = plan.node_for_varset(frozenset({1, 2, 3}))
+        assert plan.ancestors_of([p]) == {p, g}
+
+    def test_unknown_node_raises(self):
+        plan = _chain_plan()
+        with pytest.raises(InvalidPlanError):
+            plan.ancestors_of([999])
+
+    def test_dirty_closure_skips_absent_variables(self):
+        plan = _chain_plan()
+        assert plan.dirty_closure(["not-a-variable"]) == set()

@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.errors import InvalidAuctionError
 
 
 class TestParser:
@@ -90,6 +91,33 @@ class TestCommands:
         else:
             assert payload["counters"]["ta.runs"] > 0
             assert payload["gauges"]["ta.stop_depth"] >= 1
+
+    def test_engine_exec_cache(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "engine",
+                    "--rounds",
+                    "8",
+                    "--mode",
+                    "shared",
+                    "--exec-cache",
+                    "--trace-json",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "+exec-cache" in out
+        payload = json.loads(trace.read_text())
+        assert payload["counters"]["plan.nodes_reused"] > 0
+        assert payload["gauges"]["plan.cache_resident"] > 0
+
+    def test_engine_exec_cache_requires_shared_mode(self):
+        with pytest.raises(InvalidAuctionError, match="exec_cache"):
+            main(["engine", "--rounds", "2", "--mode", "unshared", "--exec-cache"])
 
     def test_engine_trace_capacity_bounds_ring(self, tmp_path):
         trace = tmp_path / "trace.json"

@@ -9,6 +9,10 @@ state-heavy components and checks invariants after every step:
 - :class:`MaintainerMachine` -- the plan maintainer must keep a valid,
   exact plan through arbitrary interleavings of interest changes,
   phrase additions, and drops.
+- :class:`CachedExecutionMachine` -- a cross-round incremental executor
+  subscribed to a drifting maintainer must answer every round exactly
+  like a fresh single-scan oracle, no matter how repairs, replans,
+  score perturbations, and rounds interleave.
 """
 
 from __future__ import annotations
@@ -22,8 +26,9 @@ from hypothesis.stateful import (
 )
 from hypothesis import strategies as st
 
+from repro.core.topk import top_k_scan
 from repro.engine.budget_manager import BudgetManager
-from repro.plans.executor import PlanExecutor
+from repro.plans.executor import CrossRoundPlanExecutor, PlanExecutor
 from repro.plans.maintenance import PlanMaintainer
 
 
@@ -142,3 +147,101 @@ MaintainerMachine.TestCase.settings = settings(
     max_examples=15, stateful_step_count=20, deadline=None
 )
 TestMaintainerMachine = MaintainerMachine.TestCase
+
+
+class CachedExecutionMachine(RuleBasedStateMachine):
+    """Plan maintenance interleaved with cached incremental execution.
+
+    The executor's cross-round cache must stay exact through arbitrary
+    interleavings of structural repairs (which rebind the executor via
+    the maintainer's plan-change subscription), score perturbations
+    (declared through the dirty set), and executed rounds.  After every
+    step, running a round must reproduce a fresh ``top_k_scan`` over the
+    live interests -- the cache can never serve an outdated value.
+    """
+
+    K = 2
+    PHRASES = ("p", "q", "r")
+    ADVERTISERS = tuple(range(8))
+
+    @initialize()
+    def setup(self) -> None:
+        self.maintainer = PlanMaintainer(
+            {"p": {0, 1, 2}, "q": {2, 3, 4}, "r": {4, 5, 0}},
+            replan_after=4,
+        )
+        self.executor = CrossRoundPlanExecutor(self.maintainer.plan, self.K)
+        self.maintainer.subscribe(self.executor.rebind)
+        self.scores = {a: float((a * 37) % 23 + 1) for a in self.ADVERTISERS}
+        self.dirty: set[int] = set(self.ADVERTISERS)
+        self.extra_phrases = 0
+
+    @rule(
+        phrase=st.sampled_from(PHRASES),
+        advertiser=st.sampled_from(ADVERTISERS),
+    )
+    def toggle_interest(self, phrase: str, advertiser: int) -> None:
+        if phrase not in self.maintainer.interests():
+            return
+        interests = self.maintainer.interests()[phrase]
+        if advertiser in interests:
+            if len(interests) > 2:
+                self.maintainer.remove_interest(phrase, advertiser)
+        else:
+            self.maintainer.add_interest(phrase, advertiser)
+
+    @rule(
+        advertisers=st.sets(
+            st.sampled_from(ADVERTISERS), min_size=2, max_size=5
+        )
+    )
+    def add_phrase(self, advertisers: set) -> None:
+        if self.extra_phrases >= 3:
+            return
+        self.extra_phrases += 1
+        self.maintainer.add_phrase(
+            f"extra{self.extra_phrases}", advertisers, 0.5
+        )
+
+    @rule(
+        advertiser=st.sampled_from(ADVERTISERS),
+        score=st.integers(min_value=1, max_value=40),
+    )
+    def perturb_score(self, advertiser: int, score: int) -> None:
+        self.scores[advertiser] = float(score)
+        self.dirty.add(advertiser)
+
+    @rule()
+    def run_round(self) -> None:
+        self._run_and_check()
+
+    @invariant()
+    def cached_answers_match_fresh_scan(self) -> None:
+        self._run_and_check()
+
+    def _run_and_check(self) -> None:
+        plan = self.executor.plan
+        result = self.executor.run_round(
+            dict(self.scores), dirty=set(self.dirty)
+        )
+        self.dirty.clear()
+        # Oracle: an independent single-scan top-k per live query.
+        for query in plan.instance.queries:
+            expected = top_k_scan(
+                self.K,
+                [(self.scores[v], v) for v in sorted(query.variables)],
+            )
+            assert result.answers[query.name] == expected, (
+                f"cached answer diverged from fresh scan for {query.name!r}"
+            )
+        # The weakened accounting invariant must hold every round.
+        assert (
+            result.merges_performed + result.nodes_revalidated
+            == result.nodes_materialized
+        )
+
+
+CachedExecutionMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)
+TestCachedExecutionMachine = CachedExecutionMachine.TestCase
