@@ -74,6 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     engine.add_argument(
+        "--planner",
+        choices=["lazy", "naive"],
+        default="lazy",
+        help=(
+            "greedy completion engine: 'lazy' (CELF-style incremental "
+            "rescoring, the default) or 'naive' (full rescan each step; "
+            "same plan, more work)"
+        ),
+    )
+    engine.add_argument(
         "--trace-json",
         metavar="PATH",
         help=(
@@ -100,6 +110,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     plan.add_argument("--output", help="write the plan JSON here")
+    plan.add_argument(
+        "--planner",
+        choices=["lazy", "naive"],
+        default="lazy",
+        help="greedy completion engine (both produce identical plans)",
+    )
     return parser
 
 
@@ -210,6 +226,7 @@ def _cmd_engine(
     trace_json: Optional[str] = None,
     trace_capacity: int = 65536,
     exec_cache: bool = False,
+    planner: str = "lazy",
 ) -> int:
     from repro.engine import SharedAuctionEngine
     from repro.workloads.generator import MarketConfig, generate_market
@@ -236,6 +253,7 @@ def _cmd_engine(
         seed=seed,
         collector=collector,
         exec_cache=exec_cache,
+        planner=planner,
     )
     report = engine.run(rounds)
     label = f"mode={mode}" + (" +exec-cache" if exec_cache else "")
@@ -252,15 +270,16 @@ def _cmd_engine(
     )
     table.show()
     if collector is not None and trace_json is not None:
-        from repro.metrics.tables import counter_table
+        from repro.metrics.tables import counter_table, planner_stats_line
 
         counter_table(collector, title=f"Work counters: {label}").show()
+        print(planner_stats_line(collector))
         collector.dump(trace_json)
         print(f"metrics + trace written to {trace_json}")
     return 0
 
 
-def _cmd_plan(spec_path: str, output: Optional[str]) -> int:
+def _cmd_plan(spec_path: str, output: Optional[str], planner: str = "lazy") -> int:
     from repro.plans.greedy_planner import greedy_shared_plan
     from repro.plans.cost import expected_plan_cost
     from repro.plans.instance import SharedAggregationInstance
@@ -275,7 +294,7 @@ def _cmd_plan(spec_path: str, output: Optional[str]) -> int:
     instance = SharedAggregationInstance.from_sets(
         spec["queries"], spec.get("search_rates", 1.0)
     )
-    plan = greedy_shared_plan(instance)
+    plan = greedy_shared_plan(instance, planner=planner)
     serialized = dumps(plan)
     if output:
         with open(output, "w") as handle:
@@ -308,7 +327,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.trace_json,
             args.trace_capacity,
             args.exec_cache,
+            args.planner,
         )
     if args.command == "plan":
-        return _cmd_plan(args.spec, args.output)
+        return _cmd_plan(args.spec, args.output, args.planner)
     raise AssertionError(f"unhandled command {args.command!r}")

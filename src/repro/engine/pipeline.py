@@ -146,6 +146,10 @@ class SharedAuctionEngine:
             counters move.
         exec_cache_capacity: Optional bound on resident cached nodes
             (LRU eviction); ``None`` keeps every node.
+        planner: Stage-2 engine for the shared plan's greedy completion:
+            ``"lazy"`` (default, CELF-style incremental rescoring) or
+            ``"naive"`` (full rescan each step).  Both build identical
+            plans; only planning-time work counters differ.
         decay: Click-decay model for outstanding ads.
         mean_click_delay_rounds: Mean click arrival delay.
         click_horizon_rounds: Rounds after which an unclicked ad expires.
@@ -180,6 +184,7 @@ class SharedAuctionEngine:
         throttle: bool = True,
         exec_cache: bool = False,
         exec_cache_capacity: Optional[int] = None,
+        planner: str = "lazy",
         decay: Optional[ClickDecayModel] = None,
         mean_click_delay_rounds: float = 2.0,
         click_horizon_rounds: int = 16,
@@ -252,7 +257,12 @@ class SharedAuctionEngine:
                 for phrase, ids in self.phrase_advertisers.items()
             )
             strategy = "cover" if len(instance.variables) > 64 else "full"
-            plan = greedy_shared_plan(instance, pair_strategy=strategy)
+            plan = greedy_shared_plan(
+                instance,
+                pair_strategy=strategy,
+                planner=planner,
+                collector=self.collector,
+            )
             # k + 1 so GSP can read the runner-up score.
             if exec_cache:
                 self._executor = CrossRoundPlanExecutor(

@@ -24,6 +24,15 @@ name                      meaning (paper reference)
                           (the shoe-store example's 470-vs-270 scan
                           bookkeeping).
 ``plan.node_merges``      *keyed* counter: merges per plan node id.
+``plan.pairs_scored``     candidate pair unions whose greedy coverage
+                          gain the planner actually computed.
+``plan.pairs_skipped_lazy``  union scorings the lazy planner served from
+                          its heap instead of recomputing (the naive
+                          full rescan would have recomputed each).
+``plan.covers_computed``  greedy set-cover/partition runs performed
+                          while planning.
+``plan.covers_memo_hits``  cover requests served from the lazy planner's
+                          per-(query, candidate-generation) memo.
 ``plan.nodes_reused``     needed operator nodes served unchanged from the
                           cross-round cache (no merge, no leaf read) --
                           the per-round work the incremental executor
@@ -90,6 +99,10 @@ __all__ = [
     "PLAN_CACHE_MISSES",
     "PLAN_LEAF_SCANS",
     "PLAN_NODE_MERGES",
+    "PLAN_PAIRS_SCORED",
+    "PLAN_PAIRS_SKIPPED_LAZY",
+    "PLAN_COVERS_COMPUTED",
+    "PLAN_COVERS_MEMO_HITS",
     "PLAN_NODES_REUSED",
     "PLAN_NODES_INVALIDATED",
     "PLAN_REVALIDATIONS",
@@ -123,6 +136,12 @@ PLAN_CACHE_HITS = "plan.cache_hits"
 PLAN_CACHE_MISSES = "plan.cache_misses"
 PLAN_LEAF_SCANS = "plan.leaf_scans"
 PLAN_NODE_MERGES = "plan.node_merges"
+
+# Greedy planner work accounting (Section II-D heuristic).
+PLAN_PAIRS_SCORED = "plan.pairs_scored"
+PLAN_PAIRS_SKIPPED_LAZY = "plan.pairs_skipped_lazy"
+PLAN_COVERS_COMPUTED = "plan.covers_computed"
+PLAN_COVERS_MEMO_HITS = "plan.covers_memo_hits"
 
 # Cross-round incremental execution (dirty-set invalidation layer).
 PLAN_NODES_REUSED = "plan.nodes_reused"

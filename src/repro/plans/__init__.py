@@ -13,6 +13,8 @@ Modules:
 - :mod:`repro.plans.fragments` -- stage 1 of the heuristic: grouping
   variables by the exact set of queries they appear in.
 - :mod:`repro.plans.set_cover` -- greedy and exact set cover.
+- :mod:`repro.plans.varsets` -- interned variable-set bitmasks (the
+  planner hot path's representation).
 - :mod:`repro.plans.greedy_planner` -- the paper's two-stage heuristic.
 - :mod:`repro.plans.baselines` -- no-sharing and fragment-only planners.
 - :mod:`repro.plans.optimal` -- exhaustive optimal planning (small n).
@@ -30,10 +32,11 @@ from repro.plans.executor import (
     PlanExecutor,
 )
 from repro.plans.fragments import Fragment, identify_fragments
-from repro.plans.greedy_planner import greedy_shared_plan
+from repro.plans.greedy_planner import GreedyPlannerStats, greedy_shared_plan
 from repro.plans.instance import AggregateQuery, SharedAggregationInstance
 from repro.plans.optimal import optimal_plan
 from repro.plans.set_cover import exact_min_set_cover, greedy_set_cover
+from repro.plans.varsets import SubsetIndex, VarSetInterner
 
 __all__ = [
     "AggregateQuery",
@@ -41,10 +44,13 @@ __all__ = [
     "CrossRoundPlanExecutor",
     "ExecutionResult",
     "Fragment",
+    "GreedyPlannerStats",
     "Plan",
     "PlanExecutor",
     "PlanNode",
     "SharedAggregationInstance",
+    "SubsetIndex",
+    "VarSetInterner",
     "exact_min_set_cover",
     "expected_plan_cost",
     "fragment_only_plan",

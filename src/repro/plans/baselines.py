@@ -36,8 +36,13 @@ def no_sharing_plan(instance: SharedAggregationInstance) -> Plan:
     separately.
     """
     plan = Plan(instance)
+    interner = plan.interner
     for query in instance.queries:
-        leaves = [plan.leaf_of(v) for v in sorted(query.variables, key=repr)]
+        # interner.members returns repr-sorted order from the cached
+        # bitmask -- the same order the repr sort produced, without
+        # re-sorting per query.
+        ordered = interner.members(interner.mask_of(query.variables))
+        leaves = [plan.leaf_of(v) for v in ordered]
         acc = leaves[0]
         for leaf in leaves[1:]:
             acc = plan.add_internal(acc, leaf, reuse=False)
@@ -55,10 +60,12 @@ def fragment_only_plan(instance: SharedAggregationInstance) -> Plan:
     to stage 1 alone.
     """
     plan = Plan(instance)
+    interner = plan.interner
     fragments = identify_fragments(instance)
     fragment_root: Dict[Tuple[bool, ...], int] = {}
     for fragment in fragments:
-        leaves = [plan.leaf_of(v) for v in sorted(fragment.variables, key=repr)]
+        ordered = interner.members(interner.mask_of(fragment.variables))
+        leaves = [plan.leaf_of(v) for v in ordered]
         acc = leaves[0]
         for leaf in leaves[1:]:
             acc = plan.add_internal(acc, leaf)
@@ -91,9 +98,10 @@ def cse_plan(instance: SharedAggregationInstance) -> Plan:
     the optimal PTIME strategy for the non-associative rows of Fig. 5.
     """
     plan = Plan(instance)
+    interner = plan.interner
     suffix_node: Dict[Tuple[Variable, ...], int] = {}
     for query in instance.queries:
-        ordered = sorted(query.variables, key=repr)
+        ordered = interner.members(interner.mask_of(query.variables))
         # Build from the right so shared suffixes are created once.
         acc = plan.leaf_of(ordered[-1])
         suffix: Tuple[Variable, ...] = (ordered[-1],)

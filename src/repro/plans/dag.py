@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional,
 
 from repro.errors import InvalidPlanError
 from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+from repro.plans.varsets import VarSetInterner
 
 __all__ = ["PlanNode", "Plan"]
 
@@ -71,19 +72,29 @@ class Plan:
 
     Attributes:
         instance: The problem instance the plan is for.
+        interner: The plan's :class:`VarSetInterner`; every node's varset
+            is mirrored as an int bitmask (:meth:`node_mask`) so planners
+            can run set algebra on machine words while the public API
+            keeps speaking frozensets.
     """
 
     def __init__(self, instance: SharedAggregationInstance) -> None:
         self.instance = instance
+        self.interner = VarSetInterner(instance.variables)
         self._nodes: List[PlanNode] = []
+        self._masks: List[int] = []
         self._by_varset: Dict[FrozenSet[Variable], NodeId] = {}
+        self._by_mask: Dict[int, NodeId] = {}
         self._leaf_of: Dict[Variable, NodeId] = {}
         self._query_assignment: Dict[str, NodeId] = {}
         self._parent_index: Optional[Dict[NodeId, Tuple[NodeId, ...]]] = None
-        for variable in sorted(instance.variables, key=repr):
+        # The interner already holds the repr-sorted variable order.
+        for index, variable in enumerate(self.interner.variables):
             node = PlanNode(len(self._nodes), frozenset({variable}))
             self._nodes.append(node)
+            self._masks.append(1 << index)
             self._by_varset[node.varset] = node.node_id
+            self._by_mask[1 << index] = node.node_id
             self._leaf_of[variable] = node.node_id
 
     # ------------------------------------------------------------------
@@ -111,16 +122,21 @@ class Plan:
             raise InvalidPlanError("a node cannot aggregate itself with itself")
         left_node = self.node(left)
         right_node = self.node(right)
-        varset = left_node.varset | right_node.varset
+        mask = self._masks[left] | self._masks[right]
         if reuse:
-            existing = self._by_varset.get(varset)
+            # The mask mirror makes the reuse probe one int hash instead
+            # of hashing a freshly-built frozenset.
+            existing = self._by_mask.get(mask)
             if existing is not None:
                 return existing
+        varset = left_node.varset | right_node.varset
         node = PlanNode(len(self._nodes), varset, left, right)
         self._nodes.append(node)
+        self._masks.append(mask)
         # First-created node wins the varset index so query lookups are
         # deterministic even when duplicates are forced.
         self._by_varset.setdefault(varset, node.node_id)
+        self._by_mask.setdefault(mask, node.node_id)
         self._parent_index = None
         return node.node_id
 
@@ -151,6 +167,15 @@ class Plan:
     def node_for_varset(self, varset: FrozenSet[Variable]) -> Optional[NodeId]:
         """Id of the node labeled with exactly ``varset``, if any."""
         return self._by_varset.get(frozenset(varset))
+
+    def node_mask(self, node_id: NodeId) -> int:
+        """The node's varset as an interned bitmask."""
+        self.node(node_id)
+        return self._masks[node_id]
+
+    def node_for_mask(self, mask: int) -> Optional[NodeId]:
+        """Id of the node whose varset interns to exactly ``mask``."""
+        return self._by_mask.get(mask)
 
     def leaf_of(self, variable: Variable) -> NodeId:
         """Id of the leaf for ``variable``."""

@@ -15,18 +15,43 @@ expected greedy coverage.  If no pair yields a positive gain, the
 remaining queries are completed directly by aggregating their greedy
 covers pairwise (the "no further sharing" completion the paper uses to
 motivate the gain measure), which always terminates.
+
+Two interchangeable stage-2 engines share one state machine
+(:class:`_PlannerState`) built on interned bitmask varsets
+(:mod:`repro.plans.varsets`):
+
+- ``planner="naive"`` -- the paper's formulation taken literally: every
+  step re-enumerates every admissible union and re-scores each one from
+  scratch.  Kept as the oracle.
+- ``planner="lazy"`` (default) -- CELF-style completion: admissible
+  unions live in a max-heap keyed by their last known score; after a
+  node is added, only the unions overlapping a query whose greedy cover
+  changed (plus the unions newly created by the added node) are
+  re-scored, and base covers are memoized per (query, candidate
+  generation).  Because a union's score depends only on the covers of
+  the queries it is contained in, the dirty set is exact -- every other
+  cached score is still the true current score -- so the heap top is
+  the same argmax the naive rescan finds and the two engines produce
+  byte-identical plans.  (Textbook CELF additionally trusts
+  submodularity to skip re-scoring stale entries until popped; greedy
+  covers do not provably give monotone gains, so this implementation
+  re-scores the exact dirty set instead of trusting stale bounds --
+  same asymptotic savings, identity guaranteed.)
 """
 
 from __future__ import annotations
 
+import heapq
 from itertools import combinations
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import PlanConstructionError
+from repro.instrument import NULL, Collector, names
 from repro.plans.dag import Plan
 from repro.plans.fragments import identify_fragments
 from repro.plans.instance import SharedAggregationInstance
-from repro.plans.set_cover import greedy_set_cover, greedy_set_partition
+from repro.plans.set_cover import greedy_cover_masks, greedy_partition_masks
+from repro.plans.varsets import SubsetIndex
 
 __all__ = ["greedy_shared_plan", "GreedyPlannerStats"]
 
@@ -43,7 +68,16 @@ class GreedyPlannerStats:
         query_completions: Steps whose new node answered a missing query.
         direct_completions: Queries finished by the no-further-sharing
             fallback.
-        pairs_evaluated: Candidate pairs whose gain was computed.
+        pairs_evaluated: Candidate pair unions whose gain was computed
+            (every union every step under ``planner="naive"``; equal to
+            :attr:`pairs_scored` under ``planner="lazy"``).
+        pairs_scored: Union scorings actually performed.
+        pairs_skipped_lazy: Union scorings the lazy engine reused from
+            its heap instead of recomputing (the naive engine would have
+            recomputed each of them).
+        covers_computed: Greedy set-cover/partition runs performed.
+        covers_memo_hits: Cover requests served from the lazy engine's
+            per-(query, candidate-generation) memo.
     """
 
     def __init__(self) -> None:
@@ -52,6 +86,10 @@ class GreedyPlannerStats:
         self.query_completions = 0
         self.direct_completions = 0
         self.pairs_evaluated = 0
+        self.pairs_scored = 0
+        self.pairs_skipped_lazy = 0
+        self.covers_computed = 0
+        self.covers_memo_hits = 0
 
     def __repr__(self) -> str:
         return (
@@ -59,7 +97,11 @@ class GreedyPlannerStats:
             f"completion_steps={self.completion_steps}, "
             f"query_completions={self.query_completions}, "
             f"direct_completions={self.direct_completions}, "
-            f"pairs_evaluated={self.pairs_evaluated})"
+            f"pairs_evaluated={self.pairs_evaluated}, "
+            f"pairs_scored={self.pairs_scored}, "
+            f"pairs_skipped_lazy={self.pairs_skipped_lazy}, "
+            f"covers_computed={self.covers_computed}, "
+            f"covers_memo_hits={self.covers_memo_hits})"
         )
 
 
@@ -78,11 +120,444 @@ def _aggregate_balanced(plan: Plan, node_ids: Sequence[int]) -> int:
     return level[0]
 
 
+class _PlannerState:
+    """Shared stage-2 state: candidates, usable lists, covers, scoring.
+
+    Everything is interned: queries and node varsets are int bitmasks
+    from the plan's :class:`repro.plans.varsets.VarSetInterner`.  Both
+    stage-2 engines drive this one state machine, so a naive run and a
+    lazy run over the same instance walk bit-identical candidate sets,
+    usable lists, and gain arithmetic -- the differential tests assert
+    the resulting plans serialize identically.
+
+    Incremental bookkeeping (the two recompute-per-iteration fixes):
+
+    - *missing queries* are maintained as a list in instance order and
+      shrunk when an added node's mask equals a query mask -- the only
+      way stage 2 can answer a query;
+    - *search rates* are read once from the instance into the missing
+      tuples (``(name, mask, rate)``) instead of rebuilding the rate
+      mapping every iteration.
+    """
+
+    def __init__(
+        self,
+        plan: Plan,
+        pair_strategy: str,
+        require_disjoint: bool,
+        stats: GreedyPlannerStats,
+        lazy: bool,
+    ) -> None:
+        self.plan = plan
+        self.interner = plan.interner
+        self.sort_key = self.interner.sort_key
+        self.pair_strategy = pair_strategy
+        self.require_disjoint = require_disjoint
+        self.stats = stats
+        self.lazy = lazy
+        self.cover_fn = (
+            greedy_partition_masks if require_disjoint else greedy_cover_masks
+        )
+
+        # Missing queries in instance (name-sorted) order, search rates
+        # hoisted once per run.
+        self.missing: List[Tuple[str, int, float]] = []
+        for query in plan.instance.queries:
+            qmask = self.interner.mask_of(query.variables)
+            if plan.node_for_mask(qmask) is None:
+                self.missing.append((query.name, qmask, query.search_rate))
+        self.missing_masks: Set[int] = {m for _, m, _ in self.missing}
+
+        # Distinct node varsets (leaves included), plus the subset index
+        # answering "all candidates usable for this query".
+        self.index = SubsetIndex()
+        for node in plan.nodes:
+            self.index.add(plan.node_mask(node.node_id))
+        self.usable: Dict[str, List[int]] = {
+            name: self.index.subsets_of(qmask)
+            for name, qmask, _ in self.missing
+        }
+        # Candidate generation per query: bumped whenever a usable
+        # candidate is added; keys the base-cover memo.
+        self.generation: Dict[str, int] = {
+            name: 0 for name, _, _ in self.missing
+        }
+        self._cover_memo: Dict[str, Tuple[int, List[int]]] = {}
+
+        # Lazy-engine state: admissible unions with their last (exact)
+        # score, a per-union version counter invalidating superseded heap
+        # entries, and -- for the "cover" strategy -- which queries
+        # currently contribute each union (refcounted).  Versions live in
+        # their own dict and only ever increase: a union that is dropped
+        # from the frontier and later re-activated must NOT restart at
+        # version 0, or a stale heap entry from its first life would
+        # match again and pop in its stale key position.
+        self._active: Dict[int, Tuple[float, bool, int]] = {}
+        self._versions: Dict[int, int] = {}
+        self._heap: List[Tuple[Tuple[int, float, Tuple[int, ...]], int, int]] = []
+        self._contrib: Dict[str, Set[int]] = {}
+        self._refcount: Dict[int, int] = {}
+        # Per-(union, query) gain terms keyed by candidate generation;
+        # see score_union.  Only the lazy engine reads or writes it.
+        self._term_cache: Dict[int, Dict[str, Tuple[int, float]]] = {}
+        if lazy:
+            self._build_initial_frontier()
+
+    # -- covers --------------------------------------------------------
+    def reset_cover_memo(self) -> None:
+        """Drop memoized covers (the naive engine calls this per step)."""
+        self._cover_memo.clear()
+
+    def base_cover(self, name: str, qmask: int) -> List[int]:
+        """The greedy cover of query ``name`` from the current usable set.
+
+        Memoized per (query, candidate generation); within a naive step
+        this reproduces the old per-step ``covers`` dict, across lazy
+        steps it only recomputes after the usable set actually grew.
+        """
+        generation = self.generation[name]
+        memo = self._cover_memo.get(name)
+        if memo is not None and memo[0] == generation:
+            if self.lazy:
+                self.stats.covers_memo_hits += 1
+            return memo[1]
+        cover = self.cover_fn(qmask, self.usable[name], self.sort_key)
+        self.stats.covers_computed += 1
+        self._cover_memo[name] = (generation, cover)
+        return cover
+
+    # -- scoring -------------------------------------------------------
+    def relevant_queries(self, union: int) -> List[Tuple[str, int, float]]:
+        """The missing queries whose variable set contains ``union``."""
+        return [q for q in self.missing if not (union & ~q[1])]
+
+    def score_union(self, union: int) -> Tuple[float, bool]:
+        """Exact expected greedy coverage gain of creating ``union``.
+
+        Shared by both engines so the floating-point gain of a union is
+        bit-identical regardless of when it is computed: the per-query
+        term is always ``rate * base_len - rate * len(hypothetical)`` and
+        the terms are summed in missing-query order.
+
+        The lazy engine additionally caches each (query, union) term
+        keyed by the query's candidate generation: re-scoring a union
+        after a step then only runs hypothetical covers for the queries
+        whose usable set actually grew, while the re-summation of cached
+        terms (same values, same order) reproduces the naive float sum
+        bit for bit.  The naive engine never reads the cache -- its
+        oracle cost stays the paper's full rescan.
+        """
+        stats = self.stats
+        stats.pairs_evaluated += 1
+        stats.pairs_scored += 1
+        cache = self._term_cache.setdefault(union, {}) if self.lazy else None
+        gain = 0.0
+        for name, qmask, rate in self.missing:
+            if union & ~qmask:
+                continue
+            generation = self.generation[name]
+            if cache is not None:
+                hit = cache.get(name)
+                if hit is not None and hit[0] == generation:
+                    gain += hit[1]
+                    continue
+            base_len = len(self.base_cover(name, qmask))
+            hypothetical = self.cover_fn(
+                qmask, self.usable[name] + [union], self.sort_key
+            )
+            stats.covers_computed += 1
+            term = rate * base_len - rate * len(hypothetical)
+            if cache is not None:
+                cache[name] = (generation, term)
+            gain += term
+        return gain, union in self.missing_masks
+
+    def selection_key(
+        self, union: int, gain: float, completes: bool
+    ) -> Tuple[int, float, Tuple[int, ...]]:
+        """Rank: query-completing first, then gain, then id-tuple order.
+
+        The id tuple is the interner's cached sort key -- distinct for
+        distinct unions, so the ranking is a strict total order and the
+        argmax is unique.
+        """
+        return (0 if completes else 1, -gain, self.sort_key(union))
+
+    # -- pair enumeration ----------------------------------------------
+    def _pair_unions(self, pool: Sequence[int], out: Dict[int, None]) -> None:
+        """Admissible unions of candidate pairs from one query pool."""
+        require_disjoint = self.require_disjoint
+        index = self.index
+        for left, right in combinations(pool, 2):
+            meet = left & right
+            if meet == left or meet == right:
+                continue  # nested pairs never reduce any cover
+            if require_disjoint and meet:
+                continue
+            union = left | right
+            if union in index or union in out:
+                continue
+            out[union] = None
+
+    def enumerate_unions(self) -> Dict[int, None]:
+        """All admissible pair unions under the current pools."""
+        unions: Dict[int, None] = {}
+        if self.pair_strategy == "full":
+            for name, _qmask, _rate in self.missing:
+                self._pair_unions(self.usable[name], unions)
+        else:
+            for name, qmask, _rate in self.missing:
+                self._pair_unions(self.base_cover(name, qmask), unions)
+        return unions
+
+    def representative_pair(self, union: int) -> Tuple[int, int]:
+        """The canonical operand nodes realizing ``union``.
+
+        Both engines materialize the winning union through the pair of
+        existing nodes minimizing ``(left id, right id)`` -- a property
+        of the current plan alone, so the engines cannot diverge on plan
+        *structure* even when a union has many realizations.
+        """
+        plan = self.plan
+        parts = self.index.subsets_of(union, strict=True)
+        best: Optional[Tuple[int, int]] = None
+        for left_mask in parts:
+            rest = union & ~left_mask
+            for right_mask in parts:
+                if right_mask == left_mask:
+                    continue
+                if self.require_disjoint:
+                    if right_mask != rest:
+                        continue
+                elif (left_mask | right_mask) != union:
+                    continue
+                left_id = plan.node_for_mask(left_mask)
+                right_id = plan.node_for_mask(right_mask)
+                assert left_id is not None and right_id is not None
+                pair = (left_id, right_id)
+                if best is None or pair < best:
+                    best = pair
+        if best is None:
+            raise PlanConstructionError(
+                f"no candidate pair realizes union mask {union:#x}"
+            )
+        return best
+
+    # -- plan growth ---------------------------------------------------
+    def note_new_node(self, mask: int, final: bool = False) -> None:
+        """Absorb a node the plan just grew.
+
+        Updates candidates, per-query usable lists and generations, and
+        the missing set; with the lazy engine (and ``final`` false) also
+        performs the CELF bookkeeping -- retiring the union if it was
+        active, diffing cover contributions, spawning the new pairs the
+        node creates, and re-scoring exactly the dirty unions.
+        """
+        if not self.index.add(mask):
+            return  # varset already existed (reused node): nothing moved
+        dirty_queries: List[Tuple[str, int, float]] = []
+        answered: List[Tuple[str, int, float]] = []
+        for entry in self.missing:
+            name, qmask, _rate = entry
+            if mask & ~qmask:
+                continue
+            if mask == qmask:
+                answered.append(entry)
+            else:
+                self.usable[name].append(mask)
+                self.generation[name] += 1
+                dirty_queries.append(entry)
+        if answered:
+            self.missing = [q for q in self.missing if q[1] != mask]
+            self.missing_masks.discard(mask)
+        if final or not self.lazy:
+            return
+        self._retire(mask)
+        if not self.missing:
+            return  # planning is over; skip frontier maintenance
+        scored: Set[int] = set()
+        if self.pair_strategy == "full":
+            self._spawn_full_pairs(mask, dirty_queries, scored)
+        else:
+            self._diff_cover_contributions(answered, dirty_queries, scored)
+        self._rescore_dirty(mask, answered, dirty_queries, scored)
+        self.stats.pairs_skipped_lazy += len(self._active) - len(scored)
+
+    # -- lazy engine ---------------------------------------------------
+    def _push(self, union: int, gain: float, completes: bool) -> None:
+        version = self._versions.get(union, -1) + 1
+        self._versions[union] = version
+        self._active[union] = (gain, completes, version)
+        heapq.heappush(
+            self._heap,
+            (self.selection_key(union, gain, completes), version, union),
+        )
+
+    def _retire(self, union: int) -> None:
+        """Drop a union from the frontier (its node now exists)."""
+        self._active.pop(union, None)
+        self._refcount.pop(union, None)
+        self._term_cache.pop(union, None)
+        for contributions in self._contrib.values():
+            contributions.discard(union)
+
+    def _score_and_activate(self, union: int, scored: Set[int]) -> None:
+        """(Re-)score one union, deactivating it if no query contains it.
+
+        The relevance probe is mask tests only -- a union that lost its
+        last containing query is dropped *without* counting a scoring,
+        because the naive engine would not have enumerated it either.
+        """
+        if not self.relevant_queries(union):
+            self._active.pop(union, None)
+            return
+        gain, completes = self.score_union(union)
+        scored.add(union)
+        self._push(union, gain, completes)
+
+    def _build_initial_frontier(self) -> None:
+        scored: Set[int] = set()
+        if self.pair_strategy == "cover":
+            for name, qmask, _rate in self.missing:
+                pool = self.base_cover(name, qmask)
+                contributions: Dict[int, None] = {}
+                self._pair_unions(pool, contributions)
+                self._contrib[name] = set(contributions)
+                for union in contributions:
+                    self._refcount[union] = self._refcount.get(union, 0) + 1
+        for union in self.enumerate_unions():
+            self._score_and_activate(union, scored)
+
+    def _spawn_full_pairs(
+        self,
+        mask: int,
+        dirty_queries: List[Tuple[str, int, float]],
+        scored: Set[int],
+    ) -> None:
+        """New admissible unions pairing the new node with old candidates.
+
+        Pairs between two *old* candidates cannot become admissible
+        later (candidates only grow, missing queries only shrink), so
+        the new node is the only source of frontier growth.
+        """
+        require_disjoint = self.require_disjoint
+        for name, _qmask, _rate in dirty_queries:
+            for other in self.usable[name]:
+                if other == mask:
+                    continue
+                meet = mask & other
+                if meet == mask or meet == other:
+                    continue
+                if require_disjoint and meet:
+                    continue
+                union = mask | other
+                if union in self.index or union in self._active:
+                    continue
+                self._score_and_activate(union, scored)
+
+    def _diff_cover_contributions(
+        self,
+        answered: List[Tuple[str, int, float]],
+        dirty_queries: List[Tuple[str, int, float]],
+        scored: Set[int],
+    ) -> None:
+        """Re-derive the pair pools of queries whose cover changed.
+
+        Under the "cover" strategy a union is admissible only while some
+        missing query's greedy cover proposes it; contributions are
+        refcounted so a union stays active exactly as long as one cover
+        still contains the pair.
+        """
+        for name, _qmask, _rate in answered:
+            for union in self._contrib.pop(name, set()):
+                self._drop_contribution(union)
+        for name, qmask, _rate in dirty_queries:
+            old = self._contrib.get(name, set())
+            fresh: Dict[int, None] = {}
+            self._pair_unions(self.base_cover(name, qmask), fresh)
+            new = set(fresh)
+            for union in old - new:
+                self._drop_contribution(union)
+            for union in new - old:
+                self._refcount[union] = self._refcount.get(union, 0) + 1
+                if union not in self._active:
+                    self._score_and_activate(union, scored)
+            self._contrib[name] = new
+
+    def _drop_contribution(self, union: int) -> None:
+        remaining = self._refcount.get(union, 0) - 1
+        if remaining > 0:
+            self._refcount[union] = remaining
+        else:
+            self._refcount.pop(union, None)
+            self._active.pop(union, None)
+
+    def _rescore_dirty(
+        self,
+        mask: int,
+        answered: List[Tuple[str, int, float]],
+        dirty_queries: List[Tuple[str, int, float]],
+        scored: Set[int],
+    ) -> None:
+        """Re-score exactly the unions whose cached gain may have moved.
+
+        A union's gain reads only the covers of queries containing it,
+        so the dirty set is every active union contained in a query
+        whose usable list grew -- or in a query that just left the
+        missing set (its gain term disappears).  Everything else keeps
+        a provably-current cached score; that is the lazy engine's whole
+        saving.
+        """
+        dirty_masks = [qmask for _, qmask, _ in dirty_queries]
+        dirty_masks.extend(qmask for _, qmask, _ in answered)
+        if not dirty_masks:
+            return
+        for union in list(self._active):
+            if union in scored:
+                continue
+            for qmask in dirty_masks:
+                if not (union & ~qmask):
+                    self._score_and_activate(union, scored)
+                    break
+
+    def lazy_best(self) -> Optional[Tuple[int, float, bool]]:
+        """Pop the frontier's exact argmax (discarding superseded entries)."""
+        heap = self._heap
+        active = self._active
+        while heap:
+            key, version, union = heapq.heappop(heap)
+            entry = active.get(union)
+            if entry is None or entry[2] != version:
+                continue  # superseded or retired heap entry
+            gain, completes, _version = entry
+            return union, gain, completes
+        return None
+
+    # -- naive engine --------------------------------------------------
+    def naive_best(self) -> Optional[Tuple[int, float, bool]]:
+        """Full rescan: enumerate and score every admissible union."""
+        self.reset_cover_memo()
+        unions = self.enumerate_unions()
+        if not unions:
+            return None
+        best: Optional[Tuple[int, float, bool]] = None
+        best_key: Optional[Tuple[int, float, Tuple[int, ...]]] = None
+        for union in unions:
+            gain, completes = self.score_union(union)
+            key = self.selection_key(union, gain, completes)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (union, gain, completes)
+        return best
+
+
 def greedy_shared_plan(
     instance: SharedAggregationInstance,
     pair_strategy: str = "full",
     stats: Optional[GreedyPlannerStats] = None,
     require_disjoint: bool = False,
+    planner: str = "lazy",
+    collector: Collector = NULL,
 ) -> Plan:
     """Build a shared plan with the paper's greedy heuristic.
 
@@ -100,6 +575,15 @@ def greedy_shared_plan(
             aggregates (sum, count, product) -- covers become partitions
             and overlapping pair merges are never proposed.  Top-k and
             other idempotent operators do not need this.
+        planner: ``"lazy"`` (default) completes the plan with the
+            CELF-style incremental engine; ``"naive"`` re-enumerates and
+            re-scores every candidate pair each step (the oracle the
+            differential tests compare against).  Both produce identical
+            plans; only the work differs.
+        collector: Optional :class:`repro.instrument.Collector`; planner
+            work counters (``plan.pairs_scored``,
+            ``plan.pairs_skipped_lazy``, ``plan.covers_computed``,
+            ``plan.covers_memo_hits``) are flushed once per run.
 
     Returns:
         A validated complete plan.
@@ -107,6 +591,10 @@ def greedy_shared_plan(
     if pair_strategy not in ("full", "cover"):
         raise PlanConstructionError(
             f"unknown pair strategy {pair_strategy!r}; use 'full' or 'cover'"
+        )
+    if planner not in ("naive", "lazy"):
+        raise PlanConstructionError(
+            f"unknown planner {planner!r}; use 'naive' or 'lazy'"
         )
     collected = stats if stats is not None else GreedyPlannerStats()
     plan = Plan(instance)
@@ -116,7 +604,9 @@ def greedy_shared_plan(
     # ------------------------------------------------------------------
     before = plan.total_cost
     for fragment in identify_fragments(instance):
-        leaves = [plan.leaf_of(v) for v in sorted(fragment.variables, key=repr)]
+        interner = plan.interner
+        ordered = interner.members(interner.mask_of(fragment.variables))
+        leaves = [plan.leaf_of(v) for v in ordered]
         if len(leaves) > 1:
             _aggregate_balanced(plan, leaves)
     collected.fragment_nodes = plan.total_cost - before
@@ -124,127 +614,47 @@ def greedy_shared_plan(
     # ------------------------------------------------------------------
     # Stage 2: greedy completion by expected greedy coverage gain.
     # ------------------------------------------------------------------
+    state = _PlannerState(
+        plan, pair_strategy, require_disjoint, collected, lazy=planner == "lazy"
+    )
     guard = 0
     max_steps = 4 * sum(len(q.variables) for q in instance.queries) + 16
     while True:
-        missing = plan.missing_queries()
-        if not missing:
+        if not state.missing:
             break
         guard += 1
         if guard > max_steps:
             # Degenerate gain landscape: finish without further sharing.
-            _complete_directly(plan, collected, require_disjoint)
+            _complete_directly(state, collected)
             break
-
-        cover_fn = greedy_set_partition if require_disjoint else greedy_set_cover
-        candidate_sets = _candidate_varsets(plan)
-        covers: Dict[str, List[VarSet]] = {}
-        for query in missing:
-            usable = [c for c in candidate_sets if c <= query.variables]
-            covers[query.name] = cover_fn(query.variables, usable)
-
-        best = _best_pair(
-            plan, missing, candidate_sets, covers, pair_strategy, collected,
-            require_disjoint=require_disjoint,
-        )
+        best = state.lazy_best() if state.lazy else state.naive_best()
         if best is None:
-            _complete_directly(plan, collected, require_disjoint)
+            _complete_directly(state, collected)
             break
-        union, left_id, right_id, completes_query, gain = best
-        if not completes_query and gain <= 0.0:
-            _complete_directly(plan, collected, require_disjoint)
+        union, gain, completes = best
+        if not completes and gain <= 0.0:
+            _complete_directly(state, collected)
             break
+        left_id, right_id = state.representative_pair(union)
         plan.add_internal(left_id, right_id)
+        state.note_new_node(union)
         collected.completion_steps += 1
-        if completes_query:
+        if completes:
             collected.query_completions += 1
 
     plan.validate()
+    if collector.enabled:
+        collector.incr(names.PLAN_PAIRS_SCORED, collected.pairs_scored)
+        collector.incr(
+            names.PLAN_PAIRS_SKIPPED_LAZY, collected.pairs_skipped_lazy
+        )
+        collector.incr(names.PLAN_COVERS_COMPUTED, collected.covers_computed)
+        collector.incr(names.PLAN_COVERS_MEMO_HITS, collected.covers_memo_hits)
     return plan
 
 
-def _candidate_varsets(plan: Plan) -> List[VarSet]:
-    """Varsets of all current nodes, deduplicated, leaves included."""
-    return list(dict.fromkeys(node.varset for node in plan.nodes))
-
-
-def _best_pair(
-    plan: Plan,
-    missing,
-    candidate_sets: List[VarSet],
-    covers: Dict[str, List[VarSet]],
-    pair_strategy: str,
-    stats: GreedyPlannerStats,
-    require_disjoint: bool = False,
-) -> Optional[Tuple[VarSet, int, int, bool, float]]:
-    """Find the pair of nodes with maximum expected greedy coverage gain.
-
-    Returns ``(union_varset, left_id, right_id, completes_query, gain)``
-    or ``None`` when no admissible pair exists.  Pairs whose union equals
-    a missing query's variable set are preferred unconditionally (zero
-    extra cost), ranked among themselves by gain.
-    """
-    search_rates = plan.instance.search_rates()
-    missing_varsets = {q.variables for q in missing}
-    base_total: Dict[str, float] = {
-        q.name: search_rates[q.name] * len(covers[q.name]) for q in missing
-    }
-
-    # Enumerate candidate pair unions, remembering one representative
-    # (left, right) node-id pair for each distinct union.
-    union_sources: Dict[VarSet, Tuple[int, int]] = {}
-    existing = set(candidate_sets)
-    if pair_strategy == "full":
-        pools: List[List[VarSet]] = []
-        for query in missing:
-            pools.append([c for c in candidate_sets if c <= query.variables])
-    else:
-        pools = [list(covers[q.name]) for q in missing]
-
-    for pool in pools:
-        for left_set, right_set in combinations(pool, 2):
-            if left_set <= right_set or right_set <= left_set:
-                continue
-            if require_disjoint and left_set & right_set:
-                continue
-            union = left_set | right_set
-            if union in existing or union in union_sources:
-                continue
-            left_id = plan.node_for_varset(left_set)
-            right_id = plan.node_for_varset(right_set)
-            if left_id is None or right_id is None:
-                continue
-            union_sources[union] = (left_id, right_id)
-
-    if not union_sources:
-        return None
-
-    best: Optional[Tuple[VarSet, int, int, bool, float]] = None
-    best_key: Optional[Tuple[int, float, str]] = None
-    cover_fn = greedy_set_partition if require_disjoint else greedy_set_cover
-    for union, (left_id, right_id) in union_sources.items():
-        stats.pairs_evaluated += 1
-        gain = 0.0
-        for query in missing:
-            if not union <= query.variables:
-                continue
-            usable = [c for c in candidate_sets if c <= query.variables]
-            usable.append(union)
-            new_cover = cover_fn(query.variables, usable)
-            gain += base_total[query.name] - search_rates[query.name] * len(
-                new_cover
-            )
-        completes = union in missing_varsets
-        # Rank: query-completing pairs first, then gain, then determinism.
-        key = (0 if completes else 1, -gain, repr(sorted(union, key=repr)))
-        if best_key is None or key < best_key:
-            best_key = key
-            best = (union, left_id, right_id, completes, gain)
-    return best
-
-
 def _complete_directly(
-    plan: Plan, stats: GreedyPlannerStats, require_disjoint: bool = False
+    state: _PlannerState, stats: GreedyPlannerStats
 ) -> None:
     """Finish every missing query by aggregating its greedy cover.
 
@@ -252,21 +662,32 @@ def _complete_directly(
     for each missing query, find the greedy cover of its variable set
     from the existing nodes and aggregate the cover left-to-right
     (``|C_q| - 1`` new nodes, some possibly reused across queries via the
-    plan's varset dedup).
+    plan's varset dedup).  Chain nodes created for one query join the
+    candidate pool of the next, exactly as the frozenset implementation
+    recomputed its candidate list per query.
     """
-    cover_fn = greedy_set_partition if require_disjoint else greedy_set_cover
-    for query in plan.missing_queries():
-        candidate_sets = _candidate_varsets(plan)
-        usable = [c for c in candidate_sets if c <= query.variables]
-        cover = cover_fn(query.variables, usable)
-        node_ids = [plan.node_for_varset(c) for c in cover]
-        resolved = [nid for nid in node_ids if nid is not None]
-        if len(resolved) != len(cover):
-            raise PlanConstructionError(
-                f"internal error: cover set without a node for {query.name!r}"
-            )
-        if len(resolved) == 1:
-            # The query equals an existing node's varset; nothing to add.
+    plan = state.plan
+    for name, qmask, _rate in list(state.missing):
+        if plan.node_for_mask(qmask) is not None:
+            # An earlier chain produced this varset; the query is done.
             continue
-        plan.add_chain(resolved)
+        cover = state.cover_fn(
+            qmask, state.index.subsets_of(qmask), state.sort_key
+        )
+        stats.covers_computed += 1
+        if len(cover) == 1:
+            continue
+        acc_id = plan.node_for_mask(cover[0])
+        acc_mask = cover[0]
+        assert acc_id is not None
+        for part in cover[1:]:
+            part_id = plan.node_for_mask(part)
+            if part_id is None:
+                raise PlanConstructionError(
+                    f"internal error: cover set without a node for {name!r}"
+                )
+            union = acc_mask | part
+            acc_id = plan.add_internal(acc_id, part_id)
+            state.note_new_node(union, final=True)
+            acc_mask = union
         stats.direct_completions += 1

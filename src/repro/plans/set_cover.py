@@ -19,7 +19,13 @@ from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence
 
 from repro.errors import PlanConstructionError
 
-__all__ = ["greedy_set_cover", "exact_min_set_cover", "is_exact_cover"]
+__all__ = [
+    "greedy_set_cover",
+    "exact_min_set_cover",
+    "is_exact_cover",
+    "greedy_cover_masks",
+    "greedy_partition_masks",
+]
 
 Element = Hashable
 
@@ -114,6 +120,95 @@ def greedy_set_partition(
             )
         chosen.append(best)
         uncovered -= best
+    return chosen
+
+
+def greedy_cover_masks(
+    target: int,
+    candidates: Sequence[int],
+    sort_key,
+) -> List[int]:
+    """Greedy exact cover over interned bitmasks (planner hot path).
+
+    The bitmask twin of :func:`greedy_set_cover`: candidates and target
+    are int masks from one :class:`repro.plans.varsets.VarSetInterner`,
+    so feasibility, gain, and remainder updates are single int ops.
+    Ranking is ``(-gain, popcount, sort_key(candidate))`` with
+    ``sort_key`` the interner's cached id-tuple key -- a *strict* total
+    order over distinct masks, so the pick is unique and deterministic.
+
+    The selection is a pure function of ``(target, set(candidates))``:
+    candidate *order* cannot affect the result, which is what lets the
+    lazy planner memoize covers and still match the naive full rescan
+    byte for byte.
+
+    Raises:
+        PlanConstructionError: If the feasible candidates cannot cover
+            ``target``.
+    """
+    feasible = list(dict.fromkeys(
+        c for c in candidates if c and not (c & ~target)
+    ))
+    uncovered = target
+    chosen: List[int] = []
+    while uncovered:
+        best = -1
+        best_key: Optional[Tuple[int, int, Tuple[int, ...]]] = None
+        for candidate in feasible:
+            gain = (candidate & uncovered).bit_count()
+            if gain == 0:
+                continue
+            key = (-gain, candidate.bit_count(), sort_key(candidate))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = candidate
+        if best < 0:
+            raise PlanConstructionError(
+                f"candidates cannot cover mask {uncovered:#x}"
+            )
+        chosen.append(best)
+        uncovered &= ~best
+    return chosen
+
+
+def greedy_partition_masks(
+    target: int,
+    candidates: Sequence[int],
+    sort_key,
+) -> List[int]:
+    """Greedy exact *partition* over interned bitmasks.
+
+    The bitmask twin of :func:`greedy_set_partition`: chosen masks must
+    be disjoint, so feasibility at each step is ``candidate & ~uncovered
+    == 0``.  Ranking is ``(-popcount, sort_key(candidate))``; like
+    :func:`greedy_cover_masks` the pick is order-independent and
+    deterministic.
+
+    Raises:
+        PlanConstructionError: If no candidate fits the remainder at
+            some step (can only happen without singleton candidates).
+    """
+    feasible = list(dict.fromkeys(
+        c for c in candidates if c and not (c & ~target)
+    ))
+    uncovered = target
+    chosen: List[int] = []
+    while uncovered:
+        best = -1
+        best_key: Optional[Tuple[int, Tuple[int, ...]]] = None
+        for candidate in feasible:
+            if candidate & ~uncovered:
+                continue
+            key = (-candidate.bit_count(), sort_key(candidate))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = candidate
+        if best < 0:
+            raise PlanConstructionError(
+                f"no disjoint candidate covers mask {uncovered:#x}"
+            )
+        chosen.append(best)
+        uncovered &= ~best
     return chosen
 
 

@@ -1,0 +1,188 @@
+"""Interned bitmask representation of variable sets.
+
+Planning is dominated by variable-set algebra: subset tests ("is this
+candidate usable for that query?"), disjointness tests (non-idempotent
+aggregates), unions (pair merges), and deterministic ordering
+(tie-breaking).  Over ``frozenset`` objects each of these walks hashed
+elements; at the "millions of bid phrases" scale the ROADMAP targets
+that walk *is* the planner's inner loop.
+
+:class:`VarSetInterner` assigns every variable of an instance a dense
+integer id (in ``repr``-sorted order, matching the leaf order of
+:class:`repro.plans.dag.Plan`) and represents a variable set as an int
+bitmask.  Subset (``a & ~b == 0``), disjointness (``a & b == 0``) and
+union (``a | b``) become single machine-word-per-64-variables int ops,
+and the deterministic sort key for tie-breaking is a cached tuple of
+variable ids instead of a ``repr`` string built in the inner loop.
+
+:class:`SubsetIndex` answers "all known masks that are subsets of this
+target" -- the planner's per-query *usable* filter -- by bucketing masks
+by popcount so buckets wider than the target are skipped wholesale.
+
+Bitmasks are an **internal** representation: the public planning API
+(queries, plan nodes, covers) keeps speaking ``frozenset``; interning
+happens once at the boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Tuple
+
+from repro.errors import InvalidPlanError
+
+__all__ = [
+    "VarSetInterner",
+    "SubsetIndex",
+    "iter_bit_ids",
+    "is_subset_mask",
+    "are_disjoint_masks",
+]
+
+Variable = Hashable
+
+
+def iter_bit_ids(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def is_subset_mask(a: int, b: int) -> bool:
+    """Whether mask ``a`` is a subset of mask ``b``."""
+    return not (a & ~b)
+
+
+def are_disjoint_masks(a: int, b: int) -> bool:
+    """Whether masks ``a`` and ``b`` share no variable."""
+    return not (a & b)
+
+
+class VarSetInterner:
+    """Bijection between an instance's variables and dense bit positions.
+
+    Ids are assigned in ``repr``-sorted variable order -- the same order
+    :class:`repro.plans.dag.Plan` seeds its leaves -- so id order, leaf
+    order, and the planner's deterministic tie-breaking all agree and
+    none of them depends on ``PYTHONHASHSEED``.
+
+    Attributes:
+        variables: All interned variables, in id order.
+    """
+
+    __slots__ = ("variables", "_id_of", "_sort_keys", "_frozensets")
+
+    def __init__(self, variables: Iterable[Variable]) -> None:
+        self.variables: Tuple[Variable, ...] = tuple(
+            sorted(variables, key=repr)
+        )
+        self._id_of: Dict[Variable, int] = {
+            variable: index for index, variable in enumerate(self.variables)
+        }
+        if len(self._id_of) != len(self.variables):
+            raise InvalidPlanError("cannot intern duplicate variables")
+        self._sort_keys: Dict[int, Tuple[int, ...]] = {}
+        self._frozensets: Dict[int, FrozenSet[Variable]] = {}
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    def variable_id(self, variable: Variable) -> int:
+        """The bit position assigned to ``variable``."""
+        try:
+            return self._id_of[variable]
+        except KeyError:
+            raise InvalidPlanError(
+                f"variable {variable!r} is not interned"
+            ) from None
+
+    def mask_of(self, variables: Iterable[Variable]) -> int:
+        """The bitmask of a collection of interned variables."""
+        mask = 0
+        id_of = self._id_of
+        try:
+            for variable in variables:
+                mask |= 1 << id_of[variable]
+        except KeyError:
+            raise InvalidPlanError(
+                f"variable {variable!r} is not interned"
+            ) from None
+        return mask
+
+    def members(self, mask: int) -> Tuple[Variable, ...]:
+        """The variables of ``mask`` in id (= ``repr``-sorted) order."""
+        variables = self.variables
+        return tuple(variables[index] for index in iter_bit_ids(mask))
+
+    def frozenset_of(self, mask: int) -> FrozenSet[Variable]:
+        """The frozenset for ``mask`` (cached per distinct mask)."""
+        cached = self._frozensets.get(mask)
+        if cached is None:
+            cached = self._frozensets[mask] = frozenset(self.members(mask))
+        return cached
+
+    def sort_key(self, mask: int) -> Tuple[int, ...]:
+        """Deterministic total-order key: the ascending id tuple.
+
+        Cached per distinct mask, so tie-breaking in hot loops costs a
+        dict lookup plus a tuple comparison instead of sorting the set
+        and building a ``repr`` string every time.  Distinct masks always
+        get distinct keys, which makes every planner ranking a *strict*
+        total order -- the naive/lazy identity guarantee rests on that.
+        """
+        cached = self._sort_keys.get(mask)
+        if cached is None:
+            cached = self._sort_keys[mask] = tuple(iter_bit_ids(mask))
+        return cached
+
+
+class SubsetIndex:
+    """Popcount-bucketed index answering subset queries over masks.
+
+    ``subsets_of(target)`` returns every added mask that is a subset of
+    ``target``.  Masks are bucketed by popcount; buckets wider than the
+    target's popcount cannot contain subsets and are skipped without
+    touching their members.  Within a bucket the test is one int op per
+    mask.
+    """
+
+    __slots__ = ("_buckets", "_members")
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, List[int]] = {}
+        self._members: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in self._members
+
+    def add(self, mask: int) -> bool:
+        """Index ``mask``; returns whether it was new."""
+        if mask in self._members:
+            return False
+        self._members.add(mask)
+        self._buckets.setdefault(mask.bit_count(), []).append(mask)
+        return True
+
+    def subsets_of(self, target: int, strict: bool = False) -> List[int]:
+        """All indexed masks that are subsets of ``target``.
+
+        Results are grouped by ascending popcount, insertion-ordered
+        within a bucket -- deterministic for a deterministic add
+        sequence.  With ``strict`` the target itself is excluded.
+        """
+        limit = target.bit_count()
+        out: List[int] = []
+        for width in sorted(self._buckets):
+            if width > limit:
+                break
+            for mask in self._buckets[width]:
+                if mask & ~target:
+                    continue
+                if strict and mask == target:
+                    continue
+                out.append(mask)
+        return out

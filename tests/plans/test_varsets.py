@@ -1,0 +1,134 @@
+"""Unit tests for the interned bitmask varset layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidPlanError
+from repro.plans.varsets import (
+    SubsetIndex,
+    VarSetInterner,
+    are_disjoint_masks,
+    is_subset_mask,
+    iter_bit_ids,
+)
+
+
+class TestBitOps:
+    def test_iter_bit_ids_ascending(self):
+        assert list(iter_bit_ids(0b101101)) == [0, 2, 3, 5]
+        assert list(iter_bit_ids(0)) == []
+
+    def test_iter_bit_ids_wide_mask(self):
+        mask = (1 << 200) | (1 << 64) | 1
+        assert list(iter_bit_ids(mask)) == [0, 64, 200]
+
+    @given(st.sets(st.integers(min_value=0, max_value=120)))
+    def test_iter_bit_ids_matches_set(self, bits):
+        mask = sum(1 << b for b in bits)
+        assert list(iter_bit_ids(mask)) == sorted(bits)
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=60)),
+        st.sets(st.integers(min_value=0, max_value=60)),
+    )
+    def test_subset_and_disjoint_match_sets(self, a, b):
+        mask_a = sum(1 << x for x in a)
+        mask_b = sum(1 << x for x in b)
+        assert is_subset_mask(mask_a, mask_b) == (a <= b)
+        assert are_disjoint_masks(mask_a, mask_b) == (not (a & b))
+
+
+class TestVarSetInterner:
+    def test_ids_follow_repr_order(self):
+        interner = VarSetInterner(["b", "a", "c"])
+        assert interner.variables == ("a", "b", "c")
+        assert [interner.variable_id(v) for v in ("a", "b", "c")] == [0, 1, 2]
+
+    def test_int_variables_sort_by_repr(self):
+        # repr order of ints is string order: 0, 1, 10, 2, ...
+        interner = VarSetInterner(range(11))
+        assert interner.variables[:4] == (0, 1, 10, 2)
+
+    def test_mask_roundtrip(self):
+        interner = VarSetInterner("abcdef")
+        mask = interner.mask_of({"b", "e", "f"})
+        assert interner.members(mask) == ("b", "e", "f")
+        assert interner.frozenset_of(mask) == frozenset({"b", "e", "f"})
+
+    def test_frozenset_cached(self):
+        interner = VarSetInterner("ab")
+        mask = interner.mask_of({"a", "b"})
+        assert interner.frozenset_of(mask) is interner.frozenset_of(mask)
+
+    def test_unknown_variable_raises(self):
+        interner = VarSetInterner("ab")
+        with pytest.raises(InvalidPlanError):
+            interner.variable_id("z")
+        with pytest.raises(InvalidPlanError):
+            interner.mask_of({"a", "z"})
+
+    def test_duplicate_variables_raise(self):
+        with pytest.raises(InvalidPlanError):
+            VarSetInterner(["a", "a"])
+
+    def test_sort_key_strict_total_order(self):
+        interner = VarSetInterner("abcd")
+        masks = range(1, 16)
+        keys = [interner.sort_key(m) for m in masks]
+        assert len(set(keys)) == len(keys)
+        # The id-tuple key equals the sorted-id tuple.
+        for mask, key in zip(masks, keys):
+            assert key == tuple(iter_bit_ids(mask))
+
+    def test_sort_key_cached(self):
+        interner = VarSetInterner("abc")
+        assert interner.sort_key(0b101) is interner.sort_key(0b101)
+
+
+class TestSubsetIndex:
+    def test_add_dedups(self):
+        index = SubsetIndex()
+        assert index.add(0b11)
+        assert not index.add(0b11)
+        assert len(index) == 1
+        assert 0b11 in index
+        assert 0b10 not in index
+
+    def test_subsets_of_matches_bruteforce(self):
+        index = SubsetIndex()
+        masks = [0b1, 0b10, 0b11, 0b101, 0b110, 0b111, 0b1111, 0b1000]
+        for mask in masks:
+            index.add(mask)
+        for target in range(16):
+            expected = sorted(
+                (m for m in masks if not (m & ~target)),
+                key=lambda m: m.bit_count(),
+            )
+            got = index.subsets_of(target)
+            assert sorted(got) == sorted(m for m in masks if not (m & ~target))
+            # Grouped by ascending popcount.
+            assert [m.bit_count() for m in got] == [
+                m.bit_count() for m in expected
+            ]
+
+    def test_strict_excludes_target(self):
+        index = SubsetIndex()
+        index.add(0b111)
+        index.add(0b011)
+        assert index.subsets_of(0b111, strict=True) == [0b011]
+        assert 0b111 in index.subsets_of(0b111)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=255), max_size=30),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_subsets_of_property(self, masks, target):
+        index = SubsetIndex()
+        for mask in masks:
+            index.add(mask)
+        got = index.subsets_of(target)
+        assert set(got) == {m for m in masks if not (m & ~target)}
+        assert len(got) == len(set(got))
