@@ -84,6 +84,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     engine.add_argument(
+        "--sort-planner",
+        choices=["lazy", "naive"],
+        default="lazy",
+        help=(
+            "shared-sort merge-plan builder: 'lazy' (versioned pair "
+            "heap, the default) or 'naive' (full same-size rescan; "
+            "byte-identical plan, more work)"
+        ),
+    )
+    engine.add_argument(
+        "--sort-cache",
+        action="store_true",
+        help=(
+            "keep merge-sort streams alive across rounds and rebuild "
+            "only those above changed bids (shared-sort mode only)"
+        ),
+    )
+    engine.add_argument(
         "--trace-json",
         metavar="PATH",
         help=(
@@ -227,6 +245,8 @@ def _cmd_engine(
     trace_capacity: int = 65536,
     exec_cache: bool = False,
     planner: str = "lazy",
+    sort_planner: str = "lazy",
+    sort_cache: bool = False,
 ) -> int:
     from repro.engine import SharedAuctionEngine
     from repro.workloads.generator import MarketConfig, generate_market
@@ -254,9 +274,15 @@ def _cmd_engine(
         collector=collector,
         exec_cache=exec_cache,
         planner=planner,
+        sort_planner=sort_planner,
+        sort_cache=sort_cache,
     )
     report = engine.run(rounds)
-    label = f"mode={mode}" + (" +exec-cache" if exec_cache else "")
+    label = (
+        f"mode={mode}"
+        + (" +exec-cache" if exec_cache else "")
+        + (" +sort-cache" if sort_cache else "")
+    )
     table = ExperimentTable(
         f"Engine run: {label}, {rounds} rounds",
         ["auctions", "merges", "scans", "revenue ($)", "forgiven ($)"],
@@ -328,6 +354,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.trace_capacity,
             args.exec_cache,
             args.planner,
+            args.sort_planner,
+            args.sort_cache,
         )
     if args.command == "plan":
         return _cmd_plan(args.spec, args.output, args.planner)

@@ -150,6 +150,20 @@ class SharedAuctionEngine:
             ``"lazy"`` (default, CELF-style incremental rescoring) or
             ``"naive"`` (full rescan each step).  Both build identical
             plans; only planning-time work counters differ.
+        sort_planner: Shared-sort mode's analogue of ``planner``: the
+            engine completing the Section III merge-plan construction,
+            ``"lazy"`` (default, versioned pair heap) or ``"naive"``
+            (full same-size rescan each merge).  Both build
+            byte-identical plans; only builder work counters differ.
+        sort_cache: Shared-sort mode only: keep the round's merge-sort
+            streams alive in a
+            :class:`repro.sharedsort.cache.CrossRoundSortCache` and
+            rebuild, next round, only the streams above advertisers
+            whose effective bid actually changed (an exact bid diff --
+            no declaration protocol).  Outcomes are bit-identical with
+            and without the cache; reused streams replay their output
+            caches, so ``sort.operator_pulls`` / ``sort.leaf_reads``
+            drop while ``sort.streams_reused`` counts the savings.
         decay: Click-decay model for outstanding ads.
         mean_click_delay_rounds: Mean click arrival delay.
         click_horizon_rounds: Rounds after which an unclicked ad expires.
@@ -185,6 +199,8 @@ class SharedAuctionEngine:
         exec_cache: bool = False,
         exec_cache_capacity: Optional[int] = None,
         planner: str = "lazy",
+        sort_planner: str = "lazy",
+        sort_cache: bool = False,
         decay: Optional[ClickDecayModel] = None,
         mean_click_delay_rounds: float = 2.0,
         click_horizon_rounds: int = 16,
@@ -197,6 +213,11 @@ class SharedAuctionEngine:
             raise InvalidAuctionError(
                 "exec_cache requires mode='shared' (the cross-round cache "
                 "lives in the shared plan executor)"
+            )
+        if sort_cache and mode != "shared-sort":
+            raise InvalidAuctionError(
+                "sort_cache requires mode='shared-sort' (the cross-round "
+                "cache holds merge-sort streams)"
             )
         self.advertisers = tuple(advertisers)
         self.mode = mode
@@ -249,6 +270,7 @@ class SharedAuctionEngine:
         )
         self._executor: Optional[PlanExecutor] = None
         self._sort_plan = None
+        self._sort_cache = None
         if mode == "shared":
             instance = SharedAggregationInstance(
                 AggregateQuery(
@@ -285,11 +307,19 @@ class SharedAuctionEngine:
                 for phrase, ids in self.phrase_advertisers.items()
             }
         elif mode == "shared-sort":
+            from repro.sharedsort.cache import CrossRoundSortCache
             from repro.sharedsort.plan import build_shared_sort_plan
 
             self._sort_plan = build_shared_sort_plan(
-                self.phrase_advertisers, self.search_rates
+                self.phrase_advertisers,
+                self.search_rates,
+                planner=sort_planner,
+                collector=self.collector,
             )
+            if sort_cache:
+                self._sort_cache = CrossRoundSortCache(
+                    self._sort_plan, self.collector
+                )
             # Precomputed per-phrase descending c_i^q orders (Section III
             # treats CTR factors as recalculated only occasionally).
             self._ctr_orders: Dict[str, List[int]] = {
@@ -454,7 +484,10 @@ class SharedAuctionEngine:
                 advertiser_id: value / 100.0
                 for advertiser_id, value in effective_bid_cents.items()
             }
-            live = self._sort_plan.instantiate(bids, self.collector)
+            if self._sort_cache is not None:
+                live = self._sort_cache.instantiate(bids, self.collector)
+            else:
+                live = self._sort_plan.instantiate(bids, self.collector)
             for phrase in phrases:
                 ids = self.phrase_advertisers[phrase]
                 factors = {
@@ -470,7 +503,10 @@ class SharedAuctionEngine:
                 )
                 rankings[phrase] = ta.ranking
                 report.scans += ta.sorted_accesses
-            report.merges += live.total_pulls()
+            # round_pulls == total_pulls for a fresh network; under the
+            # cross-round cache it excludes pulls adopted streams
+            # performed in earlier rounds.
+            report.merges += live.round_pulls()
         else:
             for phrase in phrases:
                 ids = self.phrase_advertisers[phrase]

@@ -67,6 +67,26 @@ name                      meaning (paper reference)
                           phrases paying off).
 ``sort.node_pulls``       *keyed* counter: pulls per shared-sort plan node
                           (assembly operators keyed by phrase).
+``sort.batch_pulls``      batched stream reads issued through
+                          :meth:`SortStream.items` (one per call; the
+                          per-item engine would have issued one read per
+                          returned item instead).
+``sort.batched_items``    items returned by batched stream reads; the
+                          ratio to ``sort.batch_pulls`` is the realized
+                          amortization factor.
+``sort.pairs_scored``     expected-savings evaluations performed by the
+                          shared-sort plan builder (every same-size pair
+                          every merge round under the naive builder;
+                          only touched pairs under the lazy builder).
+``sort.savings_memo_hits``  savings requests the lazy builder served from
+                          its ``(size, phrase-mask)`` memo instead of
+                          recomputing.
+``sort.streams_reused``   streams served unchanged from the cross-round
+                          sort cache (their output caches replay across
+                          rounds for free).
+``sort.streams_invalidated``  streams dropped by the cross-round sort
+                          cache because a bid below them changed (the
+                          dirty ancestor cone over the sort-plan DAG).
 ``ta.runs``               threshold-algorithm invocations (one per
                           occurring phrase in shared-sort mode).
 ``ta.sorted_accesses``    Section III sorted accesses across both lists.
@@ -115,6 +135,12 @@ __all__ = [
     "SORT_OPERATOR_PULLS",
     "SORT_CACHE_REPLAYS",
     "SORT_NODE_PULLS",
+    "SORT_BATCH_PULLS",
+    "SORT_BATCHED_ITEMS",
+    "SORT_PAIRS_SCORED",
+    "SORT_SAVINGS_MEMO_HITS",
+    "SORT_STREAMS_REUSED",
+    "SORT_STREAMS_INVALIDATED",
     "TA_RUNS",
     "TA_SORTED_ACCESSES",
     "TA_RANDOM_ACCESSES",
@@ -160,6 +186,16 @@ SORT_LEAF_READS = "sort.leaf_reads"
 SORT_OPERATOR_PULLS = "sort.operator_pulls"
 SORT_CACHE_REPLAYS = "sort.cache_replays"
 SORT_NODE_PULLS = "sort.node_pulls"
+SORT_BATCH_PULLS = "sort.batch_pulls"
+SORT_BATCHED_ITEMS = "sort.batched_items"
+
+# Shared-sort plan builder work accounting (Section III-C greedy).
+SORT_PAIRS_SCORED = "sort.pairs_scored"
+SORT_SAVINGS_MEMO_HITS = "sort.savings_memo_hits"
+
+# Cross-round sort-stream reuse (dirty-set invalidation layer).
+SORT_STREAMS_REUSED = "sort.streams_reused"
+SORT_STREAMS_INVALIDATED = "sort.streams_invalidated"
 
 # Threshold algorithm (Section III-A).
 TA_RUNS = "ta.runs"

@@ -26,7 +26,16 @@ happens once at the boundary.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Tuple,
+)
 
 from repro.errors import InvalidPlanError
 
@@ -62,10 +71,19 @@ def are_disjoint_masks(a: int, b: int) -> bool:
 class VarSetInterner:
     """Bijection between an instance's variables and dense bit positions.
 
-    Ids are assigned in ``repr``-sorted variable order -- the same order
-    :class:`repro.plans.dag.Plan` seeds its leaves -- so id order, leaf
-    order, and the planner's deterministic tie-breaking all agree and
-    none of them depends on ``PYTHONHASHSEED``.
+    Ids are assigned in ``key``-sorted variable order -- by default
+    ``repr``-sorted, the same order :class:`repro.plans.dag.Plan` seeds
+    its leaves -- so id order, leaf order, and the planner's
+    deterministic tie-breaking all agree and none of them depends on
+    ``PYTHONHASHSEED``.  Callers whose exactness argument needs a
+    *different* canonical order pass their own ``key``: the shared-sort
+    builder interns bid phrases with ``key=str`` so that ascending bit
+    ids reproduce ``sorted(phrases)`` exactly and float summations over
+    per-phrase rates visit terms in the naive builder's order.
+
+    Args:
+        variables: The variables to intern (each hashable, all distinct).
+        key: Sort key assigning bit ids; defaults to ``repr``.
 
     Attributes:
         variables: All interned variables, in id order.
@@ -73,9 +91,13 @@ class VarSetInterner:
 
     __slots__ = ("variables", "_id_of", "_sort_keys", "_frozensets")
 
-    def __init__(self, variables: Iterable[Variable]) -> None:
+    def __init__(
+        self,
+        variables: Iterable[Variable],
+        key: Callable[[Variable], object] = repr,
+    ) -> None:
         self.variables: Tuple[Variable, ...] = tuple(
-            sorted(variables, key=repr)
+            sorted(variables, key=key)
         )
         self._id_of: Dict[Variable, int] = {
             variable: index for index, variable in enumerate(self.variables)

@@ -14,27 +14,42 @@ only the bids ``b_i`` are shared.  Section III's architecture:
   advertiser set is common;
 - which operators to share is decided offline by a **greedy bottom-up
   plan builder** (:mod:`repro.sharedsort.plan`) maximizing expected
-  savings under the full-sort cost model (:mod:`repro.sharedsort.cost`).
+  savings under the full-sort cost model (:mod:`repro.sharedsort.cost`);
+- across rounds, streams whose underlying bids did not change are kept
+  alive by :class:`repro.sharedsort.cache.CrossRoundSortCache`, so their
+  output caches replay instead of being rebuilt.
 """
 
+from repro.sharedsort.cache import CrossRoundSortCache
 from repro.sharedsort.cost import (
     expected_full_sort_cost,
     expected_savings_of_merge,
     independent_sort_cost,
 )
 from repro.sharedsort.operators import LeafSource, MergeOperator, SortStream
-from repro.sharedsort.plan import SharedSortPlan, build_shared_sort_plan
+from repro.sharedsort.plan import (
+    LiveSharedSort,
+    SharedSortPlan,
+    SortBuilderStats,
+    build_shared_sort_plan,
+)
+from repro.sharedsort.serialize import plan_to_dict, serialize_plan
 from repro.sharedsort.threshold import ThresholdResult, threshold_top_k
 
 __all__ = [
+    "CrossRoundSortCache",
     "LeafSource",
+    "LiveSharedSort",
     "MergeOperator",
     "SharedSortPlan",
+    "SortBuilderStats",
     "SortStream",
     "ThresholdResult",
     "build_shared_sort_plan",
     "expected_full_sort_cost",
     "expected_savings_of_merge",
     "independent_sort_cost",
+    "plan_to_dict",
+    "serialize_plan",
     "threshold_top_k",
 ]

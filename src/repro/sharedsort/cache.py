@@ -1,0 +1,162 @@
+"""Cross-round reuse of shared merge-sort streams.
+
+The Section III network is rebuilt from scratch every round by
+:meth:`SharedSortPlan.instantiate`, even though between consecutive
+rounds only a small dirty set of advertisers changes its effective bid
+(a click settles, a budget depletes, a throttle flips).  Every clean
+stream's output cache is exactly what the new round would recompute --
+descending-bid order depends only on the bids below the stream -- so
+recreating those operators throws away paid-for work, just as rebuilding
+top-k nodes did before :class:`repro.plans.executor.CrossRoundPlanExecutor`.
+
+:class:`CrossRoundSortCache` keeps the previous round's live streams and
+hands the reusable ones to the next round's :class:`LiveSharedSort`:
+
+1. Diff the new bids against the last bids each advertiser was
+   instantiated with; the advertisers whose bid changed (or that were
+   never seen) form the dirty set.  The diff is exact, so no declaration
+   protocol is needed -- soundness does not rest on the engine
+   remembering to report its events.
+2. Walk the dirty advertisers' leaf nodes up the plan DAG through a
+   precomputed parent index.  The resulting ancestor cone is exactly the
+   set of plan streams whose output could differ; everything outside the
+   cone replays its cache unchanged.  The cone is ancestor-closed, so a
+   retained operator's operands are always retained with it (a parent's
+   advertiser set contains its children's).
+3. Per-phrase assembly streams are not plan nodes; a phrase's assembled
+   stream is dropped iff ``I_q`` meets the dirty set -- the same rule,
+   applied through the stream's ``advertiser_ids``.
+
+Outcomes are bit-identical with and without the cache: a clean stream's
+cache holds the same items a fresh operator would produce in the same
+order, and dirty streams are rebuilt.  Only the work counters move --
+``sort.streams_reused`` / ``sort.streams_invalidated`` here, and fewer
+``sort.operator_pulls`` / ``sort.leaf_reads`` as reused caches replay.
+
+Advertisers absent from a round's bid map are fine: the engine only
+provides bids for (and the threshold algorithm only pulls streams over)
+the advertisers of *occurring* phrases, so a retained stream containing
+an absent advertiser is unreachable this round, and its staleness is
+re-examined against that advertiser's recorded bid whenever it changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Set
+
+from repro.instrument import NULL, Collector, names as metric_names
+from repro.sharedsort.operators import SortStream
+from repro.sharedsort.plan import LiveSharedSort, SharedSortPlan
+
+__all__ = ["CrossRoundSortCache"]
+
+
+class CrossRoundSortCache:
+    """Keeps shared-sort streams alive between rounds of one plan.
+
+    Args:
+        plan: The shared merge-sort plan the rounds execute.
+        collector: Receives ``sort.streams_reused`` /
+            ``sort.streams_invalidated`` per :meth:`instantiate`.
+
+    Attributes:
+        plan: The plan, for callers that hold only the cache.
+    """
+
+    def __init__(
+        self, plan: SharedSortPlan, collector: Collector = NULL
+    ) -> None:
+        self.plan = plan
+        self.collector = collector
+        # child node id -> parent node ids (the sort-plan DAG inverted).
+        self._parents: Dict[int, List[int]] = {}
+        # advertiser id -> its leaf node id.
+        self._leaf_of: Dict[int, int] = {}
+        for node in plan.nodes:
+            if node.is_leaf:
+                (advertiser_id,) = node.advertisers
+                self._leaf_of[advertiser_id] = node.node_id
+            else:
+                assert node.left is not None and node.right is not None
+                self._parents.setdefault(node.left, []).append(node.node_id)
+                self._parents.setdefault(node.right, []).append(node.node_id)
+        self._live: LiveSharedSort | None = None
+        self._last_bids: Dict[int, float] = {}
+        self.rounds = 0
+        self.streams_reused = 0
+        self.streams_invalidated = 0
+
+    def _dirty_cone(self, dirty: Set[int]) -> Set[int]:
+        """Plan-node ids whose stream could change: dirty leaves and all
+        their ancestors."""
+        cone: Set[int] = set()
+        stack = [
+            self._leaf_of[advertiser_id]
+            for advertiser_id in dirty
+            if advertiser_id in self._leaf_of
+        ]
+        while stack:
+            node_id = stack.pop()
+            if node_id in cone:
+                continue
+            cone.add(node_id)
+            stack.extend(self._parents.get(node_id, ()))
+        return cone
+
+    def instantiate(
+        self, bids: Mapping[int, float], collector: Collector | None = None
+    ) -> LiveSharedSort:
+        """A live network for this round, reusing every clean stream.
+
+        Args:
+            bids: This round's ``{advertiser_id: b_i}`` over (at least)
+                the advertisers the round will pull.
+            collector: Collector for the round's streams; defaults to the
+                cache's own.
+
+        Returns:
+            A :class:`LiveSharedSort` seeded with the previous round's
+            clean streams; its ``round_*`` accessors report only work
+            performed from this round on.
+        """
+        if collector is None:
+            collector = self.collector
+        self.rounds += 1
+        previous = self._live
+        reused = 0
+        invalidated = 0
+        live = LiveSharedSort(self.plan, bids, collector)
+        if previous is not None:
+            dirty = {
+                advertiser_id
+                for advertiser_id, bid in bids.items()
+                if self._last_bids.get(advertiser_id) != bid
+            }
+            cone = self._dirty_cone(dirty)
+            keep_streams: Dict[int, SortStream] = {}
+            for node_id, stream in previous._streams.items():
+                if node_id in cone:
+                    invalidated += 1
+                else:
+                    keep_streams[node_id] = stream
+            keep_phrases: Dict[str, SortStream] = {}
+            for phrase, stream in previous._phrase_streams.items():
+                ids = getattr(stream, "advertiser_ids", frozenset())
+                if ids & dirty:
+                    invalidated += 1
+                else:
+                    keep_phrases[phrase] = stream
+            reused = len(keep_streams) + len(keep_phrases)
+            live._adopt(keep_streams, keep_phrases)
+        self._live = live
+        self._last_bids.update(bids)
+        self.streams_reused += reused
+        self.streams_invalidated += invalidated
+        if collector.enabled:
+            if reused:
+                collector.incr(metric_names.SORT_STREAMS_REUSED, reused)
+            if invalidated:
+                collector.incr(
+                    metric_names.SORT_STREAMS_INVALIDATED, invalidated
+                )
+        return live

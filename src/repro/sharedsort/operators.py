@@ -36,16 +36,18 @@ def _rank_key(item: Item) -> Tuple[float, int]:
 class SortStream:
     """Base class: a lazily computed descending-bid stream with a cache.
 
-    Consumers address items by index via :meth:`item`; multiple consumers
-    (phrases) can read the same stream at their own pace, which is what
-    makes the operators shareable.  Subclasses implement
-    :meth:`_produce_next` returning the next item or ``None``.
+    Consumers address items by index via :meth:`item`, or in bulk via
+    :meth:`items`; multiple consumers (phrases) can read the same stream
+    at their own pace, which is what makes the operators shareable.
+    Subclasses implement :meth:`_produce_next` returning the next item
+    or ``None``.
 
     Args:
         collector: Receives ``sort.*`` counters: ``sort.cache_replays``
             for reads served from the output cache (zero child pulls),
             ``sort.leaf_reads`` / ``sort.operator_pulls`` for produced
-            items, and -- when enabled and a ``label`` is set --
+            items, ``sort.batch_pulls`` / ``sort.batched_items`` for
+            batched reads, and -- when enabled and a ``label`` is set --
             ``sort.node_pulls`` keyed by the label.
         label: Stable identity of this stream within its plan (node id,
             or a phrase-assembly tag); used only for keyed counters.
@@ -83,9 +85,66 @@ class SortStream:
             return self._cache[index]
         return None
 
+    def items(self, lo: int, hi: int) -> List[Item]:
+        """Batched read: the available items in ``[lo, hi)``.
+
+        Serves everything the output cache already holds in the range in
+        one call, producing **at most the items a per-item read of
+        ``lo`` would have produced** -- nothing in ``(lo, hi)`` is
+        prefetched speculatively.  An early-stopping consumer therefore
+        sees exactly the operator pulls of the item-at-a-time engine
+        (``sort.operator_pulls`` parity), while replayed regions -- the
+        common case for shared operators and cross-round reuse -- are
+        returned as one list slice instead of ``hi - lo`` calls walking
+        the operator tree.
+
+        Returns an empty list when ``lo`` is at or past the end of the
+        stream.  ``sort.batch_pulls`` counts calls, ``sort.batched_items``
+        counts returned items, and replayed items still land on
+        ``sort.cache_replays`` so the cache-accounting invariants hold
+        for both engines.
+        """
+        if lo < 0 or hi < lo:
+            raise InvalidPlanError(f"bad stream range [{lo}, {hi})")
+        cache = self._cache
+        cached_before = len(cache)
+        if lo >= cached_before and not self._exhausted:
+            # Materialize through ``lo`` only -- the same production an
+            # item-at-a-time read would force, and no more.
+            while len(cache) <= lo and not self._exhausted:
+                produced = self._produce_next()
+                if produced is None:
+                    self._exhausted = True
+                else:
+                    cache.append(produced)
+        end = min(hi, len(cache))
+        if self.collector.enabled:
+            self.collector.incr(metric_names.SORT_BATCH_PULLS)
+            if end > lo:
+                self.collector.incr(metric_names.SORT_BATCHED_ITEMS, end - lo)
+            replayed = min(end, cached_before) - lo
+            if replayed > 0:
+                self.collector.incr(metric_names.SORT_CACHE_REPLAYS, replayed)
+        if end <= lo:
+            return []
+        return cache[lo:end]
+
     def emitted(self) -> Sequence[Item]:
-        """The items emitted so far (the operator's cache)."""
+        """The items emitted so far (a snapshot copy of the cache).
+
+        This copies; hot paths wanting only the tail or the length use
+        :meth:`last_emitted` / :meth:`emitted_count`, which are O(1).
+        """
         return tuple(self._cache)
+
+    def last_emitted(self) -> Optional[Item]:
+        """The most recently emitted item without copying the cache."""
+        cache = self._cache
+        return cache[-1] if cache else None
+
+    def emitted_count(self) -> int:
+        """Number of items emitted so far (the cache length)."""
+        return len(self._cache)
 
     def _produce_next(self) -> Optional[Item]:
         raise NotImplementedError
@@ -155,8 +214,28 @@ class MergeOperator(SortStream):
         self._right_cursor = 0
 
     def _produce_next(self) -> Optional[Item]:
-        left_item = self.left.item(self._left_cursor)
-        right_item = self.right.item(self._right_cursor)
+        # Register refills read the children's caches directly when the
+        # item is already materialized -- same replay accounting as
+        # ``child.item()`` without re-entering the wrapper per item,
+        # which is where the per-item engine spent most of its time on
+        # replayed (shared or cross-round-reused) subtrees.
+        counting = self.collector.enabled
+        left = self.left
+        cursor = self._left_cursor
+        if cursor < len(left._cache):
+            left_item: Optional[Item] = left._cache[cursor]
+            if counting:
+                self.collector.incr(metric_names.SORT_CACHE_REPLAYS)
+        else:
+            left_item = left.item(cursor)
+        right = self.right
+        cursor = self._right_cursor
+        if cursor < len(right._cache):
+            right_item: Optional[Item] = right._cache[cursor]
+            if counting:
+                self.collector.incr(metric_names.SORT_CACHE_REPLAYS)
+        else:
+            right_item = right.item(cursor)
         if left_item is None and right_item is None:
             return None
         if right_item is None or (

@@ -24,22 +24,43 @@ per phrase -- merging that phrase's maximal nodes into a single sorted
 stream -- is per-phrase assembly work performed by
 :meth:`SharedSortPlan.instantiate`, counted in the cost model with that
 phrase's rate alone.
+
+Two interchangeable engines drive the merge loop.  ``planner="naive"``
+is the paper's literal procedure: every round, rescan every same-size
+node pair and recompute its expected savings -- O(rounds * n^2) savings
+evaluations.  ``planner="lazy"`` (the default) keeps a versioned
+max-heap of candidate pairs over interned phrase bitmasks
+(:class:`repro.plans.varsets.VarSetInterner`): a pair's savings can only
+*shrink* (merges consume availability, and ``E[max(0, N-1)]`` is
+monotone in the phrase set), so a heap entry is always an upper bound on
+the pair's current savings, and only entries whose operands changed
+since they were pushed are rescored -- exactly, with the same
+``(saving, -u, -v)`` tie-break, so both engines build **byte-identical**
+plans and only the work counters differ.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import InvalidPlanError, PlanConstructionError
-from repro.instrument import NULL, Collector
+from repro.instrument import NULL, Collector, names as metric_names
+from repro.plans.varsets import VarSetInterner, iter_bit_ids
 from repro.sharedsort.cost import (
     expected_full_sort_cost,
     expected_savings_of_merge,
 )
 from repro.sharedsort.operators import LeafSource, MergeOperator, SortStream
 
-__all__ = ["SortPlanNode", "SharedSortPlan", "build_shared_sort_plan", "LiveSharedSort"]
+__all__ = [
+    "SortPlanNode",
+    "SharedSortPlan",
+    "SortBuilderStats",
+    "build_shared_sort_plan",
+    "LiveSharedSort",
+]
 
 
 @dataclass(frozen=True)
@@ -180,6 +201,11 @@ class LiveSharedSort:
         self.collector = collector
         self._streams: Dict[int, SortStream] = {}
         self._phrase_streams: Dict[str, SortStream] = {}
+        # Pull/read totals carried by streams adopted from a previous
+        # round (cross-round reuse); ``round_pulls`` subtracts them so
+        # per-round work stays comparable with a fresh instantiation.
+        self._base_pulls = 0
+        self._base_leaf_reads = 0
 
     def _stream_for_node(self, node_id: int) -> SortStream:
         stream = self._streams.get(node_id)
@@ -218,9 +244,12 @@ class LiveSharedSort:
         except KeyError:
             raise InvalidPlanError(f"unknown phrase {phrase!r}") from None
         # Huffman-style assembly: repeatedly merge the two smallest runs,
-        # matching the cost model in assembly_expected_cost.
+        # matching the cost model in assembly_expected_cost.  The sort
+        # *must* run at the top of every iteration (a merged run can be
+        # smaller than a remaining one, so the order is re-established
+        # each step); sorting once more before the loop would be pure
+        # waste -- the first iteration re-sorts on entry.
         runs = [self._stream_for_node(node_id) for node_id in roots]
-        runs.sort(key=lambda s: len(getattr(s, "advertiser_ids", ())))
         depth = 0
         while len(runs) > 1:
             runs.sort(key=lambda s: len(getattr(s, "advertiser_ids", ())))
@@ -272,6 +301,45 @@ class LiveSharedSort:
             s.pulls for s in self._all_streams() if isinstance(s, LeafSource)
         )
 
+    def round_pulls(self) -> int:
+        """Operator pulls performed *through this live instance*.
+
+        Equal to :meth:`total_pulls` for a fresh instantiation; under
+        cross-round reuse the pulls adopted streams performed in earlier
+        rounds are subtracted, so the engine's per-round merge counter
+        stays a per-round quantity.
+        """
+        return self.total_pulls() - self._base_pulls
+
+    def round_leaf_reads(self) -> int:
+        """Leaf reads performed through this live instance (see
+        :meth:`round_pulls`)."""
+        return self.leaf_reads() - self._base_leaf_reads
+
+    def _adopt(
+        self,
+        streams: Mapping[int, SortStream],
+        phrase_streams: Mapping[str, SortStream],
+    ) -> None:
+        """Seed this instance with streams reused from a previous round.
+
+        Called by :class:`repro.sharedsort.cache.CrossRoundSortCache`
+        before the round runs.  The adopted streams' lifetime pulls are
+        recorded as a baseline so the ``round_*`` accessors report only
+        work performed from this round on.
+        """
+        self._streams.update(streams)
+        self._phrase_streams.update(phrase_streams)
+        base_pulls = 0
+        base_leaf_reads = 0
+        for stream in self._all_streams():
+            if isinstance(stream, MergeOperator):
+                base_pulls += stream.pulls
+            elif isinstance(stream, LeafSource):
+                base_leaf_reads += stream.pulls
+        self._base_pulls = base_pulls
+        self._base_leaf_reads = base_leaf_reads
+
 
 def _huffman_merge_cost(sizes: Sequence[int]) -> int:
     """Sum of intermediate merge sizes when merging runs Huffman-style."""
@@ -288,19 +356,73 @@ def _huffman_merge_cost(sizes: Sequence[int]) -> int:
     return total
 
 
+class SortBuilderStats:
+    """Counters describing one shared-sort-plan build (for tests/benches).
+
+    Attributes:
+        merges: Shared merge nodes created.
+        pairs_enumerated: Candidate pairs visited (before validity
+            filtering) -- every same-size pair every merge round under
+            ``planner="naive"``, only touched pairs under ``"lazy"``.
+        savings_evaluated: :func:`expected_savings_of_merge` computations
+            actually performed.  The naive engine recomputes every valid
+            pair every round; the lazy engine evaluates only pushed or
+            rescored pairs, so the ratio of the two is the tentpole's
+            work reduction.
+        savings_memo_hits: Lazy only: savings requests served from the
+            per-``(size, phrase-mask)`` memo instead of recomputing.
+        heap_pushes: Lazy only: entries pushed onto the pair heap.
+        stale_rescored: Lazy only: popped entries whose operands had
+            changed since the push (exact rescore, then re-push or drop).
+    """
+
+    def __init__(self) -> None:
+        self.merges = 0
+        self.pairs_enumerated = 0
+        self.savings_evaluated = 0
+        self.savings_memo_hits = 0
+        self.heap_pushes = 0
+        self.stale_rescored = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SortBuilderStats(merges={self.merges}, "
+            f"pairs_enumerated={self.pairs_enumerated}, "
+            f"savings_evaluated={self.savings_evaluated}, "
+            f"savings_memo_hits={self.savings_memo_hits}, "
+            f"heap_pushes={self.heap_pushes}, "
+            f"stale_rescored={self.stale_rescored})"
+        )
+
+
 def build_shared_sort_plan(
     phrase_advertisers: Mapping[str, Sequence[int]],
     search_rates: Mapping[str, float] | float = 1.0,
+    planner: str = "lazy",
+    stats: Optional[SortBuilderStats] = None,
+    collector: Collector = NULL,
 ) -> SharedSortPlan:
     """Greedy bottom-up construction of a shared merge-sort plan.
 
     Args:
         phrase_advertisers: ``{phrase: I_q}``.
         search_rates: Per-phrase rates, or one rate for all phrases.
+        planner: ``"lazy"`` (default) completes the merge loop with the
+            versioned pair heap over interned phrase bitmasks; ``"naive"``
+            is the paper's literal full rescan, kept as the differential
+            oracle.  Both build byte-identical plans.
+        stats: Optional :class:`SortBuilderStats` to fill in.
+        collector: Receives ``sort.pairs_scored`` /
+            ``sort.savings_memo_hits`` once per build.
 
     Returns:
         The built plan with per-phrase root lists.
+
+    Raises:
+        PlanConstructionError: On an empty instance or unknown planner.
     """
+    if planner not in ("naive", "lazy"):
+        raise PlanConstructionError(f"unknown sort planner {planner!r}")
     if not phrase_advertisers:
         raise PlanConstructionError("need at least one phrase")
     interest: Dict[str, FrozenSet[int]] = {
@@ -314,6 +436,8 @@ def build_shared_sort_plan(
         rates = {phrase: float(search_rates.get(phrase, 1.0)) for phrase in interest}
     else:
         rates = {phrase: float(search_rates) for phrase in interest}
+    if stats is None:
+        stats = SortBuilderStats()
 
     nodes: List[SortPlanNode] = []
     available: Dict[int, FrozenSet[str]] = {}
@@ -328,41 +452,14 @@ def build_shared_sort_plan(
         nodes.append(node)
         available[node.node_id] = phrases
 
-    while True:
-        best: Optional[Tuple[float, int, int, FrozenSet[str]]] = None
-        active = [nid for nid, avail in available.items() if avail]
-        by_size: Dict[int, List[int]] = {}
-        for nid in active:
-            by_size.setdefault(len(nodes[nid].advertisers), []).append(nid)
-        for size, group in by_size.items():
-            group.sort()
-            for index, u in enumerate(group):
-                for v in group[index + 1 :]:
-                    shared = available[u] & available[v]
-                    if not shared:
-                        continue
-                    if nodes[u].advertisers & nodes[v].advertisers:
-                        continue
-                    saving = expected_savings_of_merge(
-                        2 * size, [rates[q] for q in sorted(shared)]
-                    )
-                    key = (saving, -u, -v)
-                    if best is None or key > (best[0], -best[1], -best[2]):
-                        best = (saving, u, v, shared)
-        if best is None or best[0] <= 0.0:
-            break
-        _, u, v, shared = best
-        node = SortPlanNode(
-            len(nodes),
-            nodes[u].advertisers | nodes[v].advertisers,
-            shared,
-            left=u,
-            right=v,
-        )
-        nodes.append(node)
-        available[node.node_id] = shared
-        available[u] = available[u] - shared
-        available[v] = available[v] - shared
+    if planner == "naive":
+        _complete_naive(nodes, available, rates, stats)
+    else:
+        _complete_lazy(nodes, available, rates, stats)
+    collector.incr(metric_names.SORT_PAIRS_SCORED, stats.savings_evaluated)
+    collector.incr(
+        metric_names.SORT_SAVINGS_MEMO_HITS, stats.savings_memo_hits
+    )
 
     # Per-phrase roots: maximal nodes carrying the phrase.  A node carries
     # phrase q for assembly purposes iff q was in its availability at some
@@ -380,3 +477,189 @@ def build_shared_sort_plan(
     # Node.phrases for internal nodes is the consumed intersection; for
     # root listing we used availability, which together cover Q_v.
     return SharedSortPlan(interest, rates, nodes, phrase_roots)
+
+
+def _complete_naive(
+    nodes: List[SortPlanNode],
+    available: Dict[int, FrozenSet[str]],
+    rates: Dict[str, float],
+    stats: SortBuilderStats,
+) -> None:
+    """The paper's literal merge loop: full same-size rescan per round."""
+    while True:
+        best: Optional[Tuple[float, int, int, FrozenSet[str]]] = None
+        active = [nid for nid, avail in available.items() if avail]
+        by_size: Dict[int, List[int]] = {}
+        for nid in active:
+            by_size.setdefault(len(nodes[nid].advertisers), []).append(nid)
+        for size, group in by_size.items():
+            group.sort()
+            for index, u in enumerate(group):
+                for v in group[index + 1 :]:
+                    stats.pairs_enumerated += 1
+                    shared = available[u] & available[v]
+                    if not shared:
+                        continue
+                    if nodes[u].advertisers & nodes[v].advertisers:
+                        continue
+                    stats.savings_evaluated += 1
+                    saving = expected_savings_of_merge(
+                        2 * size, [rates[q] for q in sorted(shared)]
+                    )
+                    key = (saving, -u, -v)
+                    if best is None or key > (best[0], -best[1], -best[2]):
+                        best = (saving, u, v, shared)
+        if best is None or best[0] <= 0.0:
+            break
+        _, u, v, shared = best
+        node = SortPlanNode(
+            len(nodes),
+            nodes[u].advertisers | nodes[v].advertisers,
+            shared,
+            left=u,
+            right=v,
+        )
+        nodes.append(node)
+        stats.merges += 1
+        available[node.node_id] = shared
+        available[u] = available[u] - shared
+        available[v] = available[v] - shared
+
+
+def _complete_lazy(
+    nodes: List[SortPlanNode],
+    available: Dict[int, FrozenSet[str]],
+    rates: Dict[str, float],
+    stats: SortBuilderStats,
+) -> None:
+    """Lazy merge loop: versioned pair heap over interned phrase masks.
+
+    Exactness argument (mirrors the CELF-style planner of
+    ``repro.plans.greedy_planner``, but with a *stronger* staleness
+    guarantee): a pair's expected savings depends only on the operand
+    sizes (fixed) and the intersection of their availabilities, and a
+    merge only ever *removes* phrases from availability, so
+
+    - an entry whose operand versions still match was pushed with the
+      pair's exact current savings, and
+    - an entry whose operand changed carries an **upper bound** on the
+      current savings (``E[max(0, N-1)]`` is monotone in the phrase
+      set), so the true maximum can never hide below the heap top.
+
+    Popping therefore yields the exact global argmax under the same
+    ``(saving, -u, -v)`` order the naive rescan maximizes: stale entries
+    are rescored exactly and re-pushed (or dropped when the pair lost
+    its shared phrases), and the first *current* entry to surface wins.
+    Savings are computed from rates visited in ascending interned-id
+    order, which ``key=str`` interning makes exactly ``sorted(shared)``
+    -- the naive engine's float summation order -- so plans are
+    byte-identical, not merely equivalent.
+    """
+    interner = VarSetInterner(rates, key=str)
+    rate_of_id = [rates[phrase] for phrase in interner.variables]
+    avail_mask: Dict[int, int] = {
+        nid: interner.mask_of(avail) for nid, avail in available.items()
+    }
+    # Advertiser sets as private bitmasks (ids are opaque; only
+    # disjointness is ever asked).
+    adv_bit: Dict[int, int] = {}
+    adv_mask: Dict[int, int] = {}
+    for nid, node in enumerate(nodes):
+        mask = 0
+        for advertiser in node.advertisers:
+            bit = adv_bit.get(advertiser)
+            if bit is None:
+                bit = adv_bit[advertiser] = 1 << len(adv_bit)
+            mask |= bit
+        adv_mask[nid] = mask
+    version: Dict[int, int] = {nid: 0 for nid in avail_mask}
+
+    savings_memo: Dict[Tuple[int, int], float] = {}
+
+    def saving_of(size: int, shared_mask: int) -> float:
+        key = (size, shared_mask)
+        cached = savings_memo.get(key)
+        if cached is not None:
+            stats.savings_memo_hits += 1
+            return cached
+        stats.savings_evaluated += 1
+        value = expected_savings_of_merge(
+            2 * size, [rate_of_id[i] for i in iter_bit_ids(shared_mask)]
+        )
+        savings_memo[key] = value
+        return value
+
+    # Heap entries: (-saving, u, v, version_u, version_v); heapq's min
+    # order realizes the naive max order (max saving, then min u, min v).
+    heap: List[Tuple[float, int, int, int, int]] = []
+
+    def push_pair(u: int, v: int, size: int) -> None:
+        stats.pairs_enumerated += 1
+        shared_mask = avail_mask[u] & avail_mask[v]
+        if not shared_mask:
+            return
+        if adv_mask[u] & adv_mask[v]:
+            return
+        saving = saving_of(size, shared_mask)
+        if saving <= 0.0:
+            return
+        heapq.heappush(heap, (-saving, u, v, version[u], version[v]))
+        stats.heap_pushes += 1
+
+    by_size: Dict[int, List[int]] = {}
+    for nid in sorted(avail_mask):
+        if avail_mask[nid]:
+            by_size.setdefault(len(nodes[nid].advertisers), []).append(nid)
+    for size in sorted(by_size):
+        group = by_size[size]
+        for index, u in enumerate(group):
+            for v in group[index + 1 :]:
+                push_pair(u, v, size)
+
+    while heap:
+        neg_saving, u, v, ver_u, ver_v = heapq.heappop(heap)
+        if version[u] != ver_u or version[v] != ver_v:
+            # Operand availability changed since the push: the entry is
+            # a stale upper bound.  Rescore exactly and requeue.
+            stats.stale_rescored += 1
+            shared_mask = avail_mask[u] & avail_mask[v]
+            if shared_mask:
+                saving = saving_of(len(nodes[u].advertisers), shared_mask)
+                if saving > 0.0:
+                    heapq.heappush(
+                        heap, (-saving, u, v, version[u], version[v])
+                    )
+                    stats.heap_pushes += 1
+            continue
+        # Current entry == exact global max: perform the merge.
+        size = len(nodes[u].advertisers)
+        shared_mask = avail_mask[u] & avail_mask[v]
+        shared = interner.frozenset_of(shared_mask)
+        w = len(nodes)
+        node = SortPlanNode(
+            w,
+            nodes[u].advertisers | nodes[v].advertisers,
+            shared,
+            left=u,
+            right=v,
+        )
+        nodes.append(node)
+        stats.merges += 1
+        avail_mask[w] = shared_mask
+        adv_mask[w] = adv_mask[u] | adv_mask[v]
+        version[w] = 0
+        avail_mask[u] &= ~shared_mask
+        avail_mask[v] &= ~shared_mask
+        version[u] += 1
+        version[v] += 1
+        # Only pairs touching the new node need fresh scores; pairs
+        # touching u or v are rescored lazily when they surface.
+        new_size = 2 * size
+        bucket = by_size.setdefault(new_size, [])
+        for x in bucket:
+            if avail_mask[x]:
+                push_pair(x, w, new_size)
+        bucket.append(w)
+
+    for nid in range(len(nodes)):
+        available[nid] = interner.frozenset_of(avail_mask[nid])

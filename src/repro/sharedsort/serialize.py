@@ -1,0 +1,59 @@
+"""Canonical serialization of shared merge-sort plans.
+
+The naive/lazy builder identity guarantee is stated over *serialized*
+plans: two plans are the same iff their canonical forms are equal, byte
+for byte.  The canonical form orders every set ascending and writes
+floats with ``repr`` (round-trippable shortest form), so equality here
+is strictly stronger than structural equivalence -- it pins node ids,
+children, root order, and the exact float savings-driven topology.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.sharedsort.plan import SharedSortPlan
+
+__all__ = ["plan_to_dict", "serialize_plan"]
+
+
+def plan_to_dict(plan: SharedSortPlan) -> Dict[str, Any]:
+    """A JSON-ready dict capturing the plan exactly.
+
+    Keys are emitted in sorted order by :func:`serialize_plan`; sets are
+    listed ascending so the dict itself is canonical.
+    """
+    nodes: List[Dict[str, Any]] = []
+    for node in plan.nodes:
+        nodes.append(
+            {
+                "id": node.node_id,
+                "advertisers": sorted(node.advertisers),
+                "phrases": sorted(node.phrases),
+                "left": node.left,
+                "right": node.right,
+            }
+        )
+    return {
+        "phrase_advertisers": {
+            phrase: sorted(ads)
+            for phrase, ads in sorted(plan.phrase_advertisers.items())
+        },
+        "search_rates": {
+            phrase: repr(rate)
+            for phrase, rate in sorted(plan.search_rates.items())
+        },
+        "nodes": nodes,
+        "phrase_roots": {
+            phrase: list(roots)
+            for phrase, roots in sorted(plan.phrase_roots.items())
+        },
+    }
+
+
+def serialize_plan(plan: SharedSortPlan) -> str:
+    """The canonical byte form (JSON, sorted keys, no whitespace)."""
+    return json.dumps(
+        plan_to_dict(plan), sort_keys=True, separators=(",", ":")
+    )

@@ -18,14 +18,17 @@ among algorithms that make no wild guesses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.topk import ScoredAdvertiser, TopKList
 from repro.errors import InvalidPlanError
 from repro.instrument import NULL, Collector, names as metric_names
-from repro.sharedsort.operators import SortStream
+from repro.sharedsort.operators import Item, SortStream
 
 __all__ = ["ThresholdResult", "threshold_top_k"]
+
+_MAX_BATCH = 4096
+"""Cap on the geometrically doubled batched-read window."""
 
 
 @dataclass(frozen=True)
@@ -54,6 +57,7 @@ def threshold_top_k(
     bids: Mapping[int, float],
     ctr_factors: Mapping[int, float],
     collector: Collector = NULL,
+    batched: bool = True,
 ) -> ThresholdResult:
     """Run the threshold algorithm for one bid phrase.
 
@@ -67,6 +71,15 @@ def threshold_top_k(
         ctr_factors: Random access ``i -> c_i^q``; must cover ``I_q``.
         collector: Receives the ``ta.*`` access counters (flushed once
             per run) and the ``ta.stop_depth`` gauge.
+        batched: Consume the bid stream through batched
+            :meth:`SortStream.items` reads with a geometrically doubling
+            window (the default).  The per-stage logic -- accesses,
+            stages, threshold, stop depth -- is identical either way;
+            only the number of Python calls into the stream changes, and
+            batched reads never force extra operator pulls (see
+            :meth:`SortStream.items`).  ``False`` keeps the paper's
+            literal one-read-per-stage register model, retained as the
+            differential oracle.
 
     Returns:
         The ranking and access counters.
@@ -93,8 +106,32 @@ def threshold_top_k(
     random_accesses = 0
     threshold = float("inf")
 
+    # Batched consumption state: ``bid_buffer[stages - buffer_lo]`` is
+    # the next bid entry when in range; refills double ``want`` so a
+    # shared stream replaying its cache costs O(log n) calls, not O(n).
+    bid_buffer: List[Item] = []
+    buffer_lo = 0
+    want = 1
+    # The smallest bid this run has read from the stream -- the bound an
+    # exhausted bid list contributes to the threshold.  Maintained
+    # incrementally: the stream is descending, so the latest read is
+    # always the smallest (the per-stage ``item(stages - 1)`` re-read
+    # this replaces was O(1) per call but a full wrapper round-trip).
+    last_bid_value: Optional[float] = None
+
     while True:
-        bid_entry = bid_stream.item(stages)
+        if batched:
+            offset = stages - buffer_lo
+            if 0 <= offset < len(bid_buffer):
+                bid_entry: Optional[Item] = bid_buffer[offset]
+            else:
+                bid_buffer = bid_stream.items(stages, stages + want)
+                buffer_lo = stages
+                if want < _MAX_BATCH:
+                    want *= 2
+                bid_entry = bid_buffer[0] if bid_buffer else None
+        else:
+            bid_entry = bid_stream.item(stages)
         ctr_entry: Optional[int] = (
             ctr_order[stages] if stages < len(ctr_order) else None
         )
@@ -108,6 +145,7 @@ def threshold_top_k(
             sorted_accesses += 1
             bid_value, bid_id = bid_entry
             bound_bid = bid_value
+            last_bid_value = bid_value
             if bid_id not in seen:
                 random_accesses += 1
                 seen[bid_id] = score_of(bid_id)
@@ -128,8 +166,7 @@ def threshold_top_k(
         # is itself complete; in general an exhausted list bounds the
         # missing attribute by its last (smallest) emitted value.
         if bound_bid is None:
-            last = bid_stream.item(max(0, stages - 1))
-            bound_bid = last[0] if last is not None else _last_emitted(bid_stream)
+            bound_bid = last_bid_value if last_bid_value is not None else 0.0
         if bound_ctr is None:
             bound_ctr = (
                 ctr_factors[ctr_order[-1]] if ctr_order else 0.0
@@ -153,9 +190,3 @@ def threshold_top_k(
         random_accesses=random_accesses,
         threshold=threshold,
     )
-
-
-def _last_emitted(stream: SortStream) -> float:
-    """Smallest bid the stream has emitted (0.0 for an empty stream)."""
-    emitted = stream.emitted()
-    return emitted[-1][0] if emitted else 0.0

@@ -117,3 +117,64 @@ class TestSharedSortMode:
         b = build("shared-sort", seed=11).run(15)
         assert a.revenue_cents == b.revenue_cents
         assert a.scans == b.scans
+
+
+def build_full(seed=5, **kwargs):
+    advertisers, phrases = population(per_phrase_factors=True)
+    return SharedAuctionEngine(
+        advertisers,
+        slot_factors=[0.3, 0.2],
+        search_rates={p: 0.8 for p in phrases},
+        mode="shared-sort",
+        throttle=True,
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestSortRebuildOptions:
+    """The PR's knobs: sort_planner and sort_cache (see ISSUE 5)."""
+
+    def test_sort_cache_requires_shared_sort_mode(self):
+        from repro.errors import InvalidAuctionError
+
+        advertisers, phrases = population(per_phrase_factors=False)
+        with pytest.raises(InvalidAuctionError):
+            SharedAuctionEngine(
+                advertisers,
+                slot_factors=[0.3],
+                search_rates={p: 0.8 for p in phrases},
+                mode="shared",
+                sort_cache=True,
+            )
+
+    def test_sort_planner_does_not_change_outcomes(self):
+        lazy = build_full(seed=9, sort_planner="lazy").run(25)
+        naive = build_full(seed=9, sort_planner="naive").run(25)
+        assert lazy.revenue_cents == naive.revenue_cents
+        assert lazy.scans == naive.scans
+        assert lazy.merges == naive.merges
+        assert [r.allocations for r in lazy.history] == [
+            r.allocations for r in naive.history
+        ]
+
+    def test_sort_cache_is_outcome_invisible(self):
+        plain = build_full(seed=13).run(40)
+        cached = build_full(seed=13, sort_cache=True).run(40)
+        assert plain.revenue_cents == cached.revenue_cents
+        assert plain.forgiven_cents == cached.forgiven_cents
+        assert plain.displays == cached.displays
+        assert plain.scans == cached.scans
+        assert [r.allocations for r in plain.history] == [
+            r.allocations for r in cached.history
+        ]
+        # ... and work-visible: reused streams replay instead of pulling.
+        assert cached.merges < plain.merges
+
+    def test_sort_cache_with_collector_counts_reuse(self):
+        from repro.instrument import MetricsCollector, names as metric_names
+
+        collector = MetricsCollector()
+        engine = build_full(seed=2, sort_cache=True, collector=collector)
+        engine.run(30)
+        assert collector.counter(metric_names.SORT_STREAMS_REUSED) > 0

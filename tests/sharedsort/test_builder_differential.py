@@ -1,0 +1,147 @@
+"""Differential tests: the lazy builder reproduces the naive builder.
+
+The tentpole contract is byte-identity, not equivalence: for every
+instance, ``planner="lazy"`` and ``planner="naive"`` must serialize to
+the same canonical bytes (:func:`repro.sharedsort.serialize.serialize_plan`),
+pinning node ids, children, consumed phrase sets, root order, and the
+float-savings-driven topology.  A fixed 50+ seed sweep guards the exact
+work-reduction claim; hypothesis explores the shape space.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import PlanConstructionError
+from repro.instrument import MetricsCollector, names as metric_names
+from repro.sharedsort.plan import SortBuilderStats, build_shared_sort_plan
+from repro.sharedsort.serialize import plan_to_dict, serialize_plan
+
+
+def random_instance(rng: random.Random):
+    num_phrases = rng.randint(1, 10)
+    num_ads = rng.randint(1, 16)
+    phrases = {
+        f"q{p}": rng.sample(range(num_ads), rng.randint(1, num_ads))
+        for p in range(num_phrases)
+    }
+    rates = {
+        f"q{p}": rng.choice([1.0, 0.75, 0.5, 0.25, rng.random()])
+        for p in range(num_phrases)
+    }
+    return phrases, rates
+
+
+@st.composite
+def phrase_maps(draw):
+    num_ads = draw(st.integers(min_value=1, max_value=12))
+    universe = list(range(num_ads))
+    num_phrases = draw(st.integers(min_value=1, max_value=5))
+    phrases = {}
+    for index in range(num_phrases):
+        members = draw(
+            st.lists(
+                st.sampled_from(universe),
+                min_size=1,
+                max_size=num_ads,
+                unique=True,
+            )
+        )
+        phrases[f"p{index}"] = members
+    return phrases
+
+
+class TestByteIdentity:
+    def test_fifty_seeded_instances_serialize_identically(self):
+        naive_evals = 0
+        lazy_evals = 0
+        for seed in range(50):
+            rng = random.Random(seed)
+            phrases, rates = random_instance(rng)
+            stats_naive = SortBuilderStats()
+            stats_lazy = SortBuilderStats()
+            naive = build_shared_sort_plan(
+                phrases, rates, planner="naive", stats=stats_naive
+            )
+            lazy = build_shared_sort_plan(
+                phrases, rates, planner="lazy", stats=stats_lazy
+            )
+            assert serialize_plan(naive) == serialize_plan(lazy), seed
+            assert stats_naive.merges == stats_lazy.merges
+            naive_evals += stats_naive.savings_evaluated
+            lazy_evals += stats_lazy.savings_evaluated
+        # The aggregate work reduction over the sweep is the point of the
+        # lazy engine; a regression to per-round rescans would erase it.
+        assert lazy_evals * 2 <= naive_evals
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(phrases=phrase_maps(), rate=st.floats(min_value=0.05, max_value=1.0))
+    def test_property_lazy_matches_naive(self, phrases, rate):
+        naive = build_shared_sort_plan(phrases, rate, planner="naive")
+        lazy = build_shared_sort_plan(phrases, rate, planner="lazy")
+        assert plan_to_dict(naive) == plan_to_dict(lazy)
+        assert serialize_plan(naive) == serialize_plan(lazy)
+
+    def test_default_planner_is_lazy(self):
+        phrases = {"a": [1, 2, 3, 4], "b": [1, 2, 5, 6], "c": [3, 4, 5, 6]}
+        default = build_shared_sort_plan(phrases, 0.6)
+        lazy = build_shared_sort_plan(phrases, 0.6, planner="lazy")
+        assert serialize_plan(default) == serialize_plan(lazy)
+
+
+class TestBuilderWork:
+    def test_unknown_planner_rejected(self):
+        with pytest.raises(PlanConstructionError):
+            build_shared_sort_plan({"a": [1, 2]}, planner="eager")
+
+    def test_lazy_stats_fields_move(self):
+        phrases = {
+            f"q{p}": [p, p + 1, p + 2, (p + 5) % 9, (p + 7) % 9]
+            for p in range(6)
+        }
+        stats = SortBuilderStats()
+        build_shared_sort_plan(phrases, 0.5, planner="lazy", stats=stats)
+        assert stats.merges > 0
+        assert stats.heap_pushes > 0
+        assert stats.savings_evaluated > 0
+        # The naive engine never uses the heap/memo machinery.
+        naive = SortBuilderStats()
+        build_shared_sort_plan(phrases, 0.5, planner="naive", stats=naive)
+        assert naive.heap_pushes == 0
+        assert naive.savings_memo_hits == 0
+        assert naive.stale_rescored == 0
+
+    def test_collector_receives_builder_counters(self):
+        collector = MetricsCollector()
+        phrases = {"a": [1, 2, 3, 4], "b": [1, 2, 3, 4], "c": [1, 2, 5, 6]}
+        stats = SortBuilderStats()
+        build_shared_sort_plan(
+            phrases, 1.0, planner="lazy", stats=stats, collector=collector
+        )
+        assert (
+            collector.counter(metric_names.SORT_PAIRS_SCORED)
+            == stats.savings_evaluated
+        )
+        assert (
+            collector.counter(metric_names.SORT_SAVINGS_MEMO_HITS)
+            == stats.savings_memo_hits
+        )
+
+    def test_savings_memo_only_dedupes_identical_computations(self):
+        # Two phrases with the same advertiser set and rate produce
+        # identical (size, mask) savings keys; the memo must not change
+        # the chosen merges, only skip recomputation.
+        phrases = {"a": [1, 2, 3, 4], "b": [1, 2, 3, 4], "c": [1, 2]}
+        stats = SortBuilderStats()
+        lazy = build_shared_sort_plan(
+            phrases, 1.0, planner="lazy", stats=stats
+        )
+        naive = build_shared_sort_plan(phrases, 1.0, planner="naive")
+        assert serialize_plan(lazy) == serialize_plan(naive)

@@ -1,0 +1,216 @@
+"""Cross-round sort-stream reuse: identity of outcomes, reduction of work.
+
+The cache's contract mirrors the plan executor's: a run with
+:class:`CrossRoundSortCache` is bit-identical to rebuilding the network
+every round -- same items from every stream, same threshold-algorithm
+results -- and only the work counters move (``sort.streams_reused`` up,
+``sort.operator_pulls`` / ``sort.leaf_reads`` down).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.instrument import MetricsCollector, names as metric_names
+from repro.sharedsort.cache import CrossRoundSortCache
+from repro.sharedsort.plan import build_shared_sort_plan
+from repro.sharedsort.threshold import threshold_top_k
+
+
+def random_instance(rng, num_phrases=6, num_ads=14):
+    phrases = {
+        f"q{p}": rng.sample(range(num_ads), rng.randint(2, num_ads))
+        for p in range(num_phrases)
+    }
+    rates = {f"q{p}": rng.choice([1.0, 0.7, 0.4]) for p in range(num_phrases)}
+    return phrases, rates
+
+
+def perturb(rng, bids, fraction):
+    """A new bid map with ~fraction of the advertisers changed."""
+    out = dict(bids)
+    for advertiser in sorted(bids):
+        if rng.random() < fraction:
+            out[advertiser] = round(rng.uniform(0.1, 20.0), 2)
+    return out
+
+
+def drain(stream):
+    items = []
+    index = 0
+    while (item := stream.item(index)) is not None:
+        items.append(item)
+        index += 1
+    return items
+
+
+class TestDifferentialOverRounds:
+    def test_twenty_round_dirty_run_identical_streams(self):
+        rng = random.Random(42)
+        phrases, rates = random_instance(rng)
+        plan = build_shared_sort_plan(phrases, rates)
+        cache = CrossRoundSortCache(plan)
+        bids = {i: round(rng.uniform(0.1, 20.0), 2) for i in range(14)}
+        for round_index in range(20):
+            cached_live = cache.instantiate(bids)
+            fresh_live = plan.instantiate(bids)
+            for phrase in sorted(phrases):
+                cached_items = drain(cached_live.stream_for_phrase(phrase))
+                fresh_items = drain(fresh_live.stream_for_phrase(phrase))
+                assert cached_items == fresh_items, (round_index, phrase)
+            bids = perturb(rng, bids, 0.15)
+
+    def test_reuse_reduces_operator_pulls(self):
+        rng = random.Random(7)
+        phrases, rates = random_instance(rng)
+        plan = build_shared_sort_plan(phrases, rates)
+        cache = CrossRoundSortCache(plan)
+        bids = {i: round(rng.uniform(0.1, 20.0), 2) for i in range(14)}
+        cached_pulls = 0
+        fresh_pulls = 0
+        bid_history = []
+        for _ in range(20):
+            bid_history.append(bids)
+            bids = perturb(rng, bids, 0.1)
+        for round_bids in bid_history:
+            live = cache.instantiate(round_bids)
+            for phrase in sorted(phrases):
+                drain(live.stream_for_phrase(phrase))
+            cached_pulls += live.round_pulls()
+            fresh = plan.instantiate(round_bids)
+            for phrase in sorted(phrases):
+                drain(fresh.stream_for_phrase(phrase))
+            fresh_pulls += fresh.round_pulls()
+        assert cache.streams_reused > 0
+        assert cached_pulls < fresh_pulls
+        # The benchmark gates >= 40% on the scaled workload; even this
+        # small instance must show a clear reduction.
+        assert cached_pulls <= fresh_pulls * 0.8
+
+    def test_first_round_adopts_nothing(self):
+        plan = build_shared_sort_plan({"a": [1, 2, 3, 4]}, 1.0)
+        cache = CrossRoundSortCache(plan)
+        live = cache.instantiate({1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0})
+        assert cache.streams_reused == 0
+        assert cache.streams_invalidated == 0
+        drain(live.stream_for_phrase("a"))
+        assert live.round_pulls() == live.total_pulls()
+
+    def test_unchanged_bids_reuse_everything(self):
+        plan = build_shared_sort_plan({"a": [1, 2, 3, 4], "b": [1, 2]}, 1.0)
+        cache = CrossRoundSortCache(plan)
+        bids = {1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+        live1 = cache.instantiate(bids)
+        for phrase in ("a", "b"):
+            drain(live1.stream_for_phrase(phrase))
+        live2 = cache.instantiate(dict(bids))
+        assert cache.streams_invalidated == 0
+        assert cache.streams_reused > 0
+        for phrase in ("a", "b"):
+            drain(live2.stream_for_phrase(phrase))
+        # Everything replays: not a single new operator pull or leaf read.
+        assert live2.round_pulls() == 0
+        assert live2.round_leaf_reads() == 0
+
+    def test_dirty_advertiser_invalidates_exact_cone(self):
+        plan = build_shared_sort_plan({"a": [1, 2, 3, 4]}, 1.0)
+        cache = CrossRoundSortCache(plan)
+        bids = {1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+        live1 = cache.instantiate(bids)
+        drain(live1.stream_for_phrase("a"))
+        bids2 = {**bids, 1: 9.0}
+        live2 = cache.instantiate(bids2)
+        assert cache.streams_invalidated > 0
+        items = drain(live2.stream_for_phrase("a"))
+        assert items == sorted(
+            ((b, i) for i, b in bids2.items()),
+            key=lambda t: (-t[0], t[1]),
+        )
+        # The clean sibling subtree replayed: fewer pulls than a rebuild.
+        fresh = plan.instantiate(bids2)
+        drain(fresh.stream_for_phrase("a"))
+        assert live2.round_pulls() <= fresh.round_pulls()
+        assert live2.round_leaf_reads() < fresh.round_leaf_reads()
+
+    def test_absent_advertisers_stay_sound_across_rounds(self):
+        # Phrase "b" does not occur in round 2, so round 2's bids omit
+        # advertisers 5 and 6; when "b" returns in round 3 with 5's bid
+        # changed, its streams must reflect the *new* bid.
+        phrases = {"a": [1, 2, 3, 4], "b": [5, 6]}
+        plan = build_shared_sort_plan(phrases, 1.0)
+        cache = CrossRoundSortCache(plan)
+        round1 = {1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0, 5: 5.0, 6: 6.0}
+        live = cache.instantiate(round1)
+        drain(live.stream_for_phrase("a"))
+        drain(live.stream_for_phrase("b"))
+        round2 = {1: 1.5, 2: 2.0, 3: 3.0, 4: 4.0}
+        live = cache.instantiate(round2)
+        drain(live.stream_for_phrase("a"))
+        round3 = {**round1, 1: 1.5, 5: 0.5}
+        live = cache.instantiate(round3)
+        assert drain(live.stream_for_phrase("b")) == [(6.0, 6), (0.5, 5)]
+
+    def test_collector_counts_reuse_and_invalidation(self):
+        collector = MetricsCollector()
+        plan = build_shared_sort_plan(
+            {"a": [1, 2, 3, 4], "b": [1, 2, 3, 4]}, 1.0, collector=collector
+        )
+        cache = CrossRoundSortCache(plan, collector)
+        bids = {1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+        live = cache.instantiate(bids)
+        drain(live.stream_for_phrase("a"))
+        live = cache.instantiate({**bids, 4: 8.0})
+        drain(live.stream_for_phrase("a"))
+        assert (
+            collector.counter(metric_names.SORT_STREAMS_REUSED)
+            == cache.streams_reused
+        )
+        assert (
+            collector.counter(metric_names.SORT_STREAMS_INVALIDATED)
+            == cache.streams_invalidated
+        )
+        assert cache.streams_reused > 0
+        assert cache.streams_invalidated > 0
+
+
+class TestThresholdOverCache:
+    def test_ta_results_identical_with_and_without_cache(self):
+        rng = random.Random(5)
+        phrases, rates = random_instance(rng, num_phrases=5, num_ads=12)
+        plan = build_shared_sort_plan(phrases, rates)
+        cache = CrossRoundSortCache(plan)
+        bids = {i: round(rng.uniform(0.1, 20.0), 2) for i in range(12)}
+        factors = {
+            phrase: {i: round(rng.uniform(0.05, 1.5), 3) for i in range(12)}
+            for phrase in phrases
+        }
+        ctr_orders = {
+            phrase: sorted(
+                phrases[phrase], key=lambda i: (-factors[phrase][i], i)
+            )
+            for phrase in phrases
+        }
+        for round_index in range(12):
+            cached_live = cache.instantiate(bids)
+            fresh_live = plan.instantiate(bids)
+            for phrase in sorted(phrases):
+                ids = phrases[phrase]
+                f = {i: factors[phrase][i] for i in ids}
+                cached = threshold_top_k(
+                    3,
+                    cached_live.stream_for_phrase(phrase),
+                    ctr_orders[phrase],
+                    bids,
+                    f,
+                )
+                fresh = threshold_top_k(
+                    3,
+                    fresh_live.stream_for_phrase(phrase),
+                    ctr_orders[phrase],
+                    bids,
+                    f,
+                )
+                assert cached.ranking.entries == fresh.ranking.entries
+                assert cached.sorted_accesses == fresh.sorted_accesses
+                assert cached.threshold == fresh.threshold
+            bids = perturb(rng, bids, 0.2)

@@ -119,6 +119,35 @@ class TestCommands:
         with pytest.raises(InvalidAuctionError, match="exec_cache"):
             main(["engine", "--rounds", "2", "--mode", "unshared", "--exec-cache"])
 
+    def test_engine_sort_cache(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "engine",
+                    "--rounds",
+                    "8",
+                    "--mode",
+                    "shared-sort",
+                    "--sort-cache",
+                    "--sort-planner",
+                    "naive",
+                    "--trace-json",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "+sort-cache" in out
+        payload = json.loads(trace.read_text())
+        assert payload["counters"]["sort.streams_reused"] > 0
+        assert payload["counters"]["sort.pairs_scored"] > 0
+
+    def test_engine_sort_cache_requires_shared_sort_mode(self):
+        with pytest.raises(InvalidAuctionError, match="sort_cache"):
+            main(["engine", "--rounds", "2", "--mode", "shared", "--sort-cache"])
+
     def test_engine_trace_capacity_bounds_ring(self, tmp_path):
         trace = tmp_path / "trace.json"
         assert (
