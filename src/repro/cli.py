@@ -102,6 +102,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     engine.add_argument(
+        "--cache-autotune",
+        action="store_true",
+        help=(
+            "adaptive cache policy: bypass the cross-round cache while "
+            "the observed dirty fraction makes caching a net loss, and "
+            "auto-size the exec cache's LRU bound from the working set "
+            "(requires --exec-cache or --sort-cache)"
+        ),
+    )
+    engine.add_argument(
+        "--no-cache-verify",
+        action="store_true",
+        help=(
+            "trust the change-feed events and skip the caches' exact "
+            "value-diff soundness cross-check (the production posture; "
+            "the default keeps the cross-check on)"
+        ),
+    )
+    engine.add_argument(
         "--trace-json",
         metavar="PATH",
         help=(
@@ -247,10 +266,20 @@ def _cmd_engine(
     planner: str = "lazy",
     sort_planner: str = "lazy",
     sort_cache: bool = False,
+    cache_autotune: bool = False,
+    cache_verify: bool = True,
 ) -> int:
     from repro.engine import SharedAuctionEngine
     from repro.workloads.generator import MarketConfig, generate_market
 
+    if cache_autotune and not (exec_cache or sort_cache):
+        # Same fail-fast contract as the trace-path check below: a bad
+        # flag combination gets one line on stderr, not a traceback.
+        print(
+            "--cache-autotune requires --exec-cache or --sort-cache",
+            file=sys.stderr,
+        )
+        return 1
     collector = None
     if trace_json is not None:
         from repro.instrument import MetricsCollector, TraceRing
@@ -276,12 +305,15 @@ def _cmd_engine(
         planner=planner,
         sort_planner=sort_planner,
         sort_cache=sort_cache,
+        cache_autotune=cache_autotune,
+        cache_verify=cache_verify,
     )
     report = engine.run(rounds)
     label = (
         f"mode={mode}"
         + (" +exec-cache" if exec_cache else "")
         + (" +sort-cache" if sort_cache else "")
+        + (" +autotune" if cache_autotune else "")
     )
     table = ExperimentTable(
         f"Engine run: {label}, {rounds} rounds",
@@ -356,6 +388,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.planner,
             args.sort_planner,
             args.sort_cache,
+            args.cache_autotune,
+            not args.no_cache_verify,
         )
     if args.command == "plan":
         return _cmd_plan(args.spec, args.output, args.planner)

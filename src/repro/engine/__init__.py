@@ -4,20 +4,45 @@ The engine is the "search provider" substrate: it batches incoming bid
 phrases into rounds (:mod:`repro.engine.rounds`), resolves each round's
 auctions with a shared plan or per-phrase scans
 (:mod:`repro.engine.pipeline`), manages budgets and outstanding ads
-(:mod:`repro.engine.budget_manager`), and simulates delayed user clicks
-(:mod:`repro.engine.click_model`).
+(:mod:`repro.engine.budget_manager`), simulates delayed user clicks
+(:mod:`repro.engine.click_model`), and broadcasts every state change on
+one typed invalidation bus (:mod:`repro.engine.changefeed`) that the
+cross-round caches and plan maintenance consume, with an optional
+adaptive cache policy on top (:mod:`repro.engine.autotune`).
 """
 
+from repro.engine.autotune import CacheAutotuner
 from repro.engine.budget_manager import BudgetManager
+from repro.engine.changefeed import (
+    AdvertiserAdded,
+    AdvertiserRemoved,
+    BidChanged,
+    BudgetChanged,
+    ChangeEvent,
+    ChangeFeed,
+    PhraseAdded,
+    PhraseRemoved,
+    RoundClosed,
+)
 from repro.engine.click_model import ClickEvent, DelayedClickModel
 from repro.engine.pipeline import EngineReport, SharedAuctionEngine
 from repro.engine.rounds import RoundBatcher
 
 __all__ = [
+    "AdvertiserAdded",
+    "AdvertiserRemoved",
+    "BidChanged",
+    "BudgetChanged",
     "BudgetManager",
+    "CacheAutotuner",
+    "ChangeEvent",
+    "ChangeFeed",
     "ClickEvent",
     "DelayedClickModel",
     "EngineReport",
+    "PhraseAdded",
+    "PhraseRemoved",
     "RoundBatcher",
+    "RoundClosed",
     "SharedAuctionEngine",
 ]

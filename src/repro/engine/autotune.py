@@ -1,0 +1,169 @@
+"""Adaptive cache policy driven by the instrumentation counters.
+
+Cross-round caching is a bet: diffing, invalidating, and revalidating
+cost a little every round, and pay off only when most of the previous
+round's work survives.  When nearly every advertiser moves every round
+(a volatile market, a decaying outstanding model, a stress test), the
+cache's bookkeeping is pure overhead on top of a full rebuild -- the
+dirty cone *is* the whole plan.  :class:`CacheAutotuner` watches the
+observed dirty fraction over a sliding window and tells its cache to
+
+- **bypass**: run the round fresh (no cache reads or writes) while the
+  windowed dirty fraction sits at or above ``bypass_threshold``.  The
+  consumer still absorbs the round's values, so epochs, staleness marks,
+  and last-seen snapshots stay sound and caching resumes the moment the
+  market calms down; bypassed rounds count on ``cache.bypass_rounds``.
+- **resize**: bound the LRU capacity at the observed working-set
+  high-water mark times ``slack``, instead of the unbounded default.
+  Recommendations move only when they differ from the current bound by
+  more than ``hysteresis`` (no thrashing); actual changes count on
+  ``cache.autotune_resizes``.
+
+Both decisions read only *past* rounds, so an autotuned run remains
+deterministic for a fixed input sequence -- and, like every cache layer
+in this repo, it changes the work counters, never the answers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.errors import InvalidAuctionError
+from repro.instrument import NULL, Collector, names as metric_names
+
+__all__ = ["CacheAutotuner"]
+
+
+class CacheAutotuner:
+    """Windowed bypass and LRU-sizing policy for a cross-round cache.
+
+    Args:
+        bypass_threshold: Windowed mean dirty fraction at or above which
+            rounds run fresh.  ``1.0`` still bypasses (a fully dirty
+            window means caching saves nothing); values above 1 disable
+            bypassing entirely.
+        window: Rounds of history the decisions read.
+        warmup: Observations required before :meth:`should_bypass` may
+            fire (the first rounds of a run are all-dirty by
+            construction and must not poison the policy).
+        slack: Capacity recommendation = working-set high-water x slack.
+        hysteresis: Relative change below which a recommendation is not
+            applied.
+        collector: Receives ``cache.bypass_rounds`` /
+            ``cache.autotune_resizes``.
+
+    Attributes:
+        rounds_observed: Total observations.
+        bypass_rounds: Rounds the policy ran fresh.
+        resizes: Capacity changes actually applied.
+    """
+
+    def __init__(
+        self,
+        bypass_threshold: float = 0.5,
+        window: int = 8,
+        warmup: int = 2,
+        slack: float = 2.0,
+        hysteresis: float = 0.25,
+        collector: Collector = NULL,
+    ) -> None:
+        if bypass_threshold <= 0.0:
+            raise InvalidAuctionError(
+                f"bypass_threshold must be positive, got {bypass_threshold}"
+            )
+        if window <= 0:
+            raise InvalidAuctionError(f"window must be positive, got {window}")
+        if warmup <= 0:
+            raise InvalidAuctionError(f"warmup must be positive, got {warmup}")
+        if slack < 1.0:
+            raise InvalidAuctionError(f"slack must be >= 1, got {slack}")
+        if hysteresis < 0.0:
+            raise InvalidAuctionError(
+                f"hysteresis must be >= 0, got {hysteresis}"
+            )
+        self.bypass_threshold = bypass_threshold
+        self.window = window
+        self.warmup = warmup
+        self.slack = slack
+        self.hysteresis = hysteresis
+        self.collector = collector
+        self.rounds_observed = 0
+        self.bypass_rounds = 0
+        self.resizes = 0
+        self._fractions: Deque[float] = deque(maxlen=window)
+        self._working_sets: Deque[int] = deque(maxlen=window)
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def observe_round(
+        self, dirty: int, population: int, working_set: int
+    ) -> None:
+        """Record one round's measurements.
+
+        Args:
+            dirty: Leaves (advertisers) whose value actually changed.
+            population: Leaves presented this round.
+            working_set: Distinct cache slots the round touched -- the
+                quantity the LRU bound must cover for reuse to work.
+        """
+        self.rounds_observed += 1
+        fraction = dirty / population if population else 0.0
+        self._fractions.append(fraction)
+        self._working_sets.append(working_set)
+
+    @property
+    def dirty_fraction(self) -> float:
+        """Windowed mean dirty fraction (0.0 before any observation)."""
+        if not self._fractions:
+            return 0.0
+        return sum(self._fractions) / len(self._fractions)
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def should_bypass(self) -> bool:
+        """Whether the *next* round should skip the cache entirely.
+
+        Reads only completed rounds, so the decision is known before any
+        of the round's work happens and cannot depend on it.
+        """
+        if len(self._fractions) < self.warmup:
+            return False
+        return self.dirty_fraction >= self.bypass_threshold
+
+    def record_bypass(self) -> None:
+        """Count one bypassed round (called by the consumer that acted)."""
+        self.bypass_rounds += 1
+        self.collector.incr(metric_names.CACHE_BYPASS_ROUNDS)
+
+    def recommended_capacity(self) -> Optional[int]:
+        """The LRU bound the window supports, or ``None`` before a full
+        window of observations exists."""
+        if len(self._working_sets) < self.window:
+            return None
+        return max(1, int(max(self._working_sets) * self.slack))
+
+    def maybe_resize(self, cache) -> Optional[int]:
+        """Apply the capacity recommendation to ``cache`` if it moved.
+
+        Args:
+            cache: Anything with a ``capacity`` attribute and a
+                ``resize(capacity)`` method
+                (:class:`repro.plans.executor.CrossRoundCache`).
+
+        Returns:
+            The new capacity when a resize was applied, else ``None``.
+        """
+        recommended = self.recommended_capacity()
+        if recommended is None:
+            return None
+        current = cache.capacity
+        if current is not None and current > 0:
+            if abs(recommended - current) <= current * self.hysteresis:
+                return None
+        cache.resize(recommended)
+        self.resizes += 1
+        self.collector.incr(metric_names.CACHE_AUTOTUNE_RESIZES)
+        return recommended

@@ -39,6 +39,14 @@ class BudgetManager:
         budgets_cents: Daily budget per advertiser id.  Advertisers not
             present are treated as unbudgeted (infinite budget).
         decay: Click-decay model for outstanding ads.
+        changefeed: Optional
+            :class:`repro.engine.changefeed.ChangeFeed`.  When present
+            and active, the manager publishes a
+            :class:`repro.engine.changefeed.BudgetChanged` event for
+            every book movement -- click settlements, displays becoming
+            outstanding debt, and outstanding-ad expiries -- so the
+            cross-round caches learn about throttle-input changes from
+            the source instead of from engine-side bookkeeping.
     """
 
     UNBUDGETED_CENTS = 10**12
@@ -48,6 +56,7 @@ class BudgetManager:
         self,
         budgets_cents: Dict[int, int],
         decay: ClickDecayModel | None = None,
+        changefeed=None,
     ) -> None:
         for advertiser_id, budget in budgets_cents.items():
             if budget < 0:
@@ -58,6 +67,15 @@ class BudgetManager:
         self._spent: Dict[int, int] = {}
         self._decay = decay if decay is not None else NoDecay()
         self._ledgers: Dict[int, OutstandingLedger] = {}
+        self._feed = changefeed
+
+    def _publish_change(self, advertiser_id: int) -> None:
+        """Announce a book movement on the change feed, if anyone cares."""
+        feed = self._feed
+        if feed is not None and feed.active:
+            from repro.engine.changefeed import BudgetChanged
+
+            feed.publish(BudgetChanged(advertiser_id))
 
     def _ledger(self, advertiser_id: int) -> OutstandingLedger:
         ledger = self._ledgers.get(advertiser_id)
@@ -92,6 +110,7 @@ class BudgetManager:
         self._ledger(advertiser_id).record_display(
             price_cents, ctr, round_index
         )
+        self._publish_change(advertiser_id)
 
     def settle_click(
         self, advertiser_id: int, price_cents: int, display_round: int
@@ -112,6 +131,7 @@ class BudgetManager:
         remaining = self.remaining_cents(advertiser_id)
         charged = min(price_cents, remaining)
         self._spent[advertiser_id] = self.spent_cents(advertiser_id) + charged
+        self._publish_change(advertiser_id)
         return ChargeResult(charged, price_cents - charged)
 
     def expire_outstanding(self, round_index: int) -> int:
@@ -133,6 +153,7 @@ class BudgetManager:
             pruned = ledger.prune(round_index)
             if pruned:
                 expired[advertiser_id] = pruned
+                self._publish_change(advertiser_id)
         return expired
 
     def throttle_problem(

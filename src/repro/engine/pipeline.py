@@ -25,7 +25,9 @@ from repro.budgets.throttle import exact_throttled_bid
 from repro.core.advertiser import Advertiser
 from repro.core.ctr import SeparableCTRModel
 from repro.core.topk import ScoredAdvertiser, TopKList, top_k_scan
+from repro.engine.autotune import CacheAutotuner
 from repro.engine.budget_manager import BudgetManager
+from repro.engine.changefeed import BidChanged, ChangeFeed, RoundClosed
 from repro.engine.click_model import DelayedClickModel
 from repro.errors import InvalidAuctionError
 from repro.instrument import NULL, Collector, names as metric_names
@@ -136,14 +138,17 @@ class SharedAuctionEngine:
             :class:`repro.plans.executor.CrossRoundPlanExecutor`, which
             keeps materialized top-k nodes alive between rounds and
             recomputes only the ancestor cone of advertisers whose
-            effective score changed.  The engine derives that dirty set
-            from its own events -- clicks settled, ads displayed or
-            expired, auction-multiplicity changes, and (under a decaying
-            model) outstanding debt aging -- and declares it to the
-            executor, which verifies soundness against an exact score
-            diff and raises on any undeclared change.  Outcomes are
-            bit-identical with and without the cache; only the work
-            counters move.
+            effective score changed.  The dirty set flows over the
+            engine's :class:`repro.engine.changefeed.ChangeFeed`: the
+            budget manager publishes ``BudgetChanged`` as books move
+            (clicks settled, ads displayed, outstanding expiries), the
+            engine publishes ``BidChanged`` for auction-multiplicity
+            changes and (under a decaying model) outstanding debt aging,
+            and the executor drains its subscription each round.  Under
+            ``cache_verify=True`` the executor still cross-checks the
+            events against an exact score diff and raises on any
+            undeclared change.  Outcomes are bit-identical with and
+            without the cache; only the work counters move.
         exec_cache_capacity: Optional bound on resident cached nodes
             (LRU eviction); ``None`` keeps every node.
         planner: Stage-2 engine for the shared plan's greedy completion:
@@ -159,11 +164,27 @@ class SharedAuctionEngine:
             streams alive in a
             :class:`repro.sharedsort.cache.CrossRoundSortCache` and
             rebuild, next round, only the streams above advertisers
-            whose effective bid actually changed (an exact bid diff --
-            no declaration protocol).  Outcomes are bit-identical with
-            and without the cache; reused streams replay their output
-            caches, so ``sort.operator_pulls`` / ``sort.leaf_reads``
-            drop while ``sort.streams_reused`` counts the savings.
+            whose effective bid actually changed.  The cache consumes
+            the same change-feed events as the exec cache and refines
+            them by its own value domain -- a declared advertiser counts
+            as dirty only if its *bid* really moved -- with the exact
+            bid diff kept as the ``cache_verify`` soundness cross-check.
+            Outcomes are bit-identical with and without the cache;
+            reused streams replay their output caches, so
+            ``sort.operator_pulls`` / ``sort.leaf_reads`` drop while
+            ``sort.streams_reused`` counts the savings.
+        cache_verify: Keep the caches' exact value diff as a soundness
+            cross-check on the change-feed events (the default).  An
+            event-uncovered change then raises
+            ``InvalidPlanError``; ``False`` trusts the feed and skips
+            comparing undeclared values.
+        cache_autotune: Attach a
+            :class:`repro.engine.autotune.CacheAutotuner` to the active
+            cross-round cache: rounds run fresh while the windowed dirty
+            fraction makes caching a net loss (``cache.bypass_rounds``)
+            and the exec cache's LRU bound tracks the observed working
+            set (``cache.autotune_resizes``).  Requires ``exec_cache``
+            or ``sort_cache``.
         decay: Click-decay model for outstanding ads.
         mean_click_delay_rounds: Mean click arrival delay.
         click_horizon_rounds: Rounds after which an unclicked ad expires.
@@ -198,6 +219,8 @@ class SharedAuctionEngine:
         throttle: bool = True,
         exec_cache: bool = False,
         exec_cache_capacity: Optional[int] = None,
+        cache_verify: bool = True,
+        cache_autotune: bool = False,
         planner: str = "lazy",
         sort_planner: str = "lazy",
         sort_cache: bool = False,
@@ -218,6 +241,11 @@ class SharedAuctionEngine:
             raise InvalidAuctionError(
                 "sort_cache requires mode='shared-sort' (the cross-round "
                 "cache holds merge-sort streams)"
+            )
+        if cache_autotune and not (exec_cache or sort_cache):
+            raise InvalidAuctionError(
+                "cache_autotune requires a cross-round cache to tune "
+                "(exec_cache or sort_cache)"
             )
         self.advertisers = tuple(advertisers)
         self.mode = mode
@@ -257,11 +285,21 @@ class SharedAuctionEngine:
             if a.daily_budget != float("inf")
         }
         decay_model = decay if decay is not None else NoDecay()
-        self.budget_manager = BudgetManager(budgets, decay_model)
-        # Dirty-set tracking for the cross-round executor: advertisers
-        # touched by budget/click events since their scores were last
-        # absorbed, plus whether outstanding debt re-weighs every round.
-        self._dirty_events: set[int] = set()
+        # The unified invalidation bus.  Consumers (the cross-round
+        # caches below; externally, plan maintenance or a serving loop)
+        # subscribe to it; the budget manager and the engine publish to
+        # it.  With no subscriber, `changefeed.active` is False and every
+        # publish site is skipped, so uncached runs pay nothing.
+        self.changefeed = ChangeFeed(self.collector)
+        self.budget_manager = BudgetManager(
+            budgets, decay_model, changefeed=self.changefeed
+        )
+        self.autotuner = (
+            CacheAutotuner(collector=self.collector) if cache_autotune else None
+        )
+        # Publisher-side event detection the budget manager cannot see:
+        # auction-multiplicity changes (m_i feeds the throttle problem)
+        # and whether outstanding debt re-weighs every round.
         self._last_multiplicity: Dict[int, int] = {}
         self._decay_varies = not isinstance(decay_model, NoDecay)
         self._rng = random.Random(seed)
@@ -287,12 +325,16 @@ class SharedAuctionEngine:
             )
             # k + 1 so GSP can read the runner-up score.
             if exec_cache:
-                self._executor = CrossRoundPlanExecutor(
+                executor = CrossRoundPlanExecutor(
                     plan,
                     self.k + 1,
                     self.collector,
                     capacity=exec_cache_capacity,
+                    verify=cache_verify,
+                    autotuner=self.autotuner,
                 )
+                executor.connect(self.changefeed)
+                self._executor = executor
             else:
                 self._executor = PlanExecutor(plan, self.k + 1, self.collector)
             # Phrases with identical advertiser sets are A-equivalent and
@@ -318,8 +360,12 @@ class SharedAuctionEngine:
             )
             if sort_cache:
                 self._sort_cache = CrossRoundSortCache(
-                    self._sort_plan, self.collector
+                    self._sort_plan,
+                    self.collector,
+                    verify=cache_verify,
+                    autotuner=self.autotuner,
                 )
+                self._sort_cache.connect(self.changefeed)
             # Precomputed per-phrase descending c_i^q orders (Section III
             # treats CTR factors as recalculated only occasionally).
             self._ctr_orders: Dict[str, List[int]] = {
@@ -398,8 +444,10 @@ class SharedAuctionEngine:
             raise InvalidAuctionError(f"no advertisers bid on {unknown!r}")
         report = RoundReport(round_index, tuple(phrases))
 
-        # 1. Deliver due clicks and settle payments.
-        track_dirty = self.exec_cache
+        # 1. Deliver due clicks and settle payments.  The budget manager
+        # publishes BudgetChanged for every settle/display/expiry itself;
+        # the engine only publishes what the books cannot see.
+        publish = self.changefeed.active
         for click in self.click_model.arrivals(round_index):
             charge = self.budget_manager.settle_click(
                 click.advertiser_id, click.price_cents, click.display_round
@@ -407,21 +455,18 @@ class SharedAuctionEngine:
             report.revenue_cents += charge.charged_cents
             report.forgiven_cents += charge.forgiven_cents
             report.clicks += 1
-            if track_dirty:
-                self._dirty_events.add(click.advertiser_id)
-        expired = self.budget_manager.expire_outstanding_by_advertiser(
-            round_index
-        )
-        if track_dirty:
-            self._dirty_events.update(expired)
-            if self._decay_varies:
-                # A decaying model re-weighs every outstanding ad each
-                # round, so any advertiser carrying debt can move.
-                self._dirty_events.update(
-                    self.budget_manager.outstanding_counts()
-                )
+        self.budget_manager.expire_outstanding(round_index)
+        if publish and self._decay_varies:
+            # A decaying model re-weighs every outstanding ad each
+            # round, so any advertiser carrying debt can move.
+            for advertiser_id in sorted(
+                self.budget_manager.outstanding_counts()
+            ):
+                self.changefeed.publish(BidChanged(advertiser_id))
 
         if not phrases:
+            if publish:
+                self.changefeed.publish(RoundClosed(round_index))
             return report
 
         # 2. Per-round effective scores b̂_i * c_i.
@@ -446,27 +491,24 @@ class SharedAuctionEngine:
             effective_bid_cents[advertiser_id] = effective
             scores[advertiser_id] = effective / 100.0 * advertiser.ctr_factor
 
+        if publish:
+            # An advertiser whose auction multiplicity m_i moved since it
+            # was last scored gets a BidChanged: m_i feeds the throttle
+            # problem, so the effective bid (hence score) can move with
+            # no budget event at all.
+            for advertiser_id, m in auctions_of.items():
+                if self._last_multiplicity.get(advertiser_id) != m:
+                    self.changefeed.publish(BidChanged(advertiser_id))
+            self._last_multiplicity.update(auctions_of)
+
         # 3. Rankings: shared plan, shared sort + TA, or per-phrase scans.
         rankings: Dict[str, TopKList] = {}
         if self.mode == "shared":
             assert self._executor is not None
             canonical = sorted({self._phrase_alias[p] for p in phrases})
-            if track_dirty:
-                assert isinstance(self._executor, CrossRoundPlanExecutor)
-                # Declared dirty set: event-touched advertisers plus any
-                # whose auction multiplicity m_i moved since their score
-                # was last absorbed (m_i feeds the throttle problem).
-                declared = set(self._dirty_events)
-                for advertiser_id, m in auctions_of.items():
-                    if self._last_multiplicity.get(advertiser_id) != m:
-                        declared.add(advertiser_id)
-                result = self._executor.run_round(scores, canonical, declared)
-                self._last_multiplicity.update(auctions_of)
-                # Advertisers scored this round are absorbed; events for
-                # everyone else must survive until they next occur.
-                self._dirty_events.difference_update(scores)
-            else:
-                result = self._executor.run_round(scores, canonical)
+            # A connected CrossRoundPlanExecutor drains its change-feed
+            # subscription inside run_round; the base executor just runs.
+            result = self._executor.run_round(scores, canonical)
             rankings = {
                 phrase: result.answers[self._phrase_alias[phrase]]
                 for phrase in phrases
@@ -551,12 +593,11 @@ class SharedAuctionEngine:
                 self.click_model.record_display(
                     entry.advertiser_id, phrase, price, ctr, round_index
                 )
-                if track_dirty:
-                    # New outstanding debt moves next round's throttled bid.
-                    self._dirty_events.add(entry.advertiser_id)
                 report.displays += 1
                 allocated.append((slot, entry.advertiser_id, price))
             report.allocations[phrase] = tuple(allocated)
+        if publish:
+            self.changefeed.publish(RoundClosed(round_index))
         return report
 
     def run(self, rounds: int) -> EngineReport:
@@ -565,14 +606,13 @@ class SharedAuctionEngine:
         for _ in range(rounds):
             report.absorb(self.run_round())
         for click in self.click_model.flush():
+            # The flush settles outside any round; the budget manager's
+            # published events queue on the feed, so any later round
+            # still treats these advertisers as dirty.
             charge = self.budget_manager.settle_click(
                 click.advertiser_id, click.price_cents, click.display_round
             )
             report.revenue_cents += charge.charged_cents
             report.forgiven_cents += charge.forgiven_cents
             report.clicks += 1
-            if self.exec_cache:
-                # The flush settles outside any round; budgets moved, so
-                # later rounds must treat these advertisers as dirty.
-                self._dirty_events.add(click.advertiser_id)
         return report

@@ -63,14 +63,28 @@ class RoundBatcher:
     Args:
         round_length: Round duration in seconds.  Must be positive.  The
             paper's worked example uses 2/3 s.
+        changefeed: Optional
+            :class:`repro.engine.changefeed.ChangeFeed`.  When present
+            and active, the batcher publishes a ``RoundClosed`` event as
+            each batch is yielded, so feed consumers see the same round
+            boundaries the winner-determination machinery does.
     """
 
-    def __init__(self, round_length: float) -> None:
+    def __init__(self, round_length: float, changefeed=None) -> None:
         if round_length <= 0.0:
             raise InvalidAuctionError(
                 f"round length must be positive, got {round_length}"
             )
         self.round_length = round_length
+        self.changefeed = changefeed
+
+    def _close_round(self, batch: RoundBatch) -> RoundBatch:
+        feed = self.changefeed
+        if feed is not None and feed.active:
+            from repro.engine.changefeed import RoundClosed
+
+            feed.publish(RoundClosed(batch.round_index))
+        return batch
 
     def batch(self, queries: Iterable[TimestampedQuery]) -> Iterator[RoundBatch]:
         """Yield rounds in order; empty rounds are skipped.
@@ -94,15 +108,19 @@ class RoundBatcher:
                 started = True
             if index != current_index:
                 if current:
-                    yield RoundBatch(
-                        current_index,
-                        current_index * self.round_length,
-                        current,
+                    yield self._close_round(
+                        RoundBatch(
+                            current_index,
+                            current_index * self.round_length,
+                            current,
+                        )
                     )
                 current = {}
                 current_index = index
             current[query.phrase] = current.get(query.phrase, 0) + 1
         if current:
-            yield RoundBatch(
-                current_index, current_index * self.round_length, current
+            yield self._close_round(
+                RoundBatch(
+                    current_index, current_index * self.round_length, current
+                )
             )

@@ -94,6 +94,20 @@ name                      meaning (paper reference)
 ``ta.stages``             total stages executed; the gauge
                           ``ta.stop_depth`` holds the depth at which the
                           most recent run stopped.
+``bus.events_published``  events published on the engine's unified
+                          change feed
+                          (:class:`repro.engine.changefeed.ChangeFeed`).
+``bus.events_consumed``   event deliveries: queue drains plus push-
+                          handler invocations.  An event delivered to
+                          two subscribers counts twice; an unmatched
+                          event counts zero.
+``cache.autotune_resizes``  LRU capacity changes the cache autotuner
+                          (:class:`repro.engine.autotune.CacheAutotuner`)
+                          actually applied (recommendations inside the
+                          hysteresis band are not counted).
+``cache.bypass_rounds``   rounds a cross-round cache ran fresh because
+                          the windowed dirty fraction made caching a
+                          net loss.
 ``engine.rounds``         rounds resolved by the engine.
 ``engine.phrases``        phrase auctions resolved.
 ``engine.displays``       ads displayed.
@@ -146,6 +160,10 @@ __all__ = [
     "TA_RANDOM_ACCESSES",
     "TA_STAGES",
     "TA_STOP_DEPTH",
+    "BUS_EVENTS_PUBLISHED",
+    "BUS_EVENTS_CONSUMED",
+    "CACHE_AUTOTUNE_RESIZES",
+    "CACHE_BYPASS_ROUNDS",
     "ENGINE_ROUNDS",
     "ENGINE_PHRASES",
     "ENGINE_DISPLAYS",
@@ -203,6 +221,12 @@ TA_SORTED_ACCESSES = "ta.sorted_accesses"
 TA_RANDOM_ACCESSES = "ta.random_accesses"
 TA_STAGES = "ta.stages"
 TA_STOP_DEPTH = "ta.stop_depth"
+
+# Unified change feed and adaptive cache policy.
+BUS_EVENTS_PUBLISHED = "bus.events_published"
+BUS_EVENTS_CONSUMED = "bus.events_consumed"
+CACHE_AUTOTUNE_RESIZES = "cache.autotune_resizes"
+CACHE_BYPASS_ROUNDS = "cache.bypass_rounds"
 
 # Engine rollups.
 ENGINE_ROUNDS = "engine.rounds"

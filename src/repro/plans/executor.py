@@ -98,6 +98,10 @@ class ExecutionResult:
             identical to the node's last computation.
         cache_evictions: Cross-round mode only: entries evicted from the
             bounded cache during this round (LRU order).
+        bypassed: Cross-round mode only: the autotuner judged the
+            observed dirty fraction too high for caching to pay and the
+            round ran fresh (scores were still absorbed, so the cache
+            stays sound for later rounds).
     """
 
     answers: Dict[str, TopKList] = field(default_factory=dict)
@@ -110,6 +114,7 @@ class ExecutionResult:
     nodes_invalidated: int = 0
     nodes_revalidated: int = 0
     cache_evictions: int = 0
+    bypassed: bool = False
 
 
 @dataclass
@@ -193,6 +198,24 @@ class CrossRoundCache:
         self._stale.discard(node_id)
         if self.capacity is not None:
             while len(self._entries) > self.capacity:
+                evicted_id, _ = self._entries.popitem(last=False)
+                self._stale.discard(evicted_id)
+                self.evictions += 1
+
+    def resize(self, capacity: Optional[int]) -> None:
+        """Change the capacity bound, evicting LRU entries if shrinking.
+
+        Used by :class:`repro.engine.autotune.CacheAutotuner` to track
+        the observed working set; evictions forced by the new bound
+        count on :attr:`evictions` like any other.
+        """
+        if capacity is not None and capacity <= 0:
+            raise InvalidPlanError(
+                f"cache capacity must be positive or None, got {capacity}"
+            )
+        self.capacity = capacity
+        if capacity is not None:
+            while len(self._entries) > capacity:
                 evicted_id, _ = self._entries.popitem(last=False)
                 self._stale.discard(evicted_id)
                 self.evictions += 1
@@ -426,6 +449,19 @@ class CrossRoundPlanExecutor(PlanExecutor):
             executors); mutually exclusive with ``capacity``.
         capacity: Bound for a newly created cache; ``None`` (default)
             keeps every node value resident.
+        verify: Keep the exact score diff as a soundness cross-check on
+            declared dirty sets (whether declared by argument or via a
+            connected change feed): a score that changed without being
+            declared raises.  ``False`` trusts declarations and skips
+            comparing undeclared scores -- the production posture once
+            the bus is trusted; the differential suites run with the
+            default ``True``.
+        autotuner: Optional
+            :class:`repro.engine.autotune.CacheAutotuner` (duck-typed).
+            When present, each round first asks ``should_bypass()`` --
+            a fresh, cache-free execution when the windowed dirty
+            fraction makes caching a net loss -- and afterwards reports
+            ``observe_round(...)`` and applies ``maybe_resize(cache)``.
     """
 
     def __init__(
@@ -435,6 +471,8 @@ class CrossRoundPlanExecutor(PlanExecutor):
         collector: Collector = NULL,
         cache: Optional[CrossRoundCache] = None,
         capacity: Optional[int] = None,
+        verify: bool = True,
+        autotuner=None,
     ) -> None:
         super().__init__(plan, k, collector)
         if cache is not None and capacity is not None:
@@ -442,9 +480,44 @@ class CrossRoundPlanExecutor(PlanExecutor):
                 "pass either an existing cache or a capacity, not both"
             )
         self.cache = cache if cache is not None else CrossRoundCache(capacity)
+        self.verify = verify
+        self.autotuner = autotuner
         self.rebinds = 0
         self._last_scores: Dict[Variable, float] = {}
         self._leaf_epochs: Dict[Variable, int] = {}
+        self._subscription = None
+        self._pending_dirty: Set[Variable] = set()
+
+    # ------------------------------------------------------------------
+    # change-feed consumption
+    # ------------------------------------------------------------------
+    def connect(self, feed) -> None:
+        """Subscribe to a change feed; dirty sets then arrive as events.
+
+        Args:
+            feed: A :class:`repro.engine.changefeed.ChangeFeed`
+                (duck-typed -- anything whose ``subscribe`` returns a
+                drainable queue of events carrying
+                ``dirty_advertisers``).
+
+        Once connected, :meth:`run_round` drains the subscription at the
+        top of every round and unions the events' dirty advertisers into
+        a pending set; advertisers scored by the round are absorbed,
+        events for everyone else survive until they next occur.  Passing
+        ``dirty=`` explicitly is then an error -- the bus is the single
+        source of dirty truth.
+        """
+        if self._subscription is not None:
+            raise InvalidPlanError("executor is already connected to a feed")
+        self._subscription = feed.subscribe(
+            name="plan-exec-cache",
+            kinds=(
+                "bid_changed",
+                "budget_changed",
+                "advertiser_added",
+                "advertiser_removed",
+            ),
+        )
 
     # ------------------------------------------------------------------
     # leaf versioning
@@ -461,51 +534,58 @@ class CrossRoundPlanExecutor(PlanExecutor):
         self,
         scores: Mapping[Variable, float],
         dirty: Optional[Iterable[Variable]],
-    ) -> int:
+    ) -> Tuple[int, int]:
         """Diff scores against the previous round and invalidate the cone.
 
         Args:
             scores: This round's scores.
-            dirty: Optional *declared* dirty set from the caller (e.g.
-                the engine's budget/throttle/click event tracking).  The
-                declaration may be a superset of the real changes --
-                over-reporting costs nothing because epochs bump only on
-                actual score changes -- but it must be *sound*: a score
-                that changed without being declared raises, which is what
-                keeps event-driven dirty tracking honest under test.
-                ``None`` skips the soundness check (pure auto-diff mode).
+            dirty: Optional *declared* dirty set -- drained from the
+                change feed, or passed by a caller driving the executor
+                directly.  The declaration may be a superset of the real
+                changes (over-reporting costs nothing because epochs
+                bump only on actual score changes), but under
+                ``verify=True`` it must be *sound*: a score that changed
+                without being declared raises, which is what keeps
+                event-driven dirty tracking honest under test.  Under
+                ``verify=False`` undeclared scores are trusted unchanged
+                and not even compared -- their last-seen snapshot is
+                kept, so a later covering event still repairs the cache.
+                ``None`` auto-diffs every score with no soundness check.
 
         Returns:
-            The number of resident cache entries newly invalidated.
+            ``(changed, invalidated)``: leaves whose score actually
+            changed, and resident cache entries newly invalidated.
         """
         declared: Optional[Set[Variable]] = (
             None if dirty is None else set(dirty)
         )
         changed: List[Variable] = []
         for variable, score in scores.items():
-            value = float(score)
             last = self._last_scores.get(variable)
-            if last is not None and last == value:
-                continue
-            if (
-                last is not None
-                and declared is not None
-                and variable not in declared
-            ):
+            if last is None:
+                pass  # first sight: always dirty, declared or not
+            elif declared is not None and variable not in declared:
+                if not self.verify:
+                    continue  # trusted unchanged, not compared
+                if last == float(score):
+                    continue
                 raise InvalidPlanError(
                     f"unsound dirty set: score of {variable!r} changed "
-                    f"({last} -> {value}) but the variable was not declared "
-                    "dirty"
+                    f"({last} -> {float(score)}) but the variable was not "
+                    "declared dirty"
                 )
+            elif last == float(score):
+                continue
+            value = float(score)
             self._last_scores[variable] = value
             self._leaf_epochs[variable] = self._leaf_epochs.get(variable, 0) + 1
             changed.append(variable)
         if not changed:
-            return 0
+            return 0, 0
         newly = 0
         for node_id in self.plan.dirty_closure(changed):
             newly += self.cache.mark_stale(node_id)
-        return newly
+        return len(changed), newly
 
     # ------------------------------------------------------------------
     # round execution
@@ -524,10 +604,59 @@ class CrossRoundPlanExecutor(PlanExecutor):
             occurring: Names of the queries occurring this round;
                 defaults to all queries.
             dirty: Optional declared dirty variables (see
-                :meth:`_absorb_scores`); ``None`` auto-diffs.
+                :meth:`_absorb_scores`); ``None`` auto-diffs.  Illegal
+                once :meth:`connect` has wired the executor to a change
+                feed -- the bus then supplies the declarations.
 
         Returns:
             The answers plus base and cross-round work counters.
+        """
+        if self._subscription is not None:
+            if dirty is not None:
+                raise InvalidPlanError(
+                    "dirty sets arrive via the change feed once connected; "
+                    "do not also declare them by argument"
+                )
+            for event in self._subscription.drain():
+                self._pending_dirty |= event.dirty_advertisers
+            dirty = set(self._pending_dirty)
+        autotuner = self.autotuner
+        changed, invalidated = self._absorb_scores(scores, dirty)
+        if autotuner is not None and autotuner.should_bypass():
+            # Fresh, cache-free execution: the scores were still
+            # absorbed above, so epochs and staleness marks keep the
+            # resident entries sound for whenever caching resumes.
+            result = PlanExecutor.run_round(self, scores, occurring)
+            result.nodes_invalidated = invalidated
+            result.bypassed = True
+            autotuner.record_bypass()
+            self.collector.incr(
+                metric_names.PLAN_NODES_INVALIDATED, invalidated
+            )
+            working_set = result.cache_misses
+        else:
+            result, working_set = self._run_cached_round(
+                scores, occurring, invalidated
+            )
+        if self._subscription is not None:
+            # Scored advertisers are absorbed; events for everyone else
+            # survive until they next occur.
+            self._pending_dirty.difference_update(scores)
+        if autotuner is not None:
+            autotuner.observe_round(changed, len(scores), working_set)
+            autotuner.maybe_resize(self.cache)
+        return result
+
+    def _run_cached_round(
+        self,
+        scores: Mapping[Variable, float],
+        occurring: Optional[Iterable[str]],
+        invalidated: int,
+    ) -> Tuple[ExecutionResult, int]:
+        """The cache-backed round body (scores already absorbed).
+
+        Returns the result plus the round's working set -- the count of
+        distinct nodes touched, which is what an LRU bound must cover.
         """
         plan = self.plan
         instance = plan.instance
@@ -538,7 +667,7 @@ class CrossRoundPlanExecutor(PlanExecutor):
         cache = self.cache
         evictions_before = cache.evictions
 
-        result.nodes_invalidated = self._absorb_scores(scores, dirty)
+        result.nodes_invalidated = invalidated
 
         round_memo: Dict[NodeId, TopKList] = {}
         rebuilt_leaves: Set[NodeId] = set()
@@ -615,7 +744,7 @@ class CrossRoundPlanExecutor(PlanExecutor):
         result.cache_evictions = cache.evictions - evictions_before
         self._check_round_invariants(result)
         self._flush_round(result, len(names))
-        return result
+        return result, len(round_memo)
 
     def _check_round_invariants(self, result: ExecutionResult) -> None:
         """The incremental executor's weakened accounting invariant.

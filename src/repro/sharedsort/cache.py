@@ -12,11 +12,14 @@ top-k nodes did before :class:`repro.plans.executor.CrossRoundPlanExecutor`.
 :class:`CrossRoundSortCache` keeps the previous round's live streams and
 hands the reusable ones to the next round's :class:`LiveSharedSort`:
 
-1. Diff the new bids against the last bids each advertiser was
-   instantiated with; the advertisers whose bid changed (or that were
-   never seen) form the dirty set.  The diff is exact, so no declaration
-   protocol is needed -- soundness does not rest on the engine
-   remembering to report its events.
+1. Find the dirty advertisers.  Standalone (no change feed), the cache
+   diffs the new bids against the last bids each advertiser was
+   instantiated with -- exact, no declaration protocol.  Connected to a
+   :class:`repro.engine.changefeed.ChangeFeed` via :meth:`connect`, the
+   drained events' ``dirty_advertisers`` are the declared dirty set, and
+   the exact diff demotes to a soundness cross-check behind
+   ``verify=True``: a declared advertiser still counts as dirty only if
+   its bid really moved, and an *undeclared* change raises.
 2. Walk the dirty advertisers' leaf nodes up the plan DAG through a
    precomputed parent index.  The resulting ancestor cone is exactly the
    set of plan streams whose output could differ; everything outside the
@@ -38,12 +41,22 @@ provides bids for (and the threshold algorithm only pulls streams over)
 the advertisers of *occurring* phrases, so a retained stream containing
 an absent advertiser is unreachable this round, and its staleness is
 re-examined against that advertiser's recorded bid whenever it changes.
+
+Two policy hooks mirror the plan-executor cache.  An optional
+:class:`repro.engine.autotune.CacheAutotuner` (duck-typed) can declare a
+round a *bypass* -- the network is instantiated fresh with no adoption
+when the windowed dirty fraction makes reuse a net loss -- counted on
+``cache.bypass_rounds``.  And :meth:`rebind` carries streams across a
+structural replan: a stream is reusable under the new plan wherever a
+node with the same advertiser set exists, because a sort stream's output
+depends only on the bids below it.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Mapping, Set
 
+from repro.errors import InvalidPlanError
 from repro.instrument import NULL, Collector, names as metric_names
 from repro.sharedsort.operators import SortStream
 from repro.sharedsort.plan import LiveSharedSort, SharedSortPlan
@@ -58,16 +71,47 @@ class CrossRoundSortCache:
         plan: The shared merge-sort plan the rounds execute.
         collector: Receives ``sort.streams_reused`` /
             ``sort.streams_invalidated`` per :meth:`instantiate`.
+        verify: With a connected change feed, keep the exact bid diff as
+            a soundness cross-check: an undeclared bid change raises
+            ``InvalidPlanError``.  ``False`` trusts the feed and skips
+            comparing undeclared bids.  Irrelevant while unconnected
+            (the exact diff is then the only source of dirtiness).
+        autotuner: Optional duck-typed
+            :class:`repro.engine.autotune.CacheAutotuner`; consulted per
+            round for the bypass decision and fed the observed dirty
+            fraction.  (LRU sizing does not apply here -- the stream set
+            is bounded by the plan.)
 
     Attributes:
         plan: The plan, for callers that hold only the cache.
+        rebinds: Structural rebinds absorbed (see :meth:`rebind`).
+        bypass_rounds: Rounds instantiated fresh on autotuner advice.
     """
 
     def __init__(
-        self, plan: SharedSortPlan, collector: Collector = NULL
+        self,
+        plan: SharedSortPlan,
+        collector: Collector = NULL,
+        verify: bool = True,
+        autotuner=None,
     ) -> None:
         self.plan = plan
         self.collector = collector
+        self.verify = verify
+        self.autotuner = autotuner
+        self._index_plan(plan)
+        self._live: LiveSharedSort | None = None
+        self._last_bids: Dict[int, float] = {}
+        self._subscription = None
+        self._pending_dirty: Set[int] = set()
+        self.rounds = 0
+        self.rebinds = 0
+        self.streams_reused = 0
+        self.streams_invalidated = 0
+        self.bypass_rounds = 0
+
+    def _index_plan(self, plan: SharedSortPlan) -> None:
+        """(Re)build the parent index and advertiser-to-leaf map."""
         # child node id -> parent node ids (the sort-plan DAG inverted).
         self._parents: Dict[int, List[int]] = {}
         # advertiser id -> its leaf node id.
@@ -80,28 +124,44 @@ class CrossRoundSortCache:
                 assert node.left is not None and node.right is not None
                 self._parents.setdefault(node.left, []).append(node.node_id)
                 self._parents.setdefault(node.right, []).append(node.node_id)
-        self._live: LiveSharedSort | None = None
-        self._last_bids: Dict[int, float] = {}
-        self.rounds = 0
-        self.streams_reused = 0
-        self.streams_invalidated = 0
 
-    def _dirty_cone(self, dirty: Set[int]) -> Set[int]:
-        """Plan-node ids whose stream could change: dirty leaves and all
-        their ancestors."""
-        cone: Set[int] = set()
-        stack = [
-            self._leaf_of[advertiser_id]
-            for advertiser_id in dirty
-            if advertiser_id in self._leaf_of
-        ]
-        while stack:
-            node_id = stack.pop()
-            if node_id in cone:
-                continue
-            cone.add(node_id)
-            stack.extend(self._parents.get(node_id, ()))
-        return cone
+    # ------------------------------------------------------------------
+    # change-feed consumption
+    # ------------------------------------------------------------------
+    def connect(self, feed) -> None:
+        """Subscribe to a change feed; bid dirtiness then arrives as
+        events (see the module docstring, step 1)."""
+        if self._subscription is not None:
+            raise InvalidPlanError("sort cache is already connected to a feed")
+        self._subscription = feed.subscribe(
+            name="sort-cache",
+            kinds=(
+                "bid_changed",
+                "budget_changed",
+                "advertiser_added",
+                "advertiser_removed",
+            ),
+        )
+
+    def _dirty_bids(self, bids: Mapping[int, float]) -> Set[int]:
+        """The round's dirty advertisers (see the module docstring)."""
+        declared = (
+            self._pending_dirty if self._subscription is not None else None
+        )
+        dirty: Set[int] = set()
+        for advertiser_id, bid in bids.items():
+            last = self._last_bids.get(advertiser_id)
+            if last is None:
+                dirty.add(advertiser_id)
+            elif declared is None or advertiser_id in declared:
+                if last != bid:
+                    dirty.add(advertiser_id)
+            elif self.verify and last != bid:
+                raise InvalidPlanError(
+                    f"unsound change feed: bid of advertiser {advertiser_id} "
+                    f"changed ({last} -> {bid}) without a covering event"
+                )
+        return dirty
 
     def instantiate(
         self, bids: Mapping[int, float], collector: Collector | None = None
@@ -122,34 +182,62 @@ class CrossRoundSortCache:
         if collector is None:
             collector = self.collector
         self.rounds += 1
+        if self._subscription is not None:
+            for event in self._subscription.drain():
+                self._pending_dirty |= event.dirty_advertisers
         previous = self._live
         reused = 0
         invalidated = 0
+        dirty: Set[int] = set()
         live = LiveSharedSort(self.plan, bids, collector)
+        autotuner = self.autotuner
+        bypass = (
+            previous is not None
+            and autotuner is not None
+            and autotuner.should_bypass()
+        )
         if previous is not None:
-            dirty = {
-                advertiser_id
-                for advertiser_id, bid in bids.items()
-                if self._last_bids.get(advertiser_id) != bid
-            }
-            cone = self._dirty_cone(dirty)
-            keep_streams: Dict[int, SortStream] = {}
-            for node_id, stream in previous._streams.items():
-                if node_id in cone:
-                    invalidated += 1
-                else:
-                    keep_streams[node_id] = stream
-            keep_phrases: Dict[str, SortStream] = {}
-            for phrase, stream in previous._phrase_streams.items():
-                ids = getattr(stream, "advertiser_ids", frozenset())
-                if ids & dirty:
-                    invalidated += 1
-                else:
-                    keep_phrases[phrase] = stream
-            reused = len(keep_streams) + len(keep_phrases)
-            live._adopt(keep_streams, keep_phrases)
+            dirty = self._dirty_bids(bids)
+            if bypass:
+                self.bypass_rounds += 1
+                autotuner.record_bypass()
+            else:
+                cone = self._dirty_cone(dirty)
+                keep_streams: Dict[int, SortStream] = {}
+                for node_id, stream in previous._streams.items():
+                    if node_id in cone:
+                        invalidated += 1
+                    else:
+                        keep_streams[node_id] = stream
+                keep_phrases: Dict[str, SortStream] = {}
+                for phrase, stream in previous._phrase_streams.items():
+                    ids = getattr(stream, "advertiser_ids", frozenset())
+                    if ids & dirty:
+                        invalidated += 1
+                    else:
+                        keep_phrases[phrase] = stream
+                reused = len(keep_streams) + len(keep_phrases)
+                live._adopt(keep_streams, keep_phrases)
         self._live = live
-        self._last_bids.update(bids)
+        if self._subscription is not None and not self.verify:
+            # Trusted-undeclared bids keep their last-seen snapshot (not
+            # the current value), mirroring the exec cache: a later
+            # covering event then still sees the change and repairs the
+            # stale streams instead of trusting them forever.
+            for advertiser_id, bid in bids.items():
+                if (
+                    advertiser_id in self._pending_dirty
+                    or advertiser_id not in self._last_bids
+                ):
+                    self._last_bids[advertiser_id] = bid
+        else:
+            self._last_bids.update(bids)
+        if self._subscription is not None:
+            # Instantiated advertisers are absorbed; events for everyone
+            # else survive until they next occur.
+            self._pending_dirty.difference_update(bids)
+        if autotuner is not None:
+            autotuner.observe_round(len(dirty), len(bids), reused + invalidated)
         self.streams_reused += reused
         self.streams_invalidated += invalidated
         if collector.enabled:
@@ -160,3 +248,61 @@ class CrossRoundSortCache:
                     metric_names.SORT_STREAMS_INVALIDATED, invalidated
                 )
         return live
+
+    def _dirty_cone(self, dirty: Set[int]) -> Set[int]:
+        """Plan-node ids whose stream could change: dirty leaves and all
+        their ancestors."""
+        cone: Set[int] = set()
+        stack = [
+            self._leaf_of[advertiser_id]
+            for advertiser_id in dirty
+            if advertiser_id in self._leaf_of
+        ]
+        while stack:
+            node_id = stack.pop()
+            if node_id in cone:
+                continue
+            cone.add(node_id)
+            stack.extend(self._parents.get(node_id, ()))
+        return cone
+
+    # ------------------------------------------------------------------
+    # structural maintenance
+    # ------------------------------------------------------------------
+    def rebind(self, plan: SharedSortPlan) -> None:
+        """Adopt a rebuilt plan, keeping streams the new plan can reuse.
+
+        A sort stream's output is fully determined by the bids of the
+        advertisers below it, so a retained stream is valid under the
+        new plan wherever a node with the *same advertiser set* exists
+        (:meth:`SharedSortPlan.node_for_advertisers`); everything else
+        -- streams over regrouped advertiser sets, phrases whose ``I_q``
+        changed -- is dropped and rebuilt on demand.  Last-seen bids and
+        pending feed events carry over untouched: dirtiness is about
+        *values*, rebinding about *structure*, and the two compose.
+        """
+        old_plan = self.plan
+        previous = self._live
+        self.plan = plan
+        self._index_plan(plan)
+        if previous is not None:
+            carried: Dict[int, SortStream] = {}
+            for node_id, stream in previous._streams.items():
+                new_id = plan.node_for_advertisers(
+                    old_plan.nodes[node_id].advertisers
+                )
+                if new_id is not None:
+                    carried[new_id] = stream
+            carried_phrases: Dict[str, SortStream] = {}
+            for phrase, stream in previous._phrase_streams.items():
+                ids = plan.phrase_advertisers.get(phrase)
+                if ids is not None and frozenset(ids) == getattr(
+                    stream, "advertiser_ids", None
+                ):
+                    carried_phrases[phrase] = stream
+            live = LiveSharedSort(
+                plan, dict(self._last_bids), previous.collector
+            )
+            live._adopt(carried, carried_phrases)
+            self._live = live
+        self.rebinds += 1

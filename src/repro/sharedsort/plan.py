@@ -137,6 +137,24 @@ class SharedSortPlan:
         """The shared merge operators (non-leaf nodes)."""
         return [n for n in self.nodes if not n.is_leaf]
 
+    def node_for_advertisers(self, advertisers: FrozenSet[int]) -> Optional[int]:
+        """The id of a node over exactly ``advertisers``, or ``None``.
+
+        A sort stream's output is fully determined by the bids of the
+        advertisers below it, so after a structural rebind a stream from
+        an old plan remains valid for any new node with the same
+        advertiser set -- this lookup is how
+        :meth:`repro.sharedsort.cache.CrossRoundSortCache.rebind`
+        carries streams across plans.  When several nodes share an
+        advertiser set (duplicated structure), any of them is a correct
+        answer; the last in plan order wins.
+        """
+        index = self.__dict__.get("_by_advertisers")
+        if index is None:
+            index = {node.advertisers: node.node_id for node in self.nodes}
+            self._by_advertisers = index
+        return index.get(frozenset(advertisers))
+
     def shared_expected_cost(self) -> float:
         """Expected full-sort cost of the shared operators only."""
         return expected_full_sort_cost(

@@ -1,0 +1,186 @@
+"""Stateful lockdown of the bus-driven cache stack.
+
+One :class:`~repro.engine.changefeed.ChangeFeed` wires together every
+consumer at once -- a :class:`CrossRoundPlanExecutor` (pull), a
+:class:`CrossRoundSortCache` (pull), and a :class:`PlanMaintainer`
+(push, which rebinds both caches transitively) -- and Hypothesis
+interleaves bid changes, budget moves, advertiser churn, and executed
+rounds in arbitrary orders.  After every step, the bus-driven state
+must be *byte-identical* to a from-scratch rebuild:
+
+- every plan-query answer equals an independent ``top_k_scan`` over
+  the live interests and current scores;
+- every phrase's shared-sort stream drains to exactly the items a
+  fresh instantiation of the same plan produces.
+
+Both caches run with ``verify=True``, so the machine also proves event
+coverage: any value the rules move without publishing a covering event
+would raise ``InvalidPlanError`` inside the round.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.topk import top_k_scan
+from repro.engine.changefeed import (
+    AdvertiserAdded,
+    AdvertiserRemoved,
+    BidChanged,
+    BudgetChanged,
+    ChangeFeed,
+)
+from repro.plans.executor import CrossRoundPlanExecutor
+from repro.plans.maintenance import PlanMaintainer
+from repro.sharedsort.cache import CrossRoundSortCache
+from repro.sharedsort.plan import build_shared_sort_plan
+
+
+def drain(stream):
+    items = []
+    index = 0
+    while (item := stream.item(index)) is not None:
+        items.append(item)
+        index += 1
+    return items
+
+
+class ChangeFeedMachine(RuleBasedStateMachine):
+    """Random event traffic against every bus consumer at once."""
+
+    K = 2
+    CORE_PHRASES = ("p", "q", "r")
+    CORE = tuple(range(6))       # permanent advertisers
+    EXTRAS = tuple(range(6, 10))  # may enter and leave via churn events
+    # Fixed per-advertiser CTR factors keep score != bid, so the two
+    # caches genuinely diff different value domains.
+    CTR = {a: 0.5 + 0.05 * a for a in range(10)}
+
+    @initialize()
+    def setup(self) -> None:
+        self.feed = ChangeFeed()
+        self.maintainer = PlanMaintainer(
+            {"p": {0, 1, 2}, "q": {2, 3, 4}, "r": {4, 5, 0}},
+            replan_after=4,
+        )
+        self.executor = CrossRoundPlanExecutor(
+            self.maintainer.plan, self.K, verify=True
+        )
+        self.executor.connect(self.feed)
+        self.maintainer.subscribe(self.executor.rebind)
+        self.maintainer.connect(self.feed)
+        self.sort_cache = CrossRoundSortCache(
+            self._sort_plan(), verify=True
+        )
+        self.sort_cache.connect(self.feed)
+        # Structural churn rebuilds the sort plan from the maintained
+        # interests and rebinds the cache -- what a serving loop does.
+        self.maintainer.subscribe(
+            lambda plan: self.sort_cache.rebind(self._sort_plan())
+        )
+        self.bids = {a: float(a * 13 % 7 + 1) for a in self.CORE}
+
+    def _sort_plan(self):
+        return build_shared_sort_plan(
+            {
+                phrase: sorted(ids)
+                for phrase, ids in sorted(self.maintainer.interests().items())
+            },
+            1.0,
+        )
+
+    def _present(self) -> set:
+        return {
+            a for ids in self.maintainer.interests().values() for a in ids
+        }
+
+    def _scores(self) -> dict:
+        return {a: bid * self.CTR[a] for a, bid in self.bids.items()}
+
+    # ------------------------------------------------------------------
+    # rules: every value move publishes its covering event
+    # ------------------------------------------------------------------
+    @rule(
+        advertiser=st.sampled_from(CORE + EXTRAS),
+        bid=st.integers(min_value=1, max_value=30),
+    )
+    def change_bid(self, advertiser: int, bid: int) -> None:
+        if advertiser not in self.bids:
+            return
+        self.bids[advertiser] = float(bid)
+        self.feed.publish(BidChanged(advertiser))
+
+    @rule(advertiser=st.sampled_from(CORE + EXTRAS))
+    def budget_move(self, advertiser: int) -> None:
+        # A budget event shaves the effective bid, like a click settling
+        # against a thinning budget would.
+        if advertiser not in self.bids:
+            return
+        self.bids[advertiser] = round(self.bids[advertiser] * 0.75 + 0.25, 4)
+        self.feed.publish(BudgetChanged(advertiser))
+
+    @rule(
+        advertiser=st.sampled_from(EXTRAS),
+        phrases=st.sets(st.sampled_from(CORE_PHRASES), min_size=1, max_size=2),
+        bid=st.integers(min_value=1, max_value=30),
+    )
+    def advertiser_enters(self, advertiser: int, phrases: set, bid: int) -> None:
+        if advertiser in self._present():
+            return
+        self.bids[advertiser] = float(bid)
+        self.feed.publish(AdvertiserAdded(advertiser, frozenset(phrases)))
+
+    @rule(advertiser=st.sampled_from(EXTRAS))
+    def advertiser_leaves(self, advertiser: int) -> None:
+        if advertiser not in self._present():
+            return
+        self.feed.publish(AdvertiserRemoved(advertiser))
+        del self.bids[advertiser]
+
+    @rule()
+    def run_round(self) -> None:
+        self._run_and_check()
+
+    # ------------------------------------------------------------------
+    # the lockdown: bus-driven state == from-scratch rebuild, every step
+    # ------------------------------------------------------------------
+    @invariant()
+    def caches_match_fresh_rebuild(self) -> None:
+        self._run_and_check()
+
+    def _run_and_check(self) -> None:
+        scores = self._scores()
+        result = self.executor.run_round(dict(scores))
+        for query in self.executor.plan.instance.queries:
+            expected = top_k_scan(
+                self.K,
+                [(scores[v], v) for v in sorted(query.variables)],
+            )
+            assert result.answers[query.name] == expected, (
+                f"bus-driven answer diverged from fresh scan for "
+                f"{query.name!r}"
+            )
+        assert (
+            result.merges_performed + result.nodes_revalidated
+            == result.nodes_materialized
+        )
+
+        live = self.sort_cache.instantiate(dict(self.bids))
+        fresh = self.sort_cache.plan.instantiate(dict(self.bids))
+        for phrase in sorted(self.maintainer.interests()):
+            assert drain(live.stream_for_phrase(phrase)) == drain(
+                fresh.stream_for_phrase(phrase)
+            ), f"bus-driven sort stream diverged for {phrase!r}"
+
+
+ChangeFeedMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)
+TestChangeFeedMachine = ChangeFeedMachine.TestCase

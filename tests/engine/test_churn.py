@@ -1,0 +1,208 @@
+"""Market churn through the bus: maintainer rebind + cache invalidation.
+
+Advertisers and phrases enter and leave mid-run as
+``AdvertiserAdded`` / ``AdvertiserRemoved`` / ``PhraseAdded`` /
+``PhraseRemoved`` events on one :class:`ChangeFeed`.  The
+:class:`PlanMaintainer` consumes them through its push handler and
+repairs the plan inside the publishing call; its plan-change listeners
+then rebind the :class:`CrossRoundPlanExecutor` (carrying surviving
+node values) and the :class:`CrossRoundSortCache` (carrying streams
+whose advertiser sets survived) -- the first test exercising structural
+churn and both cross-round caches *together*.
+
+Throughout, both caches run ``verify=True``: any churn-driven value
+change not covered by its event would raise inside the round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.topk import top_k_scan
+from repro.engine.changefeed import (
+    AdvertiserAdded,
+    AdvertiserRemoved,
+    BidChanged,
+    ChangeFeed,
+    PhraseAdded,
+    PhraseRemoved,
+)
+from repro.errors import InvalidPlanError
+from repro.plans.executor import CrossRoundPlanExecutor
+from repro.plans.maintenance import PlanMaintainer
+from repro.sharedsort.cache import CrossRoundSortCache
+from repro.sharedsort.plan import build_shared_sort_plan
+
+
+def drain(stream):
+    items = []
+    index = 0
+    while (item := stream.item(index)) is not None:
+        items.append(item)
+        index += 1
+    return items
+
+
+class ChurnHarness:
+    """The full bus-driven stack of one serving loop."""
+
+    K = 2
+    CTR = {a: 0.5 + 0.05 * a for a in range(12)}
+
+    def __init__(self):
+        self.feed = ChangeFeed()
+        self.maintainer = PlanMaintainer(
+            {"p": {0, 1, 2}, "q": {2, 3, 4}, "r": {4, 5, 0}},
+            replan_after=8,
+        )
+        self.executor = CrossRoundPlanExecutor(
+            self.maintainer.plan, self.K, verify=True
+        )
+        self.executor.connect(self.feed)
+        self.maintainer.subscribe(self.executor.rebind)
+        self.maintainer.connect(self.feed)
+        self.sort_cache = CrossRoundSortCache(self._sort_plan(), verify=True)
+        self.sort_cache.connect(self.feed)
+        self.maintainer.subscribe(
+            lambda plan: self.sort_cache.rebind(self._sort_plan())
+        )
+        self.bids = {a: float(a % 7 + 1) for a in range(6)}
+
+    def _sort_plan(self):
+        return build_shared_sort_plan(
+            {
+                phrase: sorted(ids)
+                for phrase, ids in sorted(self.maintainer.interests().items())
+            },
+            1.0,
+        )
+
+    def scores(self):
+        return {a: bid * self.CTR[a] for a, bid in self.bids.items()}
+
+    def run_round_and_check(self):
+        """One round through both caches, checked against fresh oracles."""
+        scores = self.scores()
+        result = self.executor.run_round(dict(scores))
+        for query in self.executor.plan.instance.queries:
+            expected = top_k_scan(
+                self.K, [(scores[v], v) for v in sorted(query.variables)]
+            )
+            assert result.answers[query.name] == expected, query.name
+        live = self.sort_cache.instantiate(dict(self.bids))
+        fresh = self.sort_cache.plan.instantiate(dict(self.bids))
+        for phrase in sorted(self.maintainer.interests()):
+            assert drain(live.stream_for_phrase(phrase)) == drain(
+                fresh.stream_for_phrase(phrase)
+            ), phrase
+        return result
+
+
+class TestAdvertiserChurn:
+    def test_advertiser_enters_existing_and_new_phrases(self):
+        harness = ChurnHarness()
+        harness.run_round_and_check()
+        harness.bids[6] = 9.0
+        harness.feed.publish(
+            AdvertiserAdded(6, frozenset({"p", "brand-new"}))
+        )
+        interests = harness.maintainer.interests()
+        assert 6 in interests["p"]
+        assert interests["brand-new"] == frozenset({6})
+        assert harness.executor.rebinds >= 1
+        assert harness.sort_cache.rebinds >= 1
+        result = harness.run_round_and_check()
+        assert "brand-new" in result.answers or any(
+            q.name == "brand-new"
+            for q in harness.executor.plan.instance.trivial_queries
+        )
+
+    def test_advertiser_leaves_dropping_singleton_phrases(self):
+        harness = ChurnHarness()
+        harness.run_round_and_check()
+        harness.bids[7] = 3.0
+        harness.feed.publish(AdvertiserAdded(7, frozenset({"solo", "q"})))
+        harness.run_round_and_check()
+        harness.feed.publish(AdvertiserRemoved(7))
+        del harness.bids[7]
+        interests = harness.maintainer.interests()
+        assert "solo" not in interests, "singleton phrase must be dropped"
+        assert 7 not in interests["q"]
+        harness.run_round_and_check()
+
+    def test_readded_advertiser_with_new_bid_is_covered(self):
+        # Leave and come back with a different bid: the AdvertiserAdded
+        # event must cover the value change, or verify=True would raise.
+        harness = ChurnHarness()
+        harness.run_round_and_check()
+        harness.bids[8] = 2.0
+        harness.feed.publish(AdvertiserAdded(8, frozenset({"r"})))
+        harness.run_round_and_check()
+        harness.feed.publish(AdvertiserRemoved(8))
+        del harness.bids[8]
+        harness.run_round_and_check()
+        harness.bids[8] = 11.0  # different bid on re-entry
+        harness.feed.publish(AdvertiserAdded(8, frozenset({"p"})))
+        harness.run_round_and_check()
+
+
+class TestPhraseChurn:
+    def test_phrase_added_and_removed(self):
+        harness = ChurnHarness()
+        harness.run_round_and_check()
+        harness.feed.publish(PhraseAdded("z", frozenset({1, 3}), 0.8))
+        interests = harness.maintainer.interests()
+        assert interests["z"] == frozenset({1, 3})
+        harness.run_round_and_check()
+        harness.feed.publish(PhraseRemoved("z"))
+        assert "z" not in harness.maintainer.interests()
+        harness.run_round_and_check()
+
+    def test_duplicate_phrase_add_raises_through_the_bus(self):
+        harness = ChurnHarness()
+        with pytest.raises(InvalidPlanError, match="already exists"):
+            harness.feed.publish(PhraseAdded("p", frozenset({1})))
+
+    def test_unknown_phrase_removal_raises_through_the_bus(self):
+        harness = ChurnHarness()
+        with pytest.raises(InvalidPlanError, match="unknown phrase"):
+            harness.feed.publish(PhraseRemoved("never-existed"))
+
+
+class TestChurnAndValueChangesCompose:
+    def test_interleaved_churn_bids_and_rounds(self):
+        harness = ChurnHarness()
+        harness.run_round_and_check()
+        # Structural and value events in the same inter-round gap.
+        harness.bids[2] = 12.0
+        harness.feed.publish(BidChanged(2))
+        harness.bids[9] = 6.5
+        harness.feed.publish(AdvertiserAdded(9, frozenset({"q", "r"})))
+        harness.run_round_and_check()
+        harness.feed.publish(PhraseAdded("w", frozenset({0, 9}), 0.5))
+        harness.bids[9] = 1.5
+        harness.feed.publish(BidChanged(9))
+        harness.run_round_and_check()
+        harness.feed.publish(AdvertiserRemoved(9))
+        del harness.bids[9]
+        # Phrase "w" survives with advertiser 0 alone.
+        assert harness.maintainer.interests()["w"] == frozenset({0})
+        harness.run_round_and_check()
+        assert harness.executor.rebinds >= 3
+        assert harness.sort_cache.rebinds >= 3
+
+    def test_caches_keep_reusing_work_across_rebinds(self):
+        harness = ChurnHarness()
+        harness.run_round_and_check()
+        harness.run_round_and_check()
+        reused_before = harness.sort_cache.streams_reused
+        # Touch a phrase disjoint from 'q': its subtree must survive the
+        # repair and keep feeding both caches.
+        harness.feed.publish(PhraseAdded("extra", frozenset({1, 5}), 0.9))
+        result = harness.run_round_and_check()
+        assert result.nodes_reused > 0, (
+            "plan-node values must survive a disjoint structural repair"
+        )
+        assert harness.sort_cache.streams_reused > reused_before, (
+            "sort streams must survive a disjoint structural repair"
+        )
