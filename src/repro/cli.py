@@ -7,7 +7,9 @@ entry points:
 - ``fig4`` -- the Fig. 4 cost-vs-probability sweep.
 - ``shoes`` -- the Section II-B shoe-store sharing example.
 - ``gaming`` -- the Section IV gaming attack, naive vs throttled.
-- ``engine`` -- run a generated market through the round engine.
+- ``engine`` -- run a generated market through the round engine, or
+  (``--serve``) serve it query-at-a-time from seeded Poisson/Zipf
+  traffic with exact p50/p99 latency reporting.
 - ``plan`` -- build a shared plan for a JSON query spec and print (or
   save) its serialized form.
 """
@@ -118,6 +120,37 @@ def build_parser() -> argparse.ArgumentParser:
             "trust the change-feed events and skip the caches' exact "
             "value-diff soundness cross-check (the production posture; "
             "the default keeps the cross-check on)"
+        ),
+    )
+    engine.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "serve queries one at a time from a seeded Poisson/Zipf "
+            "traffic generator instead of running synchronous batch "
+            "rounds; prints sustained QPS and exact p50/p99 latency "
+            "(--rounds is ignored; see --queries/--arrival-rate)"
+        ),
+    )
+    engine.add_argument(
+        "--queries",
+        type=_positive_int,
+        default=1000,
+        help="queries to serve in --serve mode",
+    )
+    engine.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=200.0,
+        help="traffic arrival rate in queries/second (--serve mode)",
+    )
+    engine.add_argument(
+        "--zipf-exponent",
+        type=float,
+        default=1.0,
+        help=(
+            "Zipf popularity skew across phrases, ranked by search "
+            "rate (--serve mode; 0 means uniform)"
         ),
     )
     engine.add_argument(
@@ -268,6 +301,10 @@ def _cmd_engine(
     sort_cache: bool = False,
     cache_autotune: bool = False,
     cache_verify: bool = True,
+    serve: bool = False,
+    queries: int = 1000,
+    arrival_rate: float = 200.0,
+    zipf_exponent: float = 1.0,
 ) -> int:
     from repro.engine import SharedAuctionEngine
     from repro.workloads.generator import MarketConfig, generate_market
@@ -308,25 +345,56 @@ def _cmd_engine(
         cache_autotune=cache_autotune,
         cache_verify=cache_verify,
     )
-    report = engine.run(rounds)
     label = (
         f"mode={mode}"
         + (" +exec-cache" if exec_cache else "")
         + (" +sort-cache" if sort_cache else "")
         + (" +autotune" if cache_autotune else "")
     )
-    table = ExperimentTable(
-        f"Engine run: {label}, {rounds} rounds",
-        ["auctions", "merges", "scans", "revenue ($)", "forgiven ($)"],
-    )
-    table.add(
-        report.auctions,
-        report.merges,
-        report.scans,
-        report.revenue_cents / 100,
-        report.forgiven_cents / 100,
-    )
-    table.show()
+    if serve:
+        from repro.serving import ServingEngine, TrafficGenerator
+
+        traffic = TrafficGenerator.from_search_rates(
+            market.search_rates,
+            rate_qps=arrival_rate,
+            zipf_exponent=zipf_exponent,
+            seed=seed,
+        )
+        loop = ServingEngine(engine, traffic, keep_history=False)
+        serving_report = loop.run(queries)
+        latency = serving_report.latency
+        table = ExperimentTable(
+            f"Serving run: {label}, {queries} queries",
+            [
+                "queries",
+                "sustained qps",
+                "p50 (ms)",
+                "p99 (ms)",
+                "revenue ($)",
+            ],
+        )
+        table.add(
+            serving_report.queries,
+            latency.qps,
+            latency.p50_seconds * 1000.0,
+            latency.p99_seconds * 1000.0,
+            serving_report.revenue_cents / 100,
+        )
+        table.show()
+    else:
+        report = engine.run(rounds)
+        table = ExperimentTable(
+            f"Engine run: {label}, {rounds} rounds",
+            ["auctions", "merges", "scans", "revenue ($)", "forgiven ($)"],
+        )
+        table.add(
+            report.auctions,
+            report.merges,
+            report.scans,
+            report.revenue_cents / 100,
+            report.forgiven_cents / 100,
+        )
+        table.show()
     if collector is not None and trace_json is not None:
         from repro.metrics.tables import counter_table, planner_stats_line
 
@@ -390,6 +458,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.sort_cache,
             args.cache_autotune,
             not args.no_cache_verify,
+            args.serve,
+            args.queries,
+            args.arrival_rate,
+            args.zipf_exponent,
         )
     if args.command == "plan":
         return _cmd_plan(args.spec, args.output, args.planner)

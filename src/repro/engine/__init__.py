@@ -22,11 +22,12 @@ from repro.engine.changefeed import (
     ChangeFeed,
     PhraseAdded,
     PhraseRemoved,
+    QueryServed,
     RoundClosed,
 )
 from repro.engine.click_model import ClickEvent, DelayedClickModel
 from repro.engine.pipeline import EngineReport, SharedAuctionEngine
-from repro.engine.rounds import RoundBatcher
+from repro.engine.rounds import RoundBatcher, singleton_rounds
 
 __all__ = [
     "AdvertiserAdded",
@@ -42,7 +43,9 @@ __all__ = [
     "EngineReport",
     "PhraseAdded",
     "PhraseRemoved",
+    "QueryServed",
     "RoundBatcher",
     "RoundClosed",
     "SharedAuctionEngine",
+    "singleton_rounds",
 ]

@@ -180,3 +180,18 @@ class BudgetManager:
             for advertiser_id, ledger in self._ledgers.items()
             if len(ledger)
         }
+
+    def spent_snapshot(self) -> Dict[int, int]:
+        """Settled spend per advertiser (zero-spend advertisers omitted).
+
+        A frozen copy of the books at this instant, ordered by
+        advertiser id.  The serving differential suite records one
+        snapshot per served query and asserts the whole *trajectory* --
+        not just the final balance -- is identical between
+        query-at-a-time serving and single-phrase batch replay.
+        """
+        return {
+            advertiser_id: spent
+            for advertiser_id, spent in sorted(self._spent.items())
+            if spent
+        }

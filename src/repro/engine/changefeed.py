@@ -60,12 +60,16 @@ __all__ = [
     "PhraseAdded",
     "PhraseRemoved",
     "RoundClosed",
+    "QueryServed",
     "Subscription",
     "ChangeFeed",
     "EVENT_KINDS",
 ]
 
 Variable = Hashable
+
+_NO_EVENTS: List["ChangeEvent"] = []
+"""Shared empty drain result; callers only iterate it, never mutate."""
 
 
 @dataclass(frozen=True)
@@ -174,6 +178,22 @@ class RoundClosed(ChangeEvent):
     kind = "round_closed"
 
 
+@dataclass(frozen=True)
+class QueryServed(ChangeEvent):
+    """One query was resolved by the serving loop.
+
+    Published by :class:`repro.serving.ServingEngine` after each
+    query-at-a-time tick, for monitoring-style consumers (dashboards,
+    admission control) that want the serving cadence without polling.
+    Carries no dirty set: serving a query moves no bids by itself -- the
+    budget and multiplicity consequences arrive as their own events.
+    """
+
+    query_index: int
+    phrase: str
+    kind = "query_served"
+
+
 EVENT_KINDS: Tuple[str, ...] = (
     BidChanged.kind,
     BudgetChanged.kind,
@@ -182,6 +202,7 @@ EVENT_KINDS: Tuple[str, ...] = (
     PhraseAdded.kind,
     PhraseRemoved.kind,
     RoundClosed.kind,
+    QueryServed.kind,
 )
 """Every concrete event kind, in declaration order."""
 
@@ -216,10 +237,16 @@ class Subscription:
         return self.kinds is None or event.kind in self.kinds
 
     def drain(self) -> List[ChangeEvent]:
-        """All queued events, in publication order; empties the queue."""
+        """All queued events, in publication order; empties the queue.
+
+        An empty queue returns a shared immutable-by-convention list
+        without allocating: the serving loop drains per *query*, so the
+        overwhelmingly common drain is empty and must cost nothing.
+        """
+        if not self._queue:
+            return _NO_EVENTS
         drained, self._queue = self._queue, []
-        if drained:
-            self.feed._consumed(len(drained))
+        self.feed._consumed(len(drained))
         return drained
 
 

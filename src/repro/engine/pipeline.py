@@ -284,7 +284,19 @@ class SharedAuctionEngine:
             for a in self.advertisers
             if a.daily_budget != float("inf")
         }
-        decay_model = decay if decay is not None else NoDecay()
+        # A click arriving more than click_horizon_rounds after display
+        # is never scheduled (DelayedClickModel drops it), so an
+        # outstanding ad older than that can never be clicked and may
+        # be discarded; +1 keeps an ad alive through the last round its
+        # click can still arrive.  An unbounded default ledger makes the
+        # Section IV exact throttle -- O(min(2^l, l*beta)) in the
+        # outstanding count l -- grow per tick, turning long serving
+        # sessions quadratic.
+        decay_model = (
+            decay
+            if decay is not None
+            else NoDecay(horizon=click_horizon_rounds + 1)
+        )
         # The unified invalidation bus.  Consumers (the cross-round
         # caches below; externally, plan maintenance or a serving loop)
         # subscribe to it; the budget manager and the engine publish to
@@ -405,12 +417,42 @@ class SharedAuctionEngine:
             additionally carries the round's counter deltas in
             :attr:`RoundReport.counters`.
         """
+        return self._rollup(lambda: self._resolve_round(occurring))
+
+    def serve_query(self, phrase: str) -> RoundReport:
+        """Resolve one query-at-a-time tick (the serving regime).
+
+        Serving collapses the round to a single query: the tick delivers
+        whatever clicks came due, scores only ``phrase``'s advertisers
+        (auction multiplicity is always 1), ranks the one phrase through
+        the configured machinery, allocates, and closes the tick on the
+        change feed -- so a connected cross-round cache drains its
+        subscription *per query* instead of per round.  The serving
+        differential suite asserts this path is outcome-identical to
+        ``run_round([phrase])``, which is what makes the query-at-a-time
+        engine provably equivalent to the batch engine it grew out of.
+
+        Args:
+            phrase: The single bid phrase the query resolved to.
+
+        Returns:
+            The tick's report (``occurring_phrases`` holds one phrase).
+        """
+        return self._rollup(lambda: self._serve_query(phrase))
+
+    def _rollup(self, resolve) -> RoundReport:
+        """Run ``resolve`` with the engine-level counter rollup.
+
+        Shared by the batch and serving entry points: with the null
+        collector it is a single call, with an enabled collector it
+        times the resolution and attaches the counter delta.
+        """
         collector = self.collector
         if not collector.enabled:
-            return self._resolve_round(occurring)
+            return resolve()
         snapshot = collector.snapshot()
         with collector.timer(metric_names.ENGINE_ROUND_TIMER):
-            report = self._resolve_round(occurring)
+            report = resolve()
         collector.incr(metric_names.ENGINE_ROUNDS)
         collector.incr(metric_names.ENGINE_PHRASES, len(report.occurring_phrases))
         collector.incr(metric_names.ENGINE_DISPLAYS, report.displays)
@@ -444,10 +486,61 @@ class SharedAuctionEngine:
             raise InvalidAuctionError(f"no advertisers bid on {unknown!r}")
         report = RoundReport(round_index, tuple(phrases))
 
-        # 1. Deliver due clicks and settle payments.  The budget manager
-        # publishes BudgetChanged for every settle/display/expiry itself;
-        # the engine only publishes what the books cannot see.
-        publish = self.changefeed.active
+        self._deliver_due_clicks(round_index, report)
+
+        if not phrases:
+            if self.changefeed.active:
+                self.changefeed.publish(RoundClosed(round_index))
+            return report
+
+        scores, effective_bid_cents = self._effective_scores(
+            phrases, round_index
+        )
+        rankings = self._rank_phrases(
+            phrases, scores, effective_bid_cents, report
+        )
+        for phrase in phrases:
+            self._allocate_phrase(
+                phrase, rankings[phrase], effective_bid_cents, round_index,
+                report,
+            )
+        if self.changefeed.active:
+            self.changefeed.publish(RoundClosed(round_index))
+        return report
+
+    def _serve_query(self, phrase: str) -> RoundReport:
+        """The uninstrumented single-query tick (see :meth:`serve_query`)."""
+        round_index = self._round_index
+        self._round_index += 1
+        if phrase not in self.phrase_advertisers:
+            raise InvalidAuctionError(f"no advertisers bid on {[phrase]!r}")
+        report = RoundReport(round_index, (phrase,))
+        self._deliver_due_clicks(round_index, report)
+        scores, effective_bid_cents = self._effective_scores(
+            (phrase,), round_index
+        )
+        rankings = self._rank_phrases(
+            (phrase,), scores, effective_bid_cents, report
+        )
+        self._allocate_phrase(
+            phrase, rankings[phrase], effective_bid_cents, round_index, report
+        )
+        if self.changefeed.active:
+            self.changefeed.publish(RoundClosed(round_index))
+        return report
+
+    # ------------------------------------------------------------------
+    # round stages (shared by batch rounds and query-at-a-time serving)
+    # ------------------------------------------------------------------
+    def _deliver_due_clicks(
+        self, round_index: int, report: RoundReport
+    ) -> None:
+        """Stage 1: settle due clicks and expire outstanding ads.
+
+        The budget manager publishes BudgetChanged for every
+        settle/display/expiry itself; the engine only publishes what the
+        books cannot see (decaying outstanding debt re-weighing).
+        """
         for click in self.click_model.arrivals(round_index):
             charge = self.budget_manager.settle_click(
                 click.advertiser_id, click.price_cents, click.display_round
@@ -456,7 +549,7 @@ class SharedAuctionEngine:
             report.forgiven_cents += charge.forgiven_cents
             report.clicks += 1
         self.budget_manager.expire_outstanding(round_index)
-        if publish and self._decay_varies:
+        if self.changefeed.active and self._decay_varies:
             # A decaying model re-weighs every outstanding ad each
             # round, so any advertiser carrying debt can move.
             for advertiser_id in sorted(
@@ -464,12 +557,15 @@ class SharedAuctionEngine:
             ):
                 self.changefeed.publish(BidChanged(advertiser_id))
 
-        if not phrases:
-            if publish:
-                self.changefeed.publish(RoundClosed(round_index))
-            return report
+    def _effective_scores(
+        self, phrases: Sequence[str], round_index: int
+    ) -> Tuple[Dict[int, float], Dict[int, float]]:
+        """Stage 2: effective scores ``b̂_i * c_i`` for the occurring set.
 
-        # 2. Per-round effective scores b̂_i * c_i.
+        Returns:
+            ``(scores, effective_bid_cents)`` over exactly the
+            advertisers bidding on ``phrases``.
+        """
         auctions_of: Dict[int, int] = {}
         for phrase in phrases:
             for advertiser_id in self.phrase_advertisers[phrase]:
@@ -491,7 +587,7 @@ class SharedAuctionEngine:
             effective_bid_cents[advertiser_id] = effective
             scores[advertiser_id] = effective / 100.0 * advertiser.ctr_factor
 
-        if publish:
+        if self.changefeed.active:
             # An advertiser whose auction multiplicity m_i moved since it
             # was last scored gets a BidChanged: m_i feeds the throttle
             # problem, so the effective bid (hence score) can move with
@@ -500,8 +596,16 @@ class SharedAuctionEngine:
                 if self._last_multiplicity.get(advertiser_id) != m:
                     self.changefeed.publish(BidChanged(advertiser_id))
             self._last_multiplicity.update(auctions_of)
+        return scores, effective_bid_cents
 
-        # 3. Rankings: shared plan, shared sort + TA, or per-phrase scans.
+    def _rank_phrases(
+        self,
+        phrases: Sequence[str],
+        scores: Dict[int, float],
+        effective_bid_cents: Dict[int, float],
+        report: RoundReport,
+    ) -> Dict[str, TopKList]:
+        """Stage 3: rankings via shared plan, shared sort + TA, or scans."""
         rankings: Dict[str, TopKList] = {}
         if self.mode == "shared":
             assert self._executor is not None
@@ -558,61 +662,80 @@ class SharedAuctionEngine:
                     (ScoredAdvertiser(scores[i], i) for i in ids),
                     self.collector,
                 )
+        return rankings
 
-        # 4. Allocate, price (GSP), display.
-        for phrase in phrases:
-            ranking = rankings[phrase]
-            entries = ranking.entries
-            allocated: List[Tuple[int, int, int]] = []
-            for slot in range(min(self.k, len(entries))):
-                entry = entries[slot]
-                advertiser = self._by_id[entry.advertiser_id]
-                if entry.score <= 0.0:
-                    continue
-                next_score = (
-                    entries[slot + 1].score if slot + 1 < len(entries) else 0.0
-                )
-                c_i = (
-                    advertiser.ctr_factor_for(phrase)
-                    if self.mode == "shared-sort"
-                    else advertiser.ctr_factor
-                )
-                if c_i <= 0.0:
-                    continue
-                price_cents = min(
-                    effective_bid_cents[entry.advertiser_id],
-                    next_score / c_i * 100.0,
-                )
-                price = int(round(price_cents))
-                if price <= 0:
-                    continue
-                ctr = min(1.0, c_i * self.ctr_model.slot_factors[slot])
-                self.budget_manager.record_display(
-                    entry.advertiser_id, price, ctr, round_index
-                )
-                self.click_model.record_display(
-                    entry.advertiser_id, phrase, price, ctr, round_index
-                )
-                report.displays += 1
-                allocated.append((slot, entry.advertiser_id, price))
-            report.allocations[phrase] = tuple(allocated)
-        if publish:
-            self.changefeed.publish(RoundClosed(round_index))
-        return report
+    def _allocate_phrase(
+        self,
+        phrase: str,
+        ranking: TopKList,
+        effective_bid_cents: Dict[int, float],
+        round_index: int,
+        report: RoundReport,
+    ) -> None:
+        """Stage 4: allocate slots, price clicks (GSP), record displays."""
+        entries = ranking.entries
+        allocated: List[Tuple[int, int, int]] = []
+        for slot in range(min(self.k, len(entries))):
+            entry = entries[slot]
+            advertiser = self._by_id[entry.advertiser_id]
+            if entry.score <= 0.0:
+                continue
+            next_score = (
+                entries[slot + 1].score if slot + 1 < len(entries) else 0.0
+            )
+            c_i = (
+                advertiser.ctr_factor_for(phrase)
+                if self.mode == "shared-sort"
+                else advertiser.ctr_factor
+            )
+            if c_i <= 0.0:
+                continue
+            price_cents = min(
+                effective_bid_cents[entry.advertiser_id],
+                next_score / c_i * 100.0,
+            )
+            price = int(round(price_cents))
+            if price <= 0:
+                continue
+            ctr = min(1.0, c_i * self.ctr_model.slot_factors[slot])
+            self.budget_manager.record_display(
+                entry.advertiser_id, price, ctr, round_index
+            )
+            self.click_model.record_display(
+                entry.advertiser_id, phrase, price, ctr, round_index
+            )
+            report.displays += 1
+            allocated.append((slot, entry.advertiser_id, price))
+        report.allocations[phrase] = tuple(allocated)
+
+    def settle_remaining_clicks(self) -> Tuple[int, int, int]:
+        """Flush the click model and settle every still-pending click.
+
+        The flush settles outside any round; the budget manager's
+        published events queue on the feed, so any later round still
+        treats these advertisers as dirty.  Shared by the batch
+        :meth:`run` loop and the end of a serving session.
+
+        Returns:
+            ``(revenue_cents, forgiven_cents, clicks)`` totals.
+        """
+        revenue = forgiven = clicks = 0
+        for click in self.click_model.flush():
+            charge = self.budget_manager.settle_click(
+                click.advertiser_id, click.price_cents, click.display_round
+            )
+            revenue += charge.charged_cents
+            forgiven += charge.forgiven_cents
+            clicks += 1
+        return revenue, forgiven, clicks
 
     def run(self, rounds: int) -> EngineReport:
         """Run several rounds, then flush and settle remaining clicks."""
         report = EngineReport()
         for _ in range(rounds):
             report.absorb(self.run_round())
-        for click in self.click_model.flush():
-            # The flush settles outside any round; the budget manager's
-            # published events queue on the feed, so any later round
-            # still treats these advertisers as dirty.
-            charge = self.budget_manager.settle_click(
-                click.advertiser_id, click.price_cents, click.display_round
-            )
-            report.revenue_cents += charge.charged_cents
-            report.forgiven_cents += charge.forgiven_cents
-            report.clicks += 1
+        revenue, forgiven, clicks = self.settle_remaining_clicks()
+        report.revenue_cents += revenue
+        report.forgiven_cents += forgiven
+        report.clicks += clicks
         return report

@@ -17,7 +17,12 @@ from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.errors import InvalidAuctionError
 
-__all__ = ["TimestampedQuery", "RoundBatch", "RoundBatcher"]
+__all__ = [
+    "TimestampedQuery",
+    "RoundBatch",
+    "RoundBatcher",
+    "singleton_rounds",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -124,3 +129,21 @@ class RoundBatcher:
                     current_index, current_index * self.round_length, current
                 )
             )
+
+
+def singleton_rounds(
+    queries: Iterable[TimestampedQuery],
+) -> Iterator[RoundBatch]:
+    """One round per query: the ``round_length -> 0`` serving limit.
+
+    The paper's rounds exist to amortize winner determination across
+    co-occurring phrases; the serving regime gives that up for latency
+    and resolves every query alone.  This adapter expresses a query
+    trace in round vocabulary -- each query becomes a
+    :class:`RoundBatch` with a single phrase at count 1, indexed by
+    arrival order -- which is exactly how the serving differential
+    suite replays a serving trace through the batch engine.  Queries
+    need not be time-ordered; arrival order is the round order.
+    """
+    for index, query in enumerate(queries):
+        yield RoundBatch(index, query.arrival_time, {query.phrase: 1})

@@ -121,7 +121,24 @@ name                      meaning (paper reference)
                           counter.
 ``engine.forgiven_cents`` click value forgiven (over-budget clicks),
                           within rounds -- same flush caveat as revenue.
+``serve.queries``         queries resolved by the serving loop
+                          (:class:`repro.serving.ServingEngine`) -- one
+                          per query-at-a-time tick.
+``serve.query_seconds``   *timer*: wall time inside
+                          :meth:`SharedAuctionEngine.serve_query`, per
+                          query.
+``serve.p50_ms``          *gauge*: exact nearest-rank median query
+                          latency of the most recent serving session,
+                          milliseconds.
+``serve.p99_ms``          *gauge*: exact nearest-rank 99th-percentile
+                          query latency, milliseconds.
+``serve.qps``             *gauge*: sustained service throughput of the
+                          session (queries / busy seconds).
 ========================  ==================================================
+
+Wall-clock-derived serving figures are gauges, never counters: the
+serving determinism test asserts that two identical serving runs record
+identical *counters*, and latency cannot be part of that contract.
 """
 
 from __future__ import annotations
@@ -171,6 +188,11 @@ __all__ = [
     "ENGINE_REVENUE_CENTS",
     "ENGINE_FORGIVEN_CENTS",
     "ENGINE_ROUND_TIMER",
+    "SERVE_QUERIES",
+    "SERVE_QUERY_TIMER",
+    "SERVE_P50_MS",
+    "SERVE_P99_MS",
+    "SERVE_QPS",
 ]
 
 # Shared-plan executor (Section II).
@@ -236,3 +258,10 @@ ENGINE_CLICKS = "engine.clicks"
 ENGINE_REVENUE_CENTS = "engine.revenue_cents"
 ENGINE_FORGIVEN_CENTS = "engine.forgiven_cents"
 ENGINE_ROUND_TIMER = "engine.round_seconds"
+
+# Query-at-a-time serving loop.
+SERVE_QUERIES = "serve.queries"
+SERVE_QUERY_TIMER = "serve.query_seconds"
+SERVE_P50_MS = "serve.p50_ms"
+SERVE_P99_MS = "serve.p99_ms"
+SERVE_QPS = "serve.qps"

@@ -519,6 +519,18 @@ class CrossRoundPlanExecutor(PlanExecutor):
             ),
         )
 
+    @property
+    def pending_dirty(self) -> frozenset:
+        """Advertisers declared dirty by drained events and not yet
+        absorbed by a round that scored them.
+
+        Under per-query serving the executor drains its subscription
+        once per query, so an advertiser touched by an asynchronous
+        click settlement sits here until its phrase next occurs -- the
+        serving tests observe exactly that hand-off.
+        """
+        return frozenset(self._pending_dirty)
+
     # ------------------------------------------------------------------
     # leaf versioning
     # ------------------------------------------------------------------

@@ -1,0 +1,118 @@
+"""Exact per-query latency accounting for the serving loop.
+
+Serving quality is a tail-latency question: user studies tolerate median
+latencies up to ~2.2 s (Section II-B), but a p99 stall is what pages an
+on-call.  :class:`LatencyRecorder` keeps every recorded sample and
+computes *exact* nearest-rank percentiles -- no streaming sketch, no
+interpolation -- so the unit suite can pin the arithmetic against a
+sorted-list oracle, including the n=1 and all-ties edge cases.  Serving
+sessions are bounded (a benchmark run, a trace replay), so holding the
+samples is cheap and exactness is free.
+
+Wall-clock samples are machine-dependent by nature; everything *derived*
+from the recorder lands in collector gauges (``serve.p50_ms`` /
+``serve.p99_ms`` / ``serve.qps``), never counters, so the serving
+counter-determinism test stays meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import InvalidAuctionError
+
+__all__ = ["LatencyRecorder", "LatencySummary", "nearest_rank_percentile"]
+
+
+def nearest_rank_percentile(sorted_samples: List[float], p: float) -> float:
+    """The exact nearest-rank percentile of pre-sorted samples.
+
+    ``p`` in ``(0, 100]`` selects the ``ceil(p/100 * n)``-th smallest
+    sample (1-based) -- the classical nearest-rank definition, which is
+    always an actual sample: p50 of ``[a]`` is ``a``, p99 of two samples
+    is the larger one.
+
+    Raises:
+        InvalidAuctionError: On an empty sample list or ``p`` outside
+            ``(0, 100]``.
+    """
+    if not sorted_samples:
+        raise InvalidAuctionError("no samples recorded")
+    if not 0.0 < p <= 100.0:
+        raise InvalidAuctionError(f"percentile must be in (0, 100], got {p}")
+    rank = math.ceil(p / 100.0 * len(sorted_samples))
+    return sorted_samples[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Frozen percentile/throughput view of one serving session.
+
+    Attributes:
+        count: Queries recorded.
+        total_seconds: Sum of per-query wall times (the busy time).
+        p50_seconds: Exact nearest-rank median.
+        p99_seconds: Exact nearest-rank 99th percentile.
+        qps: Sustained service throughput ``count / total_seconds`` --
+            how many queries per second the engine resolves while busy
+            (0.0 when nothing was recorded or the clock read zero).
+    """
+
+    count: int
+    total_seconds: float
+    p50_seconds: float
+    p99_seconds: float
+    qps: float
+
+
+class LatencyRecorder:
+    """Collects per-query wall times and reports exact percentiles.
+
+    Attributes:
+        count: Samples recorded so far.
+        total_seconds: Sum of recorded samples.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self.total_seconds = 0.0
+
+    @property
+    def count(self) -> int:
+        """Samples recorded so far."""
+        return len(self._samples)
+
+    def record(self, seconds: float) -> None:
+        """Record one query's wall time (must be non-negative)."""
+        if seconds < 0.0:
+            raise InvalidAuctionError(
+                f"latency must be non-negative, got {seconds}"
+            )
+        self._samples.append(seconds)
+        self.total_seconds += seconds
+
+    def percentile(self, p: float) -> float:
+        """The exact nearest-rank ``p``-th percentile of all samples."""
+        return nearest_rank_percentile(sorted(self._samples), p)
+
+    def summary(self) -> LatencySummary:
+        """Snapshot the session: count, busy time, p50/p99, sustained QPS.
+
+        One sort serves both percentiles; the recorder stays usable
+        (and re-summarizable) afterwards.
+        """
+        if not self._samples:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(self._samples)
+        qps = (
+            len(ordered) / self.total_seconds if self.total_seconds > 0 else 0.0
+        )
+        return LatencySummary(
+            count=len(ordered),
+            total_seconds=self.total_seconds,
+            p50_seconds=nearest_rank_percentile(ordered, 50.0),
+            p99_seconds=nearest_rank_percentile(ordered, 99.0),
+            qps=qps,
+        )

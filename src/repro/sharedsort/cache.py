@@ -143,6 +143,18 @@ class CrossRoundSortCache:
             ),
         )
 
+    @property
+    def pending_dirty(self) -> frozenset:
+        """Advertisers declared dirty by drained events whose streams
+        have not yet been rebuilt.
+
+        Per-query serving drains the subscription once per query
+        (``instantiate`` is called for every served query), so a bid or
+        budget event lands here and is only absorbed when the affected
+        advertiser's phrase next occurs in traffic.
+        """
+        return frozenset(self._pending_dirty)
+
     def _dirty_bids(self, bids: Mapping[int, float]) -> Set[int]:
         """The round's dirty advertisers (see the module docstring)."""
         declared = (

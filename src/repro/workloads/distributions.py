@@ -9,11 +9,20 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_right
 from typing import List, Sequence
 
 from repro.errors import WorkloadError
 
-__all__ = ["zipf_weights", "zipf_search_rates", "lognormal_cents", "sample_subset"]
+__all__ = [
+    "zipf_weights",
+    "zipf_search_rates",
+    "lognormal_cents",
+    "sample_subset",
+    "cumulative_weights",
+    "sample_rank",
+    "exponential_interarrival",
+]
 
 
 def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
@@ -63,3 +72,48 @@ def sample_subset(
     if not 0.0 <= probability <= 1.0:
         raise WorkloadError(f"probability must be in [0, 1], got {probability}")
     return [item for item in items if rng.random() < probability]
+
+
+def cumulative_weights(weights: Sequence[float]) -> List[float]:
+    """Running totals of non-negative ``weights`` for categorical draws.
+
+    The returned list is strictly increasing up to the total; pair with
+    :func:`sample_rank` for an O(log n) seeded categorical sample.
+    """
+    if not weights:
+        raise WorkloadError("need at least one weight")
+    total = 0.0
+    cumulative: List[float] = []
+    for weight in weights:
+        if weight < 0.0:
+            raise WorkloadError(f"weights must be >= 0, got {weight}")
+        total += weight
+        cumulative.append(total)
+    if total <= 0.0:
+        raise WorkloadError("weights must sum to a positive total")
+    return cumulative
+
+
+def sample_rank(rng: random.Random, cumulative: Sequence[float]) -> int:
+    """One categorical draw over :func:`cumulative_weights` output.
+
+    Returns the 0-based rank; draws are uniform in ``[0, total)`` so a
+    zero-weight rank is never selected.
+    """
+    return min(
+        bisect_right(cumulative, rng.random() * cumulative[-1]),
+        len(cumulative) - 1,
+    )
+
+
+def exponential_interarrival(rng: random.Random, rate: float) -> float:
+    """One Poisson-process inter-arrival gap (seconds) at ``rate`` per second.
+
+    Inverse-CDF sampling (``-ln(1-u)/rate``) rather than
+    ``rng.expovariate`` so the draw consumes exactly one ``random()``
+    call -- keeping traffic traces draw-for-draw reproducible even if
+    the stdlib's internal sampling changes across versions.
+    """
+    if rate <= 0.0:
+        raise WorkloadError(f"arrival rate must be positive, got {rate}")
+    return -math.log(1.0 - rng.random()) / rate

@@ -15,11 +15,13 @@ against the no-sharing baseline, averaged over seeds.
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import Dict, List, Tuple
 
+from repro.core.advertiser import Advertiser
 from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+from repro.workloads.distributions import lognormal_cents
 
-__all__ = ["fig4_instance"]
+__all__ = ["fig4_instance", "fig4_market"]
 
 
 def fig4_instance(
@@ -74,3 +76,70 @@ def fig4_instance(
             AggregateQuery(f"q{len(queries)}", members, query_probability)
         )
     return SharedAggregationInstance(queries)
+
+
+def fig4_market(
+    query_probability: float = 0.5,
+    num_queries: int = 10,
+    num_advertisers: int = 20,
+    membership_probability: float = 0.5,
+    median_bid_cents: int = 120,
+    median_budget_cents: int = 1500,
+    seed: int = 0,
+) -> Tuple[List[Advertiser], Dict[str, float]]:
+    """An engine-ready market over a Fig. 4 sharing structure.
+
+    :func:`fig4_instance` gives the paper's *sharing topology* (which
+    advertisers each query aggregates); this helper fleshes it out into
+    live :class:`~repro.core.advertiser.Advertiser` objects so the same
+    topology can be auctioned end to end -- in particular by the serving
+    benchmark, which replays Zipf-weighted Fig. 4 queries against the
+    cross-round caches.
+
+    Bids are log-normal around ``median_bid_cents`` and budgets around
+    ``median_budget_cents`` (``median_budget_cents <= 0`` means
+    unlimited), drawn from a dedicated string-seeded RNG so the market
+    fleshing never perturbs the topology draw.  Advertisers the coin
+    flips left out of every query are dropped: the engine has no phrase
+    to auction them under.
+
+    Returns:
+        ``(advertisers, search_rates)`` where ``search_rates`` maps each
+        query phrase (``q0``..) to its common ``query_probability`` --
+        the shape :meth:`TrafficGenerator.from_search_rates` and
+        :class:`~repro.engine.pipeline.SharedAuctionEngine` both accept.
+    """
+    instance = fig4_instance(
+        query_probability,
+        num_queries=num_queries,
+        num_advertisers=num_advertisers,
+        membership_probability=membership_probability,
+        seed=seed,
+    )
+    rng = random.Random(f"fig4-market-{seed}")
+    phrases_by_advertiser: Dict[int, set] = {}
+    search_rates: Dict[str, float] = {}
+    for query in instance.queries:
+        search_rates[query.name] = query.search_rate
+        for advertiser_id in sorted(query.variables):
+            phrases_by_advertiser.setdefault(advertiser_id, set()).add(
+                query.name
+            )
+    advertisers: List[Advertiser] = []
+    for advertiser_id in sorted(phrases_by_advertiser):
+        bid = lognormal_cents(rng, median_bid_cents) / 100.0
+        budget = (
+            float("inf")
+            if median_budget_cents <= 0
+            else lognormal_cents(rng, median_budget_cents) / 100.0
+        )
+        advertisers.append(
+            Advertiser(
+                advertiser_id,
+                bid=bid,
+                ctr_factor=round(rng.uniform(0.5, 1.5), 3),
+                daily_budget=budget,
+                phrases=frozenset(phrases_by_advertiser[advertiser_id]),
+            )
+        )
+    return advertisers, search_rates

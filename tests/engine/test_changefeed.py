@@ -31,6 +31,7 @@ from repro.engine.changefeed import (
     ChangeFeed,
     PhraseAdded,
     PhraseRemoved,
+    QueryServed,
     RoundClosed,
 )
 from repro.core.topk import top_k_scan
@@ -129,7 +130,7 @@ class TestChangeFeedDelivery:
 
 class TestEventShapes:
     def test_every_kind_is_registered(self):
-        assert len(EVENT_KINDS) == len(set(EVENT_KINDS)) == 7
+        assert len(EVENT_KINDS) == len(set(EVENT_KINDS)) == 8
 
     @pytest.mark.parametrize(
         "event, dirty",
@@ -141,6 +142,7 @@ class TestEventShapes:
             (PhraseAdded("p", frozenset({1, 2})), {1, 2}),
             (PhraseRemoved("p"), set()),
             (RoundClosed(3), set()),
+            (QueryServed(4, "p"), set()),
         ],
     )
     def test_dirty_advertisers(self, event, dirty):

@@ -1,0 +1,2 @@
+"""Serving-loop suite: differential equivalence, traffic properties,
+latency oracles, autotuner window boundaries, loop units."""

@@ -1,0 +1,169 @@
+"""Regression: autotuner window boundaries under per-query observation.
+
+In the serving regime the :class:`CacheAutotuner` observes one window
+entry per *query* rather than per batch round, so its warmup and
+hysteresis boundaries sit right where steady-state serving operates:
+tiny dirty fractions, one-phrase working sets, thousands of
+observations.  These tests pin the exact off-by-one at the warmup edge
+(``should_bypass`` must stay quiet through observation ``warmup - 1``
+and may fire at exactly ``warmup``) and the closed hysteresis band
+(a recommendation *exactly* ``hysteresis x current`` away is not
+applied; one more is).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.autotune import CacheAutotuner
+from repro.errors import InvalidAuctionError
+from repro.instrument import MetricsCollector, names
+
+
+class FakeCache:
+    """Duck-typed stand-in: a capacity and a resize log."""
+
+    def __init__(self, capacity=None):
+        self.capacity = capacity
+        self.resizes = []
+
+    def resize(self, capacity):
+        self.capacity = capacity
+        self.resizes.append(capacity)
+
+
+def observe_queries(tuner, fractions, population=10, working_set=3):
+    for fraction in fractions:
+        tuner.observe_round(
+            int(round(fraction * population)), population, working_set
+        )
+
+
+class TestWarmupEdge:
+    def test_silent_through_warmup_minus_one(self):
+        """All-dirty queries must not trip the bypass before warmup --
+        the first observations of a serving session are all-dirty by
+        construction (cold cache) and must not poison the policy."""
+        tuner = CacheAutotuner(bypass_threshold=0.5, warmup=4, window=8)
+        observe_queries(tuner, [1.0, 1.0, 1.0])  # warmup - 1 observations
+        assert tuner.dirty_fraction == 1.0
+        assert not tuner.should_bypass()
+
+    def test_fires_at_exactly_warmup(self):
+        """The off-by-one this suite pins: observation number ``warmup``
+        is the first one allowed to flip the decision."""
+        tuner = CacheAutotuner(bypass_threshold=0.5, warmup=4, window=8)
+        observe_queries(tuner, [1.0, 1.0, 1.0])
+        assert not tuner.should_bypass()
+        observe_queries(tuner, [1.0])  # the warmup-th observation
+        assert tuner.should_bypass()
+
+    def test_warmup_counts_window_occupancy_not_lifetime(self):
+        """The guard reads the *window's* occupancy: with
+        ``warmup > window`` the deque can never hold enough entries and
+        the bypass is structurally disabled, no matter how many queries
+        went by.  Serving sessions configuring per-query windows must
+        keep ``warmup <= window`` for the policy to exist at all."""
+        tuner = CacheAutotuner(bypass_threshold=0.5, warmup=5, window=3)
+        observe_queries(tuner, [1.0] * 1000)
+        assert tuner.rounds_observed == 1000
+        assert not tuner.should_bypass()
+
+    def test_threshold_is_inclusive(self):
+        tuner = CacheAutotuner(bypass_threshold=0.5, warmup=2, window=4)
+        observe_queries(tuner, [0.5, 0.5])
+        assert tuner.dirty_fraction == 0.5
+        assert tuner.should_bypass()
+        quiet = CacheAutotuner(bypass_threshold=0.5, warmup=2, window=4)
+        observe_queries(quiet, [0.5, 0.4])
+        assert not quiet.should_bypass()
+
+    def test_steady_state_serving_calms_the_policy(self):
+        """A cold all-dirty start followed by calm per-query traffic
+        slides the hot entries out of the window and re-enables caching."""
+        tuner = CacheAutotuner(bypass_threshold=0.5, warmup=2, window=4)
+        observe_queries(tuner, [1.0, 1.0, 1.0, 1.0])
+        assert tuner.should_bypass()
+        observe_queries(tuner, [0.0, 0.0, 0.1, 0.0])  # window fully replaced
+        assert not tuner.should_bypass()
+
+    def test_empty_population_counts_as_clean(self):
+        tuner = CacheAutotuner(warmup=2, window=4)
+        tuner.observe_round(0, 0, 0)
+        tuner.observe_round(0, 0, 0)
+        assert tuner.dirty_fraction == 0.0
+        assert not tuner.should_bypass()
+
+
+class TestHysteresisBand:
+    def make_tuner(self, working_set, window=4, hysteresis=0.25):
+        tuner = CacheAutotuner(
+            window=window, warmup=2, slack=1.0, hysteresis=hysteresis
+        )
+        for _ in range(window):  # full window -> recommendation exists
+            tuner.observe_round(0, 10, working_set)
+        return tuner
+
+    def test_no_recommendation_before_full_window(self):
+        tuner = CacheAutotuner(window=4, warmup=2, slack=1.0)
+        for _ in range(3):
+            tuner.observe_round(0, 10, 50)
+        assert tuner.recommended_capacity() is None
+        assert tuner.maybe_resize(FakeCache(100)) is None
+
+    def test_exactly_on_band_edge_is_not_applied(self):
+        """abs(recommended - current) == current * hysteresis stays put:
+        the band is closed."""
+        cache = FakeCache(capacity=100)
+        tuner = self.make_tuner(working_set=125)  # recommended == 125
+        assert tuner.recommended_capacity() == 125
+        assert tuner.maybe_resize(cache) is None
+        assert cache.resizes == []
+        low = self.make_tuner(working_set=75)  # recommended == 75
+        assert low.maybe_resize(cache) is None
+        assert cache.capacity == 100
+
+    def test_one_past_band_edge_is_applied(self):
+        cache = FakeCache(capacity=100)
+        tuner = self.make_tuner(working_set=126)
+        assert tuner.maybe_resize(cache) == 126
+        assert cache.capacity == 126
+        assert tuner.resizes == 1
+
+    def test_unbounded_cache_always_accepts_first_bound(self):
+        cache = FakeCache(capacity=None)
+        tuner = self.make_tuner(working_set=3)
+        assert tuner.maybe_resize(cache) == 3
+        assert cache.capacity == 3
+
+    def test_recommendation_floor_is_one(self):
+        tuner = self.make_tuner(working_set=0)
+        assert tuner.recommended_capacity() == 1
+
+    def test_resizes_flow_to_collector(self):
+        collector = MetricsCollector()
+        tuner = CacheAutotuner(
+            window=2, warmup=2, slack=1.0, hysteresis=0.0, collector=collector
+        )
+        tuner.observe_round(0, 10, 5)
+        tuner.observe_round(0, 10, 5)
+        tuner.maybe_resize(FakeCache(None))
+        tuner.record_bypass()
+        assert collector.counter(names.CACHE_AUTOTUNE_RESIZES) == 1
+        assert collector.counter(names.CACHE_BYPASS_ROUNDS) == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bypass_threshold": 0.0},
+            {"window": 0},
+            {"warmup": 0},
+            {"slack": 0.5},
+            {"hysteresis": -0.1},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(InvalidAuctionError):
+            CacheAutotuner(**kwargs)
