@@ -70,8 +70,27 @@ class BoundedBid:
         )
         return True
 
+    def collapse(self, value: float) -> None:
+        """Adopt an externally computed exact ``b̂`` (no DP runs here).
+
+        Used by the incremental throttle cache, which computes (and
+        memoizes) exact values itself and must not pay the exact
+        computation a second time just to shut this interval.
+        """
+        self._bounds = Interval(value, value)
+        self.depth = len(self.problem.outstanding)
+
     def resolve_exact(self) -> float:
-        """The precise ``b̂`` (used for pricing the winners)."""
+        """The precise ``b̂`` (used for pricing the winners).
+
+        Jumping straight to the exact value is equivalent to expanding
+        every remaining outstanding ad at once, so the skipped depths
+        count toward :attr:`refinements` -- otherwise selection-work
+        accounting would under-report exactly the expensive resolutions.
+        """
+        remaining_depth = len(self.problem.outstanding) - self.depth
+        if remaining_depth > 0:
+            self.refinements += remaining_depth
         value = exact_throttled_bid(self.problem)
         self._bounds = Interval(value, value)
         self.depth = len(self.problem.outstanding)
@@ -162,6 +181,18 @@ def top_k_throttled(
         raise BudgetError(f"k must be positive, got {k}")
     stats = SelectionStats()
     top: List[BoundedBid] = []
+    # Bids already exact on arrival (trivially unthrottled, or no
+    # outstanding ads) never *fell back*; only a bid whose interval the
+    # selection itself drove to exactness counts.
+    fell_back = {
+        bid.advertiser_id for bid in bids if bid.exact
+    }
+
+    def note_fallbacks(*contenders: BoundedBid) -> None:
+        for contender in contenders:
+            if contender.exact and contender.advertiser_id not in fell_back:
+                fell_back.add(contender.advertiser_id)
+                stats.exact_fallbacks += 1
 
     def insert(bid: BoundedBid) -> None:
         lo, hi = 0, len(top)
@@ -171,6 +202,7 @@ def top_k_throttled(
             before = bid.refinements + top[mid].refinements
             outcome = compare_throttled_bids(bid, top[mid])
             stats.refinements += (bid.refinements + top[mid].refinements) - before
+            note_fallbacks(bid, top[mid])
             if outcome > 0:
                 hi = mid
             else:

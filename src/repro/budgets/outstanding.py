@@ -16,6 +16,7 @@ exact.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Iterable, List, Protocol, Tuple
 
@@ -107,11 +108,17 @@ class OutstandingAd:
             pay if the ad is clicked.
         base_ctr: Click probability at display time.
         displayed_round: Round index when the ad was shown.
+        handle: Ledger-assigned identity (``compare=False``: two ads
+            with the same price/CTR/round are still *equal as values*;
+            the handle exists so settlement can name one of them
+            unambiguously).  ``-1`` for ads constructed outside a
+            ledger.
     """
 
     price_cents: int
     base_ctr: float
     displayed_round: int = 0
+    handle: int = field(default=-1, compare=False)
 
     def __post_init__(self) -> None:
         if self.price_cents < 0:
@@ -125,45 +132,91 @@ class OutstandingAd:
         return decay.probability(self.base_ctr, elapsed)
 
 
-@dataclass
 class OutstandingLedger:
     """Per-advertiser bookkeeping of outstanding ads.
 
+    Ads live in an insertion-ordered table keyed by a monotonically
+    increasing *handle*.  :meth:`record_display` returns the ad carrying
+    its handle, and :meth:`resolve_handle` removes exactly that ad in
+    O(1) -- the identity settlement needs when an advertiser holds two
+    value-equal ads (same price, CTR, and display round) of which only
+    one was clicked.  :meth:`resolve` remains for callers holding an ad
+    *value*: it prefers the carried handle and falls back to a
+    first-equal scan for hand-constructed ads.
+
     Attributes:
         decay: The click-decay model applied to all ads in the ledger.
-        ads: The live outstanding ads, oldest first.
     """
 
-    decay: ClickDecayModel = field(default_factory=NoDecay)
-    ads: List[OutstandingAd] = field(default_factory=list)
+    def __init__(self, decay: ClickDecayModel | None = None) -> None:
+        self.decay: ClickDecayModel = decay if decay is not None else NoDecay()
+        self._ads: "OrderedDict[int, OutstandingAd]" = OrderedDict()
+        self._next_handle = 0
+
+    @property
+    def ads(self) -> List[OutstandingAd]:
+        """The live outstanding ads, oldest first (a fresh list)."""
+        return list(self._ads.values())
 
     def record_display(
         self, price_cents: int, base_ctr: float, round_index: int
     ) -> OutstandingAd:
-        """Add a newly displayed ad and return it."""
-        ad = OutstandingAd(price_cents, base_ctr, round_index)
-        self.ads.append(ad)
+        """Add a newly displayed ad and return it (carrying its handle)."""
+        handle = self._next_handle
+        self._next_handle += 1
+        ad = OutstandingAd(price_cents, base_ctr, round_index, handle=handle)
+        self._ads[handle] = ad
+        return ad
+
+    def has_handle(self, handle: int) -> bool:
+        """Whether an ad with this identity is still outstanding."""
+        return handle in self._ads
+
+    def resolve_handle(self, handle: int) -> OutstandingAd:
+        """Remove and return the ad with this identity, in O(1).
+
+        Raises:
+            BudgetError: If no outstanding ad has this handle (already
+                settled, expired, or never recorded here).
+        """
+        ad = self._ads.pop(handle, None)
+        if ad is None:
+            raise BudgetError(
+                f"no outstanding ad with handle {handle} in this ledger"
+            )
         return ad
 
     def resolve(self, ad: OutstandingAd) -> None:
-        """Remove an ad that was clicked (debt settled) or cancelled."""
-        try:
-            self.ads.remove(ad)
-        except ValueError:
-            raise BudgetError("ad is not outstanding in this ledger") from None
+        """Remove an ad that was clicked (debt settled) or cancelled.
+
+        An ad returned by :meth:`record_display` resolves by its handle;
+        a hand-constructed ad (``handle == -1`` or foreign) falls back
+        to removing the first value-equal entry -- ambiguous when
+        duplicates exist, which is exactly why the engine threads
+        handles instead.
+        """
+        if ad.handle in self._ads:
+            del self._ads[ad.handle]
+            return
+        for handle, candidate in self._ads.items():
+            if candidate == ad:
+                del self._ads[handle]
+                return
+        raise BudgetError("ad is not outstanding in this ledger")
 
     def prune(self, current_round: int) -> int:
         """Drop ads whose click probability has decayed to zero.
 
         Returns the number of ads discarded.
         """
-        before = len(self.ads)
-        self.ads = [
-            ad
-            for ad in self.ads
-            if ad.current_ctr(self.decay, current_round) > 0.0
+        dead = [
+            handle
+            for handle, ad in self._ads.items()
+            if ad.current_ctr(self.decay, current_round) <= 0.0
         ]
-        return before - len(self.ads)
+        for handle in dead:
+            del self._ads[handle]
+        return len(dead)
 
     def snapshot(self, current_round: int) -> List[Tuple[int, float]]:
         """The ``(π_j, ctr_j)`` pairs for the throttling computation.
@@ -172,7 +225,7 @@ class OutstandingLedger:
         nothing to ``S_l``).
         """
         out: List[Tuple[int, float]] = []
-        for ad in self.ads:
+        for ad in self._ads.values():
             ctr = ad.current_ctr(self.decay, current_round)
             if ctr > 0.0:
                 out.append((ad.price_cents, ctr))
@@ -187,4 +240,4 @@ class OutstandingLedger:
         return sum(price * ctr for price, ctr in self.snapshot(current_round))
 
     def __len__(self) -> int:
-        return len(self.ads)
+        return len(self._ads)

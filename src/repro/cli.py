@@ -58,6 +58,27 @@ def build_parser() -> argparse.ArgumentParser:
     gaming = sub.add_parser("gaming", help="Section IV gaming attack")
     gaming.add_argument("--rounds", type=int, default=120)
     gaming.add_argument("--delay", type=int, default=3)
+    gaming.add_argument(
+        "--at-scale",
+        type=_positive_int,
+        metavar="ATTACKERS",
+        help=(
+            "run the attack through the full engine with this many "
+            "near-exhausted advertisers (plus honest competitors), "
+            "comparing throttling off vs on and reporting the "
+            "revenue-loss fraction instead of the single-attacker "
+            "mini-simulation"
+        ),
+    )
+    gaming.add_argument(
+        "--honest",
+        type=_positive_int,
+        default=200,
+        help="honest deep-budget competitors in --at-scale mode",
+    )
+    gaming.add_argument(
+        "--seed", type=int, default=0, help="market/click seed (--at-scale)"
+    )
 
     engine = sub.add_parser("engine", help="run a generated market")
     engine.add_argument("--rounds", type=int, default=50)
@@ -101,6 +122,27 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "keep merge-sort streams alive across rounds and rebuild "
             "only those above changed bids (shared-sort mode only)"
+        ),
+    )
+    engine.add_argument(
+        "--throttle-mode",
+        choices=["exact", "bounded"],
+        default="exact",
+        help=(
+            "Section IV throttling regime: 'exact' computes every "
+            "occurring advertiser's throttled bid up front; 'bounded' "
+            "ranks on lazily refined Hoeffding intervals and resolves "
+            "only the selected k+1 exactly (bit-identical outcomes, "
+            "less throttle work)"
+        ),
+    )
+    engine.add_argument(
+        "--throttle-cache",
+        action="store_true",
+        help=(
+            "memoize throttle problems across rounds on the change "
+            "feed: advertisers whose books did not move reuse their "
+            "last throttled bid in O(1)"
         ),
     )
     engine.add_argument(
@@ -262,6 +304,53 @@ def _cmd_shoes(general: int, sports: int, fashion: int, seed: int = 0) -> int:
     return 0
 
 
+def _cmd_gaming_at_scale(
+    rounds: int, delay: int, attackers: int, honest: int, seed: int
+) -> int:
+    """The attack through the full engine: revenue loss, off vs on."""
+    from repro.budgets.gaming import forgiven_fraction, gaming_market_at_scale
+    from repro.engine import SharedAuctionEngine
+
+    market = gaming_market_at_scale(
+        num_attackers=attackers, num_honest=honest, seed=seed
+    )
+    table = ExperimentTable(
+        f"Gaming at scale ({attackers} attackers, {honest} honest, "
+        f"{rounds} rounds, delay {delay})",
+        [
+            "throttling",
+            "revenue ($)",
+            "forgiven ($)",
+            "revenue loss",
+        ],
+    )
+    for throttle in (False, True):
+        engine = SharedAuctionEngine(
+            market.advertisers,
+            slot_factors=[1.0, 0.6, 0.3],
+            search_rates=market.search_rates,
+            mode="unshared",
+            throttle=throttle,
+            throttle_cache=throttle,
+            mean_click_delay_rounds=float(delay),
+            seed=seed,
+        )
+        report = engine.run(rounds)
+        table.add(
+            "on" if throttle else "off",
+            report.revenue_cents / 100,
+            report.forgiven_cents / 100,
+            round(
+                forgiven_fraction(
+                    report.revenue_cents, report.forgiven_cents
+                ),
+                4,
+            ),
+        )
+    table.show()
+    return 0
+
+
 def _cmd_gaming(rounds: int, delay: int) -> int:
     from repro.budgets.gaming import GamingAdvertiser, simulate_gaming
 
@@ -305,6 +394,8 @@ def _cmd_engine(
     queries: int = 1000,
     arrival_rate: float = 200.0,
     zipf_exponent: float = 1.0,
+    throttle_mode: str = "exact",
+    throttle_cache: bool = False,
 ) -> int:
     from repro.engine import SharedAuctionEngine
     from repro.workloads.generator import MarketConfig, generate_market
@@ -314,6 +405,13 @@ def _cmd_engine(
         # flag combination gets one line on stderr, not a traceback.
         print(
             "--cache-autotune requires --exec-cache or --sort-cache",
+            file=sys.stderr,
+        )
+        return 1
+    if throttle_mode == "bounded" and (exec_cache or sort_cache):
+        print(
+            "--throttle-mode bounded runs its own bound-driven selection "
+            "and cannot combine with --exec-cache/--sort-cache",
             file=sys.stderr,
         )
         return 1
@@ -344,12 +442,16 @@ def _cmd_engine(
         sort_cache=sort_cache,
         cache_autotune=cache_autotune,
         cache_verify=cache_verify,
+        throttle_mode=throttle_mode,
+        throttle_cache=throttle_cache,
     )
     label = (
         f"mode={mode}"
         + (" +exec-cache" if exec_cache else "")
         + (" +sort-cache" if sort_cache else "")
         + (" +autotune" if cache_autotune else "")
+        + (" +bounded-throttle" if throttle_mode == "bounded" else "")
+        + (" +throttle-cache" if throttle_cache else "")
     )
     if serve:
         from repro.serving import ServingEngine, TrafficGenerator
@@ -444,6 +546,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "shoes":
         return _cmd_shoes(args.general, args.sports, args.fashion, args.seed)
     if args.command == "gaming":
+        if args.at_scale is not None:
+            return _cmd_gaming_at_scale(
+                args.rounds, args.delay, args.at_scale, args.honest, args.seed
+            )
         return _cmd_gaming(args.rounds, args.delay)
     if args.command == "engine":
         return _cmd_engine(
@@ -462,6 +568,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.queries,
             args.arrival_rate,
             args.zipf_exponent,
+            args.throttle_mode,
+            args.throttle_cache,
         )
     if args.command == "plan":
         return _cmd_plan(args.spec, args.output, args.planner)

@@ -15,6 +15,7 @@ from repro.core.advertiser import Advertiser, BidPhrase
 from repro.core.auction import Allocation, AuctionOutcome, AuctionSpec
 from repro.core.ctr import CTRModel, MatrixCTRModel, SeparableCTRModel
 from repro.core.matching import hungarian_max_weight
+from repro.core.money import dollars_to_cents
 from repro.core.pricing import (
     FirstPrice,
     GeneralizedSecondPrice,
@@ -46,6 +47,7 @@ __all__ = [
     "determine_winners",
     "determine_winners_nonseparable",
     "determine_winners_separable",
+    "dollars_to_cents",
     "hungarian_max_weight",
     "top_k_merge",
 ]

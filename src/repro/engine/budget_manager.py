@@ -10,7 +10,7 @@ determination (Section IV-A).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.budgets.outstanding import ClickDecayModel, NoDecay, OutstandingLedger
 from repro.budgets.throttle import ThrottleProblem
@@ -84,6 +84,20 @@ class BudgetManager:
             self._ledgers[advertiser_id] = ledger
         return ledger
 
+    @property
+    def decay_varies(self) -> bool:
+        """Whether outstanding debt re-weighs as rounds pass.
+
+        Under :class:`repro.budgets.outstanding.NoDecay` an ad's
+        ``ctr_j`` is constant until the horizon prunes it (and pruning
+        publishes ``BudgetChanged``), so a throttle problem built for
+        one round stays valid in later rounds with no event.  Any other
+        decay model moves every debt-carrying advertiser's b̂ each
+        round; incremental consumers must then treat cached problems as
+        valid only within the round they were built.
+        """
+        return not isinstance(self._decay, NoDecay)
+
     def budget_cents(self, advertiser_id: int) -> int:
         """The advertiser's daily budget (huge sentinel if unbudgeted)."""
         return self._budgets.get(advertiser_id, self.UNBUDGETED_CENTS)
@@ -105,29 +119,52 @@ class BudgetManager:
         price_cents: int,
         ctr: float,
         round_index: int,
-    ) -> None:
-        """Register a displayed ad as outstanding debt."""
-        self._ledger(advertiser_id).record_display(
+    ) -> int:
+        """Register a displayed ad as outstanding debt.
+
+        Returns:
+            The ledger handle identifying exactly this outstanding ad.
+            Thread it to :meth:`settle_click` when the click arrives:
+            the handle is the only unambiguous name when an advertiser
+            wins several same-price slots in one round.
+        """
+        ad = self._ledger(advertiser_id).record_display(
             price_cents, ctr, round_index
         )
         self._publish_change(advertiser_id)
+        return ad.handle
 
     def settle_click(
-        self, advertiser_id: int, price_cents: int, display_round: int
+        self,
+        advertiser_id: int,
+        price_cents: int,
+        display_round: int,
+        handle: Optional[int] = None,
     ) -> ChargeResult:
         """Charge a click, forgiving any shortfall.
 
-        Also clears the matching outstanding ad (by price and display
-        round) if one is still tracked.
+        Also clears the clicked ad from the outstanding ledger.  With a
+        ``handle`` (from :meth:`record_display`) the resolve is O(1) and
+        names exactly the displayed ad that was clicked; an expired
+        handle (the ad aged past the ledger horizon) settles the charge
+        without touching the ledger.  Without a handle -- legacy callers
+        only -- the first outstanding ad matching ``(price_cents,
+        display_round)`` is cleared, which picks the *wrong* ad whenever
+        the advertiser holds two same-price same-round ads with
+        different CTRs and skews every later b̂ built from this ledger.
         """
         ledger = self._ledger(advertiser_id)
-        for ad in ledger.ads:
-            if (
-                ad.price_cents == price_cents
-                and ad.displayed_round == display_round
-            ):
-                ledger.resolve(ad)
-                break
+        if handle is not None:
+            if ledger.has_handle(handle):
+                ledger.resolve_handle(handle)
+        else:
+            for ad in ledger.ads:
+                if (
+                    ad.price_cents == price_cents
+                    and ad.displayed_round == display_round
+                ):
+                    ledger.resolve(ad)
+                    break
         remaining = self.remaining_cents(advertiser_id)
         charged = min(price_cents, remaining)
         self._spent[advertiser_id] = self.spent_cents(advertiser_id) + charged

@@ -29,6 +29,12 @@ class ClickEvent:
         price_cents: Price the pricing rule set for this click.
         display_round: Round the ad was shown.
         arrival_round: Round the click arrives (payment is attempted).
+        ledger_handle: Identity of the outstanding-ledger entry recorded
+            for this display
+            (:meth:`repro.engine.budget_manager.BudgetManager.record_display`),
+            so settlement resolves exactly the clicked ad rather than
+            the first ad with a matching price and round.  ``-1`` when
+            the display was not recorded against a ledger.
     """
 
     advertiser_id: int
@@ -36,6 +42,7 @@ class ClickEvent:
     price_cents: int
     display_round: int
     arrival_round: int
+    ledger_handle: int = -1
 
 
 class DelayedClickModel:
@@ -71,8 +78,14 @@ class DelayedClickModel:
         price_cents: int,
         ctr: float,
         display_round: int,
+        ledger_handle: int = -1,
     ) -> bool:
-        """Sample one displayed ad; returns whether a click was scheduled."""
+        """Sample one displayed ad; returns whether a click was scheduled.
+
+        ``ledger_handle`` rides along on the scheduled
+        :class:`ClickEvent` so the eventual settlement can name the
+        exact outstanding-ledger entry this display created.
+        """
         if not 0.0 <= ctr <= 1.0:
             raise InvalidAuctionError(f"CTR must be in [0, 1], got {ctr}")
         if self._rng.random() >= ctr:
@@ -87,6 +100,7 @@ class DelayedClickModel:
                 price_cents,
                 display_round,
                 display_round + delay,
+                ledger_handle,
             )
         )
         return True

@@ -20,10 +20,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.budgets.incremental import IncrementalThrottleCache
 from repro.budgets.outstanding import ClickDecayModel, NoDecay
 from repro.budgets.throttle import exact_throttled_bid
 from repro.core.advertiser import Advertiser
 from repro.core.ctr import SeparableCTRModel
+from repro.core.money import dollars_to_cents
 from repro.core.topk import ScoredAdvertiser, TopKList, top_k_scan
 from repro.engine.autotune import CacheAutotuner
 from repro.engine.budget_manager import BudgetManager
@@ -134,6 +136,27 @@ class SharedAuctionEngine:
             factors (:attr:`Advertiser.phrase_ctr_factors`);
             ``"unshared"`` scans each phrase's advertisers independently.
         throttle: Apply Section IV bid throttling against outstanding ads.
+        throttle_mode: How throttled bids reach the ranking stage.
+            ``"exact"`` (default) computes every occurring advertiser's
+            exact ``b̂`` up front (optionally memoized; see
+            ``throttle_cache``).  ``"bounded"`` is the paper's Section
+            IV-B regime: rank each phrase directly on lazily refined
+            Hoeffding intervals, expanding an advertiser's largest
+            outstanding ads only when two contenders are genuinely
+            incomparable, and fall back to the exact DP only for the
+            selected ``k + 1`` (pricing needs their precise values).
+            Outcomes are bit-identical to ``"exact"``; only the work
+            counters move.  Requires ``throttle=True`` and runs its own
+            per-phrase selection, so it cannot combine with
+            ``exec_cache`` / ``sort_cache``.
+        throttle_cache: Memoize throttle problems and values across
+            rounds in an
+            :class:`repro.budgets.incremental.IncrementalThrottleCache`
+            driven by the change feed: advertisers whose books did not
+            move since they were last scored reuse their previous ``b̂``
+            in O(1).  Composes with either ``throttle_mode`` and with
+            the plan/sort caches.  Under ``cache_verify=True`` every
+            reuse is cross-checked against a freshly built problem.
         exec_cache: Shared mode only: resolve rounds through a
             :class:`repro.plans.executor.CrossRoundPlanExecutor`, which
             keeps materialized top-k nodes alive between rounds and
@@ -217,6 +240,8 @@ class SharedAuctionEngine:
         search_rates: Mapping[str, float],
         mode: str = "shared",
         throttle: bool = True,
+        throttle_mode: str = "exact",
+        throttle_cache: bool = False,
         exec_cache: bool = False,
         exec_cache_capacity: Optional[int] = None,
         cache_verify: bool = True,
@@ -232,6 +257,26 @@ class SharedAuctionEngine:
     ) -> None:
         if mode not in ("shared", "unshared", "shared-sort"):
             raise InvalidAuctionError(f"unknown engine mode {mode!r}")
+        if throttle_mode not in ("exact", "bounded"):
+            raise InvalidAuctionError(
+                f"unknown throttle mode {throttle_mode!r}"
+            )
+        if throttle_mode == "bounded" and not throttle:
+            raise InvalidAuctionError(
+                "throttle_mode='bounded' ranks on throttled-bid bounds "
+                "and is meaningless with throttle=False"
+            )
+        if throttle_mode == "bounded" and (exec_cache or sort_cache):
+            raise InvalidAuctionError(
+                "throttle_mode='bounded' runs its own bound-driven "
+                "per-phrase selection and cannot combine with "
+                "exec_cache/sort_cache"
+            )
+        if throttle_cache and not throttle:
+            raise InvalidAuctionError(
+                "throttle_cache memoizes throttle problems and requires "
+                "throttle=True"
+            )
         if exec_cache and mode != "shared":
             raise InvalidAuctionError(
                 "exec_cache requires mode='shared' (the cross-round cache "
@@ -250,6 +295,8 @@ class SharedAuctionEngine:
         self.advertisers = tuple(advertisers)
         self.mode = mode
         self.throttle = throttle
+        self.throttle_mode = throttle_mode
+        self.throttle_cache = throttle_cache
         self.exec_cache = exec_cache
         self.collector: Collector = collector if collector is not None else NULL
         self._by_id = {a.advertiser_id: a for a in self.advertisers}
@@ -280,7 +327,7 @@ class SharedAuctionEngine:
             for phrase in self.phrase_advertisers
         }
         budgets = {
-            a.advertiser_id: int(round(a.daily_budget * 100))
+            a.advertiser_id: dollars_to_cents(a.daily_budget)
             for a in self.advertisers
             if a.daily_budget != float("inf")
         }
@@ -309,6 +356,21 @@ class SharedAuctionEngine:
         self.autotuner = (
             CacheAutotuner(collector=self.collector) if cache_autotune else None
         )
+        # The incremental throttle layer.  Bounded selection always runs
+        # through the cache object (it owns the bound/exact machinery and
+        # the throttle.* counters); memoization across rounds is what
+        # `throttle_cache` switches on, and only a memoizing cache needs
+        # (or takes) a change-feed subscription.
+        self._throttle_cache: Optional[IncrementalThrottleCache] = None
+        if throttle and (throttle_cache or throttle_mode == "bounded"):
+            self._throttle_cache = IncrementalThrottleCache(
+                self.budget_manager,
+                self.collector,
+                verify=cache_verify,
+                memoize=throttle_cache,
+            )
+            if throttle_cache:
+                self._throttle_cache.connect(self.changefeed)
         # Publisher-side event detection the budget manager cannot see:
         # auction-multiplicity changes (m_i feeds the throttle problem)
         # and whether outstanding debt re-weighs every round.
@@ -321,7 +383,12 @@ class SharedAuctionEngine:
         self._executor: Optional[PlanExecutor] = None
         self._sort_plan = None
         self._sort_cache = None
-        if mode == "shared":
+        if throttle_mode == "bounded":
+            # Bound-driven selection ranks each phrase directly from the
+            # throttle cache's intervals; no aggregation plan or shared
+            # sort network is ever consulted, so none is built.
+            pass
+        elif mode == "shared":
             instance = SharedAggregationInstance(
                 AggregateQuery(
                     phrase, ids, self.search_rates[phrase]
@@ -493,12 +560,17 @@ class SharedAuctionEngine:
                 self.changefeed.publish(RoundClosed(round_index))
             return report
 
-        scores, effective_bid_cents = self._effective_scores(
-            phrases, round_index
-        )
-        rankings = self._rank_phrases(
-            phrases, scores, effective_bid_cents, report
-        )
+        if self.throttle_mode == "bounded":
+            rankings, effective_bid_cents = self._bounded_rankings(
+                phrases, round_index, report
+            )
+        else:
+            scores, effective_bid_cents = self._effective_scores(
+                phrases, round_index
+            )
+            rankings = self._rank_phrases(
+                phrases, scores, effective_bid_cents, report
+            )
         for phrase in phrases:
             self._allocate_phrase(
                 phrase, rankings[phrase], effective_bid_cents, round_index,
@@ -516,12 +588,17 @@ class SharedAuctionEngine:
             raise InvalidAuctionError(f"no advertisers bid on {[phrase]!r}")
         report = RoundReport(round_index, (phrase,))
         self._deliver_due_clicks(round_index, report)
-        scores, effective_bid_cents = self._effective_scores(
-            (phrase,), round_index
-        )
-        rankings = self._rank_phrases(
-            (phrase,), scores, effective_bid_cents, report
-        )
+        if self.throttle_mode == "bounded":
+            rankings, effective_bid_cents = self._bounded_rankings(
+                (phrase,), round_index, report
+            )
+        else:
+            scores, effective_bid_cents = self._effective_scores(
+                (phrase,), round_index
+            )
+            rankings = self._rank_phrases(
+                (phrase,), scores, effective_bid_cents, report
+            )
         self._allocate_phrase(
             phrase, rankings[phrase], effective_bid_cents, round_index, report
         )
@@ -543,7 +620,10 @@ class SharedAuctionEngine:
         """
         for click in self.click_model.arrivals(round_index):
             charge = self.budget_manager.settle_click(
-                click.advertiser_id, click.price_cents, click.display_round
+                click.advertiser_id,
+                click.price_cents,
+                click.display_round,
+                handle=click.ledger_handle,
             )
             report.revenue_cents += charge.charged_cents
             report.forgiven_cents += charge.forgiven_cents
@@ -572,14 +652,31 @@ class SharedAuctionEngine:
                 auctions_of[advertiser_id] = auctions_of.get(advertiser_id, 0) + 1
         scores: Dict[int, float] = {}
         effective_bid_cents: Dict[int, float] = {}
+        cache = self._throttle_cache
         for advertiser_id, m in auctions_of.items():
             advertiser = self._by_id[advertiser_id]
-            bid_cents = int(round(advertiser.bid * 100))
+            bid_cents = dollars_to_cents(advertiser.bid)
             if self.throttle:
-                problem = self.budget_manager.throttle_problem(
-                    advertiser_id, bid_cents, m, round_index
-                )
-                effective = exact_throttled_bid(problem)
+                if cache is not None:
+                    effective = cache.exact_bid(
+                        advertiser_id, bid_cents, m, round_index
+                    )
+                else:
+                    problem = self.budget_manager.throttle_problem(
+                        advertiser_id, bid_cents, m, round_index
+                    )
+                    if (
+                        self.collector.enabled
+                        and problem.bid_cents > 0
+                        and not problem.trivially_unthrottled()
+                    ):
+                        # Count real DP/enumeration runs here too, so
+                        # the exact-recompute baseline and the throttle
+                        # cache report work through one counter.
+                        self.collector.incr(
+                            metric_names.THROTTLE_EXACT_FALLBACKS
+                        )
+                    effective = exact_throttled_bid(problem)
             else:
                 effective = float(
                     min(bid_cents, self.budget_manager.remaining_cents(advertiser_id))
@@ -664,6 +761,65 @@ class SharedAuctionEngine:
                 )
         return rankings
 
+    def _bounded_rankings(
+        self, phrases: Sequence[str], round_index: int, report: RoundReport
+    ) -> Tuple[Dict[str, TopKList], Dict[int, float]]:
+        """Stages 2+3 fused, Section IV-B style: rank on bid bounds.
+
+        Each phrase's top-(k + 1) is selected directly from lazily
+        refined throttled-bid intervals; only the selected advertisers
+        are resolved exactly (GSP pricing needs their precise ``b̂``),
+        so ``effective_bid_cents`` covers exactly the selected set.
+        Outcome-identical to the exact path: interval decisions are only
+        taken outside the bounds' floating-point noise, and anything
+        closer is resolved exactly and compared with the engine's own
+        score floats (ties by lower advertiser id, as everywhere).
+        """
+        cache = self._throttle_cache
+        assert cache is not None
+        auctions_of: Dict[int, int] = {}
+        for phrase in phrases:
+            for advertiser_id in self.phrase_advertisers[phrase]:
+                auctions_of[advertiser_id] = auctions_of.get(advertiser_id, 0) + 1
+        rankings: Dict[str, TopKList] = {}
+        effective_bid_cents: Dict[int, float] = {}
+        for phrase in phrases:
+            ids = self.phrase_advertisers[phrase]
+            report.scans += len(ids)
+            contenders = []
+            for advertiser_id in ids:
+                advertiser = self._by_id[advertiser_id]
+                factor = (
+                    advertiser.ctr_factor_for(phrase)
+                    if self.mode == "shared-sort"
+                    else advertiser.ctr_factor
+                )
+                contenders.append(
+                    (
+                        advertiser_id,
+                        dollars_to_cents(advertiser.bid),
+                        auctions_of[advertiser_id],
+                        factor,
+                    )
+                )
+            selected = cache.select_top(contenders, self.k + 1, round_index)
+            for advertiser_id, exact_cents, _score in selected:
+                effective_bid_cents[advertiser_id] = exact_cents
+            rankings[phrase] = TopKList(
+                self.k + 1,
+                [(score, advertiser_id) for advertiser_id, _, score in selected],
+            )
+        if self.changefeed.active:
+            # Same publisher-side contract as the exact path: an
+            # advertiser whose auction multiplicity moved gets a
+            # BidChanged for any subscriber that keys off effective bids
+            # (the throttle cache itself covers m via its cache key).
+            for advertiser_id, m in sorted(auctions_of.items()):
+                if self._last_multiplicity.get(advertiser_id) != m:
+                    self.changefeed.publish(BidChanged(advertiser_id))
+            self._last_multiplicity.update(auctions_of)
+        return rankings, effective_bid_cents
+
     def _allocate_phrase(
         self,
         phrase: str,
@@ -698,11 +854,12 @@ class SharedAuctionEngine:
             if price <= 0:
                 continue
             ctr = min(1.0, c_i * self.ctr_model.slot_factors[slot])
-            self.budget_manager.record_display(
+            ledger_handle = self.budget_manager.record_display(
                 entry.advertiser_id, price, ctr, round_index
             )
             self.click_model.record_display(
-                entry.advertiser_id, phrase, price, ctr, round_index
+                entry.advertiser_id, phrase, price, ctr, round_index,
+                ledger_handle,
             )
             report.displays += 1
             allocated.append((slot, entry.advertiser_id, price))
@@ -722,7 +879,10 @@ class SharedAuctionEngine:
         revenue = forgiven = clicks = 0
         for click in self.click_model.flush():
             charge = self.budget_manager.settle_click(
-                click.advertiser_id, click.price_cents, click.display_round
+                click.advertiser_id,
+                click.price_cents,
+                click.display_round,
+                handle=click.ledger_handle,
             )
             revenue += charge.charged_cents
             forgiven += charge.forgiven_cents

@@ -145,3 +145,40 @@ class TestTopK:
         assert [w.advertiser_id for w in winners] == [
             w.advertiser_id for w in expected
         ]
+
+
+class TestWorkAccounting:
+    """The counters the benchmarks gate on must not under-report."""
+
+    def test_resolve_exact_counts_the_skipped_depths(self):
+        # Jumping to the exact value is equivalent to expanding every
+        # remaining ad at once; the shortcut must not hide that work.
+        bid = bounded(1, 80, 120, 2, [(40, 0.5), (30, 0.4), (20, 0.3)])
+        bid.refine()
+        assert bid.refinements == 1
+        bid.resolve_exact()
+        assert bid.refinements == 3
+        # Already exact: nothing further to account for.
+        bid.resolve_exact()
+        assert bid.refinements == 3
+
+    def test_pre_exact_bids_are_not_selection_fallbacks(self):
+        # Debt-free bids arrive exact (their interval is a point); the
+        # selection never drove them to exactness, so counting them
+        # would overstate the bound machinery's failures.
+        bids = [bounded(i, 50 + i, 200) for i in range(4)]
+        assert all(bid.exact for bid in bids)
+        _, stats = top_k_throttled(bids, 2)
+        assert stats.exact_fallbacks == 0
+
+    def test_tie_driven_exactness_is_counted(self):
+        # Two identical throttled problems: their intervals can never
+        # separate, so selection must resolve both exactly and break the
+        # tie by id -- and the counter must say so.
+        ads = [(40, 0.5)]
+        first = bounded(1, 80, 100, 2, ads)
+        second = bounded(2, 80, 100, 2, ads)
+        winners, stats = top_k_throttled([first, second], 2)
+        assert [w.advertiser_id for w in winners] == [1, 2]
+        assert stats.exact_fallbacks == 2
+        assert stats.refinements >= 2

@@ -100,3 +100,83 @@ class TestNoDelayBaseline:
         b = simulate_gaming(population, 30, 3, 2, "naive", seed=5)
         assert a.revenue_cents == b.revenue_cents
         assert a.wins == b.wins
+
+
+class TestAtScaleMarket:
+    def test_pure_function_of_arguments(self):
+        from repro.budgets.gaming import gaming_market_at_scale
+
+        def drawn(market):
+            # Advertiser equality is by id alone; the determinism claim
+            # is about the drawn attributes, so compare those.
+            return [
+                (a.advertiser_id, a.bid, a.daily_budget, a.ctr_factor,
+                 a.phrases)
+                for a in market.advertisers
+            ]
+
+        first = gaming_market_at_scale(num_attackers=30, num_honest=5, seed=3)
+        second = gaming_market_at_scale(num_attackers=30, num_honest=5, seed=3)
+        assert drawn(first) == drawn(second)
+        assert drawn(first) != drawn(
+            gaming_market_at_scale(num_attackers=30, num_honest=5, seed=4)
+        )
+
+    def test_population_shape(self):
+        from repro.budgets.gaming import gaming_market_at_scale
+
+        market = gaming_market_at_scale(
+            num_attackers=40, num_honest=10, num_phrases=6, seed=0
+        )
+        assert len(market.advertisers) == 50
+        assert len(market.attacker_ids) == 40
+        assert len(market.honest_ids) == 10
+        assert not market.attacker_ids & market.honest_ids
+        assert set(market.search_rates.values()) == {1.0}
+        phrases = set(market.search_rates)
+        for advertiser in market.advertisers:
+            assert len(advertiser.phrases) == 2
+            assert advertiser.phrases <= phrases
+
+    def test_attackers_are_near_exhausted(self):
+        from repro.budgets.gaming import gaming_market_at_scale
+
+        market = gaming_market_at_scale(num_attackers=50, num_honest=5, seed=1)
+        by_id = {a.advertiser_id: a for a in market.advertisers}
+        for attacker_id in market.attacker_ids:
+            attacker = by_id[attacker_id]
+            # Budget worth ~1.5-2 clicks (rounding slop aside): the
+            # paper's nearly exhausted advertiser.
+            assert attacker.daily_budget < 2.1 * attacker.bid
+            assert attacker.daily_budget > 1.4 * attacker.bid
+        for honest_id in market.honest_ids:
+            honest = by_id[honest_id]
+            assert honest.daily_budget > 20 * honest.bid
+
+    def test_rejects_non_positive_sizes(self):
+        from repro.budgets.gaming import gaming_market_at_scale
+
+        with pytest.raises(BudgetError):
+            gaming_market_at_scale(num_attackers=0)
+        with pytest.raises(BudgetError):
+            gaming_market_at_scale(num_honest=0)
+        with pytest.raises(BudgetError):
+            gaming_market_at_scale(num_phrases=0)
+
+
+class TestForgivenFraction:
+    def test_no_delivered_value_is_zero_loss(self):
+        from repro.budgets.gaming import forgiven_fraction
+
+        assert forgiven_fraction(0, 0) == 0.0
+
+    def test_fully_paid_is_zero_loss(self):
+        from repro.budgets.gaming import forgiven_fraction
+
+        assert forgiven_fraction(500, 0) == 0.0
+
+    def test_fraction_of_delivered_value(self):
+        from repro.budgets.gaming import forgiven_fraction
+
+        assert forgiven_fraction(300, 100) == pytest.approx(0.25)
+        assert forgiven_fraction(0, 100) == pytest.approx(1.0)

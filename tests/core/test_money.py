@@ -1,0 +1,52 @@
+"""Tests for the audited dollars-to-cents conversion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.money import dollars_to_cents
+from repro.errors import InvalidAuctionError
+
+
+class TestDollarsToCents:
+    def test_whole_dollars(self):
+        assert dollars_to_cents(0.0) == 0
+        assert dollars_to_cents(1.0) == 100
+        assert dollars_to_cents(250.0) == 25_000
+
+    def test_plain_cents(self):
+        assert dollars_to_cents(0.01) == 1
+        assert dollars_to_cents(0.99) == 99
+        assert dollars_to_cents(19.47) == 1947
+
+    def test_half_cent_rounds_up_not_to_even(self):
+        # The regression this helper exists for: ``int(round(x * 100))``
+        # uses banker's rounding, so $0.125 became 12 cents while $0.135
+        # became 14 -- adjacent half-cents rounding in opposite
+        # directions.  Commercial rounding takes every half-cent up.
+        assert dollars_to_cents(0.125) == 13
+        assert dollars_to_cents(0.135) == 14
+        assert dollars_to_cents(0.145) == 15
+        assert dollars_to_cents(2.005) == 201
+
+    def test_binary_representation_noise_absorbed(self):
+        # 0.145 * 100 is 14.499999999999998 in binary floating point; a
+        # naive floor(x + 0.5) would land on 14.  Every dollar amount
+        # written with at most three decimals must convert as written.
+        for cents in range(0, 3000):
+            dollars = cents / 100.0
+            assert dollars_to_cents(dollars) == cents, dollars
+        for tenth in range(0, 300):
+            half = tenth / 100.0 + 0.005
+            expected = tenth + 1
+            assert dollars_to_cents(half) == expected, half
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidAuctionError):
+            dollars_to_cents(-0.01)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(InvalidAuctionError):
+            dollars_to_cents(float("nan"))
+        with pytest.raises(InvalidAuctionError):
+            dollars_to_cents(float("inf"))

@@ -1,0 +1,150 @@
+"""Differential battery for the incremental throttle layer.
+
+The tentpole claim mirrors the repo's other cache claims: the
+change-feed-driven throttle cache and the bound-driven bounded selection
+change the *work*, never the *auction*.  Over 50 seeded tight-budget
+markets, every throttle configuration -- per-round exact recompute,
+exact + throttle cache, bounded selection, bounded + throttle cache --
+must produce bit-identical winners, prices, clicks, and budget
+trajectories, on both the batch path (``run_round``) and the serving
+path (``serve_query``).  Cached configurations run with
+``cache_verify=True``: any book movement not covered by a published
+event raises instead of silently diverging.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import SharedAuctionEngine
+from repro.serving import ServingEngine, TrafficGenerator
+from repro.workloads.generator import MarketConfig, generate_market
+
+SEEDS = range(50)
+BATCH_ROUNDS = 6
+SERVING_QUERIES = 20
+SLOT_FACTORS = [0.3, 0.2]
+CLICK_DELAY_ROUNDS = 2.0  # in-flight clicks keep the ledgers non-empty
+
+THROTTLE_VARIANTS = [
+    ("exact +throttle-cache", {"throttle_cache": True, "cache_verify": True}),
+    ("bounded", {"throttle_mode": "bounded"}),
+    (
+        "bounded +throttle-cache",
+        {
+            "throttle_mode": "bounded",
+            "throttle_cache": True,
+            "cache_verify": True,
+        },
+    ),
+]
+
+
+def tight_market(seed: int):
+    """Budgets small enough that throttling genuinely moves rankings."""
+    return generate_market(
+        MarketConfig(
+            num_categories=2,
+            phrases_per_category=3,
+            specialists_per_category=5,
+            generalists=3,
+            median_budget_cents=1_200,
+            seed=seed,
+        )
+    )
+
+
+def make_engine(market, seed: int, **kwargs) -> SharedAuctionEngine:
+    return SharedAuctionEngine(
+        market.advertisers,
+        slot_factors=SLOT_FACTORS,
+        search_rates=market.search_rates,
+        mode=kwargs.pop("mode", "unshared"),
+        throttle=True,
+        mean_click_delay_rounds=CLICK_DELAY_ROUNDS,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def batch_outcome(market, seed: int, **kwargs):
+    """Run the batch path; identical seeds sample identical phrases, so
+    outcome tuples are comparable across configurations as long as the
+    auctions themselves agree -- which is exactly the assertion."""
+    engine = make_engine(market, seed, **kwargs)
+    report = engine.run(BATCH_ROUNDS)
+    return (
+        [r.allocations for r in report.history],
+        report.revenue_cents,
+        report.forgiven_cents,
+        engine.budget_manager.spent_snapshot(),
+    )
+
+
+def serving_outcome(market, arrivals, seed: int, **kwargs):
+    engine = make_engine(market, seed, **kwargs)
+    traffic = TrafficGenerator.from_search_rates(
+        market.search_rates, rate_qps=100.0, seed=seed
+    )
+    loop = ServingEngine(engine, traffic)
+    outcomes = []
+    trajectory = []
+    for arrival in arrivals:
+        report = loop.serve_one(arrival)
+        outcomes.append(
+            (
+                arrival.phrase,
+                report.allocation,
+                report.revenue_cents,
+                report.forgiven_cents,
+                report.clicks,
+            )
+        )
+        trajectory.append(engine.budget_manager.spent_snapshot())
+    engine.settle_remaining_clicks()
+    return outcomes, trajectory, engine.budget_manager.spent_snapshot()
+
+
+class TestBatchThrottleDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_all_throttle_configs_agree(self, seed):
+        market = tight_market(seed)
+        baseline = batch_outcome(market, seed)
+        # The comparison must not be vacuous: money moved.
+        assert baseline[3], f"seed {seed} produced no spend at all"
+        for label, config in THROTTLE_VARIANTS:
+            assert batch_outcome(market, seed, **config) == baseline, (
+                f"{label} diverged from exact recompute (seed {seed})"
+            )
+
+
+class TestServingThrottleDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_all_throttle_configs_agree_per_query(self, seed):
+        market = tight_market(seed)
+        traffic = TrafficGenerator.from_search_rates(
+            market.search_rates, rate_qps=100.0, zipf_exponent=1.2, seed=seed
+        )
+        arrivals = traffic.take(SERVING_QUERIES)
+        baseline = serving_outcome(market, arrivals, seed)
+        for label, config in THROTTLE_VARIANTS:
+            assert serving_outcome(market, arrivals, seed, **config) == (
+                baseline
+            ), f"{label} diverged from exact recompute (seed {seed})"
+
+
+class TestBoundedAcrossModes:
+    """Bounded selection bypasses plan/sort construction entirely, so it
+    must agree with the exact path under every engine mode's CTR-factor
+    wiring -- shared-sort in particular scales by ``ctr_factor_for``."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("mode", ["unshared", "shared", "shared-sort"])
+    def test_bounded_matches_exact(self, mode, seed):
+        market = tight_market(seed)
+        exact = batch_outcome(market, seed, mode=mode)
+        bounded = batch_outcome(
+            market, seed, mode=mode, throttle_mode="bounded",
+            throttle_cache=True, cache_verify=True,
+        )
+        assert bounded == exact

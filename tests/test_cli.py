@@ -223,3 +223,82 @@ class TestCommands:
         assert main(["plan", str(spec), "--output", str(out_path)]) == 0
         plan = loads(out_path.read_text())
         assert plan.total_cost == 2
+
+
+class TestThrottleFlags:
+    def test_engine_bounded_throttle_with_cache(self, capsys):
+        assert (
+            main(
+                [
+                    "engine", "--rounds", "3", "--mode", "unshared",
+                    "--throttle-mode", "bounded", "--throttle-cache",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "+bounded-throttle" in out
+        assert "+throttle-cache" in out
+
+    def test_engine_throttle_cache_alone(self, capsys):
+        assert (
+            main(
+                [
+                    "engine", "--rounds", "3", "--mode", "shared",
+                    "--throttle-cache",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "+throttle-cache" in out
+        assert "+bounded-throttle" not in out
+
+    def test_engine_bounded_rejects_exec_cache(self, capsys):
+        assert (
+            main(
+                [
+                    "engine", "--rounds", "2", "--mode", "shared",
+                    "--exec-cache", "--throttle-mode", "bounded",
+                ]
+            )
+            == 1
+        )
+        assert "bounded" in capsys.readouterr().err
+
+    def test_engine_bounded_rejects_sort_cache(self, capsys):
+        assert (
+            main(
+                [
+                    "engine", "--rounds", "2", "--mode", "shared-sort",
+                    "--sort-cache", "--throttle-mode", "bounded",
+                ]
+            )
+            == 1
+        )
+        assert "bounded" in capsys.readouterr().err
+
+    def test_engine_rejects_unknown_throttle_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["engine", "--throttle-mode", "sideways"]
+            )
+
+    def test_gaming_at_scale(self, capsys):
+        assert (
+            main(
+                [
+                    "gaming", "--at-scale", "40", "--honest", "10",
+                    "--rounds", "6", "--delay", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Gaming at scale" in out
+        assert "revenue loss" in out
+        assert "off" in out and "on" in out
+
+    def test_gaming_at_scale_rejects_zero_attackers(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gaming", "--at-scale", "0"])
