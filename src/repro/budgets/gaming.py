@@ -244,6 +244,7 @@ def gaming_market_at_scale(
     num_attackers: int = 2000,
     num_honest: int = 200,
     num_phrases: int = 8,
+    phrases_per_advertiser: int = 2,
     seed: int = 0,
 ) -> AtScaleGamingMarket:
     """Build the Section IV attack population at engine scale.
@@ -261,12 +262,25 @@ def gaming_market_at_scale(
         num_attackers: Near-exhausted advertisers (the paper's attack is
             interesting from one; the benchmark runs thousands).
         num_honest: Deep-budget competitors.
-        num_phrases: Distinct always-occurring phrases.
+        num_phrases: Distinct always-occurring phrases.  Raising this
+            (hundreds of phrases over thousands of advertisers) is the
+            size knob the columnar/sharded benchmarks turn: per-phrase
+            member counts stay ``~(attackers + honest) *
+            phrases_per_advertiser / num_phrases``.
+        phrases_per_advertiser: Phrases each advertiser bids on (2 in
+            the classic attack shape; must not exceed ``num_phrases``).
+            The default reproduces the original draw sequence
+            byte-for-byte.
         seed: Draw seed; the population is a pure function of the
             arguments.
     """
     if num_attackers <= 0 or num_honest <= 0 or num_phrases <= 0:
         raise BudgetError("at-scale market sizes must be positive")
+    if not 0 < phrases_per_advertiser <= num_phrases:
+        raise BudgetError(
+            f"phrases_per_advertiser must be in [1, {num_phrases}], got "
+            f"{phrases_per_advertiser}"
+        )
     rng = random.Random(seed)
     phrases = [f"hot{i}" for i in range(num_phrases)]
     advertisers: List[Advertiser] = []
@@ -283,7 +297,7 @@ def gaming_market_at_scale(
                 bid=bid,
                 daily_budget=round(bid * rng.uniform(1.5, 2.0), 2),
                 ctr_factor=round(rng.uniform(0.45, 0.65), 3),
-                phrases=frozenset(rng.sample(phrases, 2)),
+                phrases=frozenset(rng.sample(phrases, phrases_per_advertiser)),
             )
         )
     for j in range(num_honest):
@@ -293,7 +307,7 @@ def gaming_market_at_scale(
                 bid=round(rng.uniform(0.50, 0.90), 2),
                 daily_budget=round(rng.uniform(40.0, 80.0), 2),
                 ctr_factor=round(rng.uniform(0.25, 0.45), 3),
-                phrases=frozenset(rng.sample(phrases, 2)),
+                phrases=frozenset(rng.sample(phrases, phrases_per_advertiser)),
             )
         )
     return AtScaleGamingMarket(

@@ -89,6 +89,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine.add_argument("--seed", type=int, default=0)
     engine.add_argument(
+        "--layout",
+        choices=["object", "columnar"],
+        default="object",
+        help=(
+            "advertiser storage layout: 'object' scores one Advertiser "
+            "at a time; 'columnar' keeps id-sorted numpy columns and "
+            "runs scoring/top-k/sorted-access as vectorized kernels "
+            "(byte-identical outcomes)"
+        ),
+    )
+    engine.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "partition the market's phrase-advertiser connected "
+            "components across N worker processes (shared-nothing "
+            "caches, per-shard change feeds, top-k merged at the "
+            "boundary); 1 runs the sequential engine in-process"
+        ),
+    )
+    engine.add_argument(
         "--exec-cache",
         action="store_true",
         help=(
@@ -396,6 +419,8 @@ def _cmd_engine(
     zipf_exponent: float = 1.0,
     throttle_mode: str = "exact",
     throttle_cache: bool = False,
+    layout: str = "object",
+    workers: int = 1,
 ) -> int:
     from repro.engine import SharedAuctionEngine
     from repro.workloads.generator import MarketConfig, generate_market
@@ -415,6 +440,28 @@ def _cmd_engine(
             file=sys.stderr,
         )
         return 1
+    if layout == "columnar" and throttle_mode == "bounded":
+        print(
+            "--layout columnar vectorizes whole score columns; the "
+            "bounded interval regime refines advertisers one at a time "
+            "and stays on --layout object",
+            file=sys.stderr,
+        )
+        return 1
+    if workers > 1 and serve:
+        print(
+            "--workers shards synchronous batch rounds; the serving "
+            "loop (--serve) runs single-process",
+            file=sys.stderr,
+        )
+        return 1
+    if workers > 1 and trace_json is not None:
+        print(
+            "--trace-json needs an in-process collector; worker shards "
+            "run shared-nothing (drop --workers or --trace-json)",
+            file=sys.stderr,
+        )
+        return 1
     collector = None
     if trace_json is not None:
         from repro.instrument import MetricsCollector, TraceRing
@@ -429,6 +476,52 @@ def _cmd_engine(
             return 1
         collector = MetricsCollector(trace=TraceRing(trace_capacity))
     market = generate_market(MarketConfig(seed=seed))
+    label = (
+        f"mode={mode}"
+        + (" +columnar" if layout == "columnar" else "")
+        + (f" +workers={workers}" if workers > 1 else "")
+        + (" +exec-cache" if exec_cache else "")
+        + (" +sort-cache" if sort_cache else "")
+        + (" +autotune" if cache_autotune else "")
+        + (" +bounded-throttle" if throttle_mode == "bounded" else "")
+        + (" +throttle-cache" if throttle_cache else "")
+    )
+    if workers > 1:
+        from repro.engine import ShardedEngine
+
+        with ShardedEngine(
+            market.advertisers,
+            slot_factors=[0.3, 0.2, 0.1],
+            search_rates=market.search_rates,
+            shards=workers,
+            seed=seed,
+            mode=mode,
+            layout=layout,
+            exec_cache=exec_cache,
+            planner=planner,
+            sort_planner=sort_planner,
+            sort_cache=sort_cache,
+            cache_autotune=cache_autotune,
+            cache_verify=cache_verify,
+            throttle_mode=throttle_mode,
+            throttle_cache=throttle_cache,
+        ) as sharded:
+            report = sharded.run(rounds)
+            effective = sharded.shards
+        table = ExperimentTable(
+            f"Sharded run: {label} ({effective} shard"
+            f"{'s' if effective != 1 else ''}), {rounds} rounds",
+            ["auctions", "merges", "scans", "revenue ($)", "forgiven ($)"],
+        )
+        table.add(
+            report.auctions,
+            report.merges,
+            report.scans,
+            report.revenue_cents / 100,
+            report.forgiven_cents / 100,
+        )
+        table.show()
+        return 0
     engine = SharedAuctionEngine(
         market.advertisers,
         slot_factors=[0.3, 0.2, 0.1],
@@ -444,14 +537,7 @@ def _cmd_engine(
         cache_verify=cache_verify,
         throttle_mode=throttle_mode,
         throttle_cache=throttle_cache,
-    )
-    label = (
-        f"mode={mode}"
-        + (" +exec-cache" if exec_cache else "")
-        + (" +sort-cache" if sort_cache else "")
-        + (" +autotune" if cache_autotune else "")
-        + (" +bounded-throttle" if throttle_mode == "bounded" else "")
-        + (" +throttle-cache" if throttle_cache else "")
+        layout=layout,
     )
     if serve:
         from repro.serving import ServingEngine, TrafficGenerator
@@ -570,6 +656,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.zipf_exponent,
             args.throttle_mode,
             args.throttle_cache,
+            args.layout,
+            args.workers,
         )
     if args.command == "plan":
         return _cmd_plan(args.spec, args.output, args.planner)

@@ -12,6 +12,12 @@ list with its binary merge operator (:mod:`repro.core.topk`).
 """
 
 from repro.core.advertiser import Advertiser, BidPhrase
+from repro.core.columnar import (
+    AdvertiserView,
+    ArrayScoreMap,
+    ColumnarStore,
+    columnar_top_k,
+)
 from repro.core.auction import Allocation, AuctionOutcome, AuctionSpec
 from repro.core.ctr import CTRModel, MatrixCTRModel, SeparableCTRModel
 from repro.core.matching import hungarian_max_weight
@@ -31,11 +37,14 @@ from repro.core.winner_determination import (
 
 __all__ = [
     "Advertiser",
+    "AdvertiserView",
+    "ArrayScoreMap",
     "Allocation",
     "AuctionOutcome",
     "AuctionSpec",
     "BidPhrase",
     "CTRModel",
+    "ColumnarStore",
     "FirstPrice",
     "GeneralizedSecondPrice",
     "LadderedVCG",
@@ -44,6 +53,7 @@ __all__ = [
     "ScoredAdvertiser",
     "SeparableCTRModel",
     "TopKList",
+    "columnar_top_k",
     "determine_winners",
     "determine_winners_nonseparable",
     "determine_winners_separable",

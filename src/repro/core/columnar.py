@@ -1,0 +1,720 @@
+"""Struct-of-arrays advertiser store with a zero-copy object view.
+
+Per-object Python loops over :class:`repro.core.advertiser.Advertiser`
+instances are the dominant cost under the cached hot paths (ROADMAP
+item 2): every round the engine re-reads ``bid`` / ``ctr_factor`` /
+``daily_budget`` attribute-by-attribute, advertiser-by-advertiser.
+:class:`ColumnarStore` transposes the population once into numpy columns
+-- advertiser ids, bid cents, bids, CTR factors, budget cents -- plus
+per-phrase membership (row-index arrays and packed bitmaps), so the hot
+kernels become whole-array operations:
+
+- effective scoring: ``min(m * bid, remaining) / m`` over the occurring
+  rows in a handful of vectorized int64/float64 ops
+  (:meth:`repro.engine.pipeline.SharedAuctionEngine` with
+  ``layout="columnar"``);
+- per-phrase top-k: :func:`columnar_top_k` via ``np.argpartition`` with
+  the exact ``(-score, advertiser_id)`` tie-break of the object path;
+- TA sorted access: presorted column indices
+  (:class:`repro.sharedsort.columnar.ColumnarThresholdKernel`).
+
+The object API is preserved as a *view*: :meth:`ColumnarStore.advertiser`
+returns an :class:`AdvertiserView` that duck-types ``Advertiser`` --
+every attribute read goes straight to the arrays, so a mutation through
+the store (:meth:`ColumnarStore.set_bid`, phrase churn) is immediately
+visible through the view, and a mutation expressed as an object
+(``advertiser.with_bid(...)``) round-trips into the arrays through
+:meth:`ColumnarStore.absorb`.  The round-trip property suite
+(``tests/core/test_columnar_roundtrip.py``) locks both directions.
+
+Float-determinism contract: the columnar kernels produce *bit-identical*
+scores to the object path.  ``int64 / int64`` true division and Python
+``int / int`` both produce the IEEE-754 correctly rounded float64 (all
+operands here are far below 2**53), and ``effective / 100.0 *
+ctr_factor`` is evaluated in the same operation order as the object
+path, so the 50-seed layout differential can assert byte-identical
+winners, prices, and budget trajectories rather than approximate ones.
+
+numpy is an install-time dependency of the package, but the columnar
+layout is the only subsystem that *requires* it, so the import is
+guarded: object-layout runs work on a numpy-less interpreter and only
+``layout="columnar"`` raises.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.advertiser import Advertiser
+from repro.core.money import dollars_to_cents
+from repro.core.topk import ScoredAdvertiser, TopKList
+from repro.errors import InvalidAuctionError
+from repro.instrument import NULL, Collector, names as metric_names
+
+try:  # pragma: no cover - exercised implicitly on every import
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the package
+    np = None  # type: ignore[assignment]
+
+__all__ = [
+    "AdvertiserView",
+    "ArrayScoreMap",
+    "ColumnarStore",
+    "columnar_top_k",
+    "require_numpy",
+]
+
+UNBUDGETED_CENTS = 10**12
+"""Sentinel for an unlimited budget; mirrors
+:attr:`repro.engine.budget_manager.BudgetManager.UNBUDGETED_CENTS` so
+``budget_cents - spent`` in array space equals the manager's
+``remaining_cents`` exactly."""
+
+
+def require_numpy() -> None:
+    """Raise a clear error when numpy is missing.
+
+    The columnar layout is opt-in; every entry point that needs the
+    arrays calls this first so a numpy-less interpreter fails with an
+    actionable message instead of an ``AttributeError`` deep in a kernel.
+    """
+    if np is None:  # pragma: no cover - numpy ships with the package
+        raise InvalidAuctionError(
+            "layout='columnar' requires numpy; install numpy or run with "
+            "layout='object'"
+        )
+
+
+class AdvertiserView:
+    """Zero-copy, read-through view of one store row.
+
+    Duck-types :class:`repro.core.advertiser.Advertiser`: same
+    attributes, same methods, same id-based equality and hashing -- so
+    existing callers (CTR models, auction specs, tests) keep working
+    when handed a view.  Reads resolve against the store's arrays at
+    access time, which is what makes store-side mutations immediately
+    visible: ``store.set_bid(3, 2.5)`` changes ``view.bid`` with no
+    copy and no notification.
+
+    The view is keyed by advertiser id, not row index, so it survives
+    churn that renumbers rows; reading a view whose advertiser left the
+    market raises :class:`repro.errors.InvalidAuctionError`.
+
+    ``with_bid`` / ``with_phrases`` return plain frozen ``Advertiser``
+    copies (the object API's contract is value semantics); feed them
+    back through :meth:`ColumnarStore.absorb` to make the mutation
+    visible in the arrays -- the round-trip the property suite checks.
+    """
+
+    __slots__ = ("_store", "advertiser_id")
+
+    def __init__(self, store: "ColumnarStore", advertiser_id: int) -> None:
+        self._store = store
+        self.advertiser_id = advertiser_id
+
+    @property
+    def _row(self) -> int:
+        row = self._store._row_of.get(self.advertiser_id)
+        if row is None:
+            raise InvalidAuctionError(
+                f"advertiser {self.advertiser_id} left the market"
+            )
+        return row
+
+    @property
+    def bid(self) -> float:
+        return float(self._store.bids[self._row])
+
+    @property
+    def ctr_factor(self) -> float:
+        return float(self._store.ctr_factors[self._row])
+
+    @property
+    def daily_budget(self) -> float:
+        cents = int(self._store.budget_cents[self._row])
+        if cents == UNBUDGETED_CENTS:
+            return float("inf")
+        return cents / 100.0
+
+    @property
+    def phrases(self) -> FrozenSet[str]:
+        return frozenset(self._store._phrases_of[self.advertiser_id])
+
+    @property
+    def phrase_ctr_factors(self) -> Mapping[str, float]:
+        return dict(self._store._overrides_of[self.advertiser_id])
+
+    def ctr_factor_for(self, phrase: str) -> float:
+        return self._store._overrides_of[self.advertiser_id].get(
+            phrase, self.ctr_factor
+        )
+
+    def score(self, phrase: Optional[str] = None) -> float:
+        factor = (
+            self.ctr_factor if phrase is None else self.ctr_factor_for(phrase)
+        )
+        return self.bid * factor
+
+    def interested_in(self, phrase: str) -> bool:
+        return phrase in self._store._phrases_of[self.advertiser_id]
+
+    def with_bid(self, bid: float) -> Advertiser:
+        return self.materialize().with_bid(bid)
+
+    def with_phrases(self, phrases: Iterable[str]) -> Advertiser:
+        return self.materialize().with_phrases(phrases)
+
+    def materialize(self) -> Advertiser:
+        """An independent plain :class:`Advertiser` snapshot of this row."""
+        return Advertiser(
+            advertiser_id=self.advertiser_id,
+            bid=self.bid,
+            ctr_factor=self.ctr_factor,
+            daily_budget=self.daily_budget,
+            phrases=self.phrases,
+            phrase_ctr_factors=dict(self.phrase_ctr_factors),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (AdvertiserView, Advertiser)):
+            return self.advertiser_id == other.advertiser_id
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.advertiser_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"AdvertiserView(id={self.advertiser_id}, bid={self.bid:g}, "
+            f"ctr={self.ctr_factor:g})"
+        )
+
+
+class ArrayScoreMap(Mapping):
+    """Read-only ``Mapping[int, float]`` over parallel (ids, values) arrays.
+
+    The columnar scoring stage produces its results as two arrays -- the
+    occurring advertiser ids (ascending) and their values -- but the
+    object-path consumers (the cross-round plan executor, the shared
+    merge-sort network, GSP pricing) expect a mapping.  This adapter
+    serves them without materializing a dict: ``__getitem__`` is a
+    binary search, iteration and ``items()`` stream straight off the
+    arrays.
+
+    Args:
+        ids: Strictly ascending int64 advertiser ids.
+        values: Parallel float64 values.
+    """
+
+    __slots__ = ("_ids", "_values")
+
+    def __init__(self, ids, values) -> None:
+        require_numpy()
+        if len(ids) != len(values):
+            raise InvalidAuctionError("ids and values must be parallel")
+        self._ids = ids
+        self._values = values
+
+    def __getitem__(self, key: int) -> float:
+        position = int(np.searchsorted(self._ids, key))
+        if position == len(self._ids) or int(self._ids[position]) != key:
+            raise KeyError(key)
+        return float(self._values[position])
+
+    def get(self, key: int, default=None):
+        position = int(np.searchsorted(self._ids, key))
+        if position == len(self._ids) or int(self._ids[position]) != key:
+            return default
+        return float(self._values[position])
+
+    def __contains__(self, key: object) -> bool:
+        if not isinstance(key, int):
+            return False
+        position = int(np.searchsorted(self._ids, key))
+        return position < len(self._ids) and int(self._ids[position]) == key
+
+    def __iter__(self):
+        return (int(i) for i in self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def items(self):
+        return (
+            (int(i), float(v)) for i, v in zip(self._ids, self._values)
+        )
+
+    def __repr__(self) -> str:
+        return f"ArrayScoreMap({len(self._ids)} entries)"
+
+
+def columnar_top_k(
+    k: int,
+    scores,
+    ids,
+    collector: Collector = NULL,
+) -> TopKList:
+    """Vectorized exact top-k with the object path's tie-break.
+
+    Replaces :func:`repro.core.topk.top_k_scan`'s per-entry heap with
+    ``np.argpartition``: partition pulls the ``k`` best scores in O(n),
+    then every row whose score ties the partition boundary joins the
+    candidate set so the ``(-score, advertiser_id)`` tie-break is
+    applied over *all* contenders -- the result is byte-identical to the
+    heap scan, not merely score-equivalent.
+
+    Args:
+        k: Result capacity (positive).
+        scores: float64 score per row.
+        ids: Parallel int64 advertiser ids; must be distinct (an
+            advertiser appears at most once per phrase).
+        collector: Counts one ``topk.scans`` and ``len(scores)``
+            ``topk.scan_entries``, mirroring the object scan's
+            accounting so work tables stay comparable across layouts.
+    """
+    require_numpy()
+    if k <= 0:
+        raise InvalidAuctionError(f"k must be positive, got {k}")
+    n = int(scores.shape[0])
+    if collector.enabled:
+        collector.incr(metric_names.TOPK_SCANS)
+        collector.incr(metric_names.TOPK_SCAN_ENTRIES, n)
+    if n == 0:
+        return TopKList(k)
+    if n > k:
+        part = np.argpartition(-scores, k - 1)[:k]
+        boundary = scores[part].min()
+        candidates = np.flatnonzero(scores >= boundary)
+    else:
+        candidates = np.arange(n)
+    order = np.lexsort((ids[candidates], -scores[candidates]))
+    selected = candidates[order[:k]]
+    return TopKList.from_ranked(
+        k,
+        tuple(
+            ScoredAdvertiser(float(scores[i]), int(ids[i]))
+            for i in selected
+        ),
+    )
+
+
+class ColumnarStore:
+    """The struct-of-arrays advertiser population.
+
+    Rows are ordered by ascending advertiser id, so any row subset
+    selected by ascending row index carries ascending ids -- which is
+    what lets :class:`ArrayScoreMap` binary-search and what makes the
+    columnar change-feed publishes deterministic (sorted-id order).
+
+    Attributes (all parallel, one row per advertiser):
+        ids: int64 advertiser ids, ascending.
+        bid_cents: int64 bids in cents
+            (:func:`repro.core.money.dollars_to_cents` of ``bid``).
+        bids: float64 bids in dollars.
+        ctr_factors: float64 phrase-independent CTR factors ``c_i``.
+        budget_cents: int64 daily budgets in cents;
+            :data:`UNBUDGETED_CENTS` for unlimited.
+
+    Phrase membership is kept two ways: per-phrase *row-index arrays*
+    (ascending; the form every kernel consumes) and packed *bitmaps*
+    (:meth:`membership_bits`; 1 bit per row, the compact interchange
+    form).  Both are derived caches over the authoritative
+    ``{advertiser: phrases}`` sets and are invalidated on churn and on
+    change-feed events (:meth:`connect`).
+
+    Mutations go through the store (:meth:`set_bid`, :meth:`set_budget`,
+    :meth:`add_interest`, :meth:`remove_interest`, :meth:`absorb`,
+    :meth:`add_advertiser`, :meth:`remove_advertiser`); views observe
+    them instantly.  Structural churn (advertisers entering/leaving)
+    renumbers rows and drops every derived cache.
+    """
+
+    def __init__(self, advertisers: Sequence[Advertiser] = ()) -> None:
+        require_numpy()
+        ordered = sorted(advertisers, key=lambda a: a.advertiser_id)
+        seen: Set[int] = set()
+        for advertiser in ordered:
+            if advertiser.advertiser_id in seen:
+                raise InvalidAuctionError(
+                    f"duplicate advertiser id {advertiser.advertiser_id}"
+                )
+            seen.add(advertiser.advertiser_id)
+        self._phrases_of: Dict[int, Set[str]] = {
+            a.advertiser_id: set(a.phrases) for a in ordered
+        }
+        self._overrides_of: Dict[int, Dict[str, float]] = {
+            a.advertiser_id: dict(a.phrase_ctr_factors) for a in ordered
+        }
+        self._rebuild_columns(ordered)
+        self._drop_derived()
+
+    # ------------------------------------------------------------------
+    # construction / column maintenance
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_advertisers(
+        cls, advertisers: Sequence[Advertiser]
+    ) -> "ColumnarStore":
+        """Transpose an advertiser population into columns."""
+        return cls(advertisers)
+
+    def _rebuild_columns(self, ordered: Sequence[Advertiser]) -> None:
+        """(Re)build the numeric columns from object-shaped rows."""
+        n = len(ordered)
+        self.ids = np.fromiter(
+            (a.advertiser_id for a in ordered), dtype=np.int64, count=n
+        )
+        self.bids = np.fromiter(
+            (a.bid for a in ordered), dtype=np.float64, count=n
+        )
+        self.bid_cents = np.fromiter(
+            (dollars_to_cents(a.bid) for a in ordered),
+            dtype=np.int64,
+            count=n,
+        )
+        self.ctr_factors = np.fromiter(
+            (a.ctr_factor for a in ordered), dtype=np.float64, count=n
+        )
+        self.budget_cents = np.fromiter(
+            (
+                UNBUDGETED_CENTS
+                if a.daily_budget == float("inf")
+                else dollars_to_cents(a.daily_budget)
+                for a in ordered
+            ),
+            dtype=np.int64,
+            count=n,
+        )
+        self._row_of: Dict[int, int] = {
+            int(advertiser_id): row
+            for row, advertiser_id in enumerate(self.ids)
+        }
+
+    def _rebuild_from_objects(self) -> None:
+        """Renumber rows after structural churn (add/remove advertiser)."""
+        ordered = [
+            self._materialize_id(advertiser_id)
+            for advertiser_id in sorted(self._phrases_of)
+        ]
+        self._rebuild_columns(ordered)
+        self._drop_derived()
+
+    def _materialize_id(self, advertiser_id: int) -> Advertiser:
+        row = self._row_of.get(advertiser_id)
+        if row is None:
+            raise InvalidAuctionError(f"unknown advertiser {advertiser_id}")
+        return self.advertiser(advertiser_id).materialize()
+
+    def _drop_derived(self) -> None:
+        self._phrase_rows: Dict[str, "np.ndarray"] = {}
+        self._phrase_masks: Dict[str, "np.ndarray"] = {}
+        self._phrase_bits: Dict[str, "np.ndarray"] = {}
+        self._phrase_ctrs: Dict[str, "np.ndarray"] = {}
+        self._phrase_ctr_ranks: Dict[str, "np.ndarray"] = {}
+
+    def _invalidate_phrase(self, phrase: str) -> None:
+        """Drop one phrase's derived arrays (membership or CTRs moved)."""
+        self._phrase_rows.pop(phrase, None)
+        self._phrase_masks.pop(phrase, None)
+        self._phrase_bits.pop(phrase, None)
+        self._phrase_ctrs.pop(phrase, None)
+        self._phrase_ctr_ranks.pop(phrase, None)
+
+    def _invalidate_advertiser(self, advertiser_id: int) -> None:
+        """Drop derived arrays for every phrase the advertiser is in."""
+        for phrase in self._phrases_of.get(advertiser_id, ()):
+            self._invalidate_phrase(phrase)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of rows (advertisers)."""
+        return len(self.ids)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, advertiser_id: int) -> bool:
+        return advertiser_id in self._row_of
+
+    def row_of(self, advertiser_id: int) -> int:
+        """The row index of one advertiser."""
+        row = self._row_of.get(advertiser_id)
+        if row is None:
+            raise InvalidAuctionError(f"unknown advertiser {advertiser_id}")
+        return row
+
+    def rows_of(self, advertiser_ids) -> "np.ndarray":
+        """Vectorized id -> row translation (ids must all exist).
+
+        Exploits the ascending-id row order: a single ``searchsorted``
+        translates any id array, which is how per-round spent snapshots
+        and fragment member lists land in row space without a Python
+        loop per entry.
+        """
+        wanted = np.asarray(advertiser_ids, dtype=np.int64)
+        rows = np.searchsorted(self.ids, wanted)
+        if len(wanted) and (
+            rows.max(initial=0) >= self.size
+            or not np.array_equal(self.ids[rows], wanted)
+        ):
+            missing = [
+                int(a) for a in wanted if int(a) not in self._row_of
+            ]
+            raise InvalidAuctionError(f"unknown advertisers {missing!r}")
+        return rows
+
+    def advertiser(self, advertiser_id: int) -> AdvertiserView:
+        """The zero-copy object view of one advertiser."""
+        if advertiser_id not in self._row_of:
+            raise InvalidAuctionError(f"unknown advertiser {advertiser_id}")
+        return AdvertiserView(self, advertiser_id)
+
+    def views(self) -> Tuple[AdvertiserView, ...]:
+        """Views of every advertiser, ascending id order."""
+        return tuple(
+            AdvertiserView(self, int(advertiser_id))
+            for advertiser_id in self.ids
+        )
+
+    def phrases(self) -> List[str]:
+        """Every phrase with at least one interested advertiser, sorted."""
+        alive: Set[str] = set()
+        for phrases in self._phrases_of.values():
+            alive |= phrases
+        return sorted(alive)
+
+    def phrase_rows(self, phrase: str) -> "np.ndarray":
+        """Ascending row indices of the phrase's interested advertisers."""
+        rows = self._phrase_rows.get(phrase)
+        if rows is None:
+            members = sorted(
+                advertiser_id
+                for advertiser_id, phrases in self._phrases_of.items()
+                if phrase in phrases
+            )
+            rows = self.rows_of(members)
+            self._phrase_rows[phrase] = rows
+        return rows
+
+    def membership(self, phrase: str) -> "np.ndarray":
+        """Boolean membership mask over all rows."""
+        mask = self._phrase_masks.get(phrase)
+        if mask is None:
+            mask = np.zeros(self.size, dtype=bool)
+            mask[self.phrase_rows(phrase)] = True
+            self._phrase_masks[phrase] = mask
+        return mask
+
+    def membership_bits(self, phrase: str) -> "np.ndarray":
+        """Packed membership bitmap (1 bit per row, ``np.packbits``)."""
+        bits = self._phrase_bits.get(phrase)
+        if bits is None:
+            bits = np.packbits(self.membership(phrase))
+            self._phrase_bits[phrase] = bits
+        return bits
+
+    def phrase_ctr(self, phrase: str) -> "np.ndarray":
+        """``c_i^q`` for the phrase's rows (parallel to ``phrase_rows``).
+
+        The phrase-independent factor column with the advertiser's
+        per-phrase override applied where present -- exactly
+        :meth:`Advertiser.ctr_factor_for`, vectorized.
+        """
+        factors = self._phrase_ctrs.get(phrase)
+        if factors is None:
+            rows = self.phrase_rows(phrase)
+            factors = self.ctr_factors[rows].copy()
+            for position, row in enumerate(rows):
+                advertiser_id = int(self.ids[row])
+                override = self._overrides_of[advertiser_id].get(phrase)
+                if override is not None:
+                    factors[position] = override
+            self._phrase_ctrs[phrase] = factors
+        return factors
+
+    def phrase_ctr_rank_rows(self, phrase: str) -> "np.ndarray":
+        """The phrase's rows presorted by descending ``c_i^q``, ties by id.
+
+        This is the columnar replacement for the engine's per-phrase
+        ``_ctr_orders`` lists: the TA kernel walks this index array as
+        its CTR-sorted list (Section III treats CTR factors as
+        recalculated only occasionally, so the presort is cached).
+        """
+        ranked = self._phrase_ctr_ranks.get(phrase)
+        if ranked is None:
+            rows = self.phrase_rows(phrase)
+            factors = self.phrase_ctr(phrase)
+            order = np.lexsort((self.ids[rows], -factors))
+            ranked = rows[order]
+            self._phrase_ctr_ranks[phrase] = ranked
+        return ranked
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def set_bid(self, advertiser_id: int, bid: float) -> None:
+        """Change one advertiser's bid in place (views see it instantly)."""
+        if bid < 0.0:
+            raise InvalidAuctionError(f"bid must be non-negative, got {bid!r}")
+        row = self.row_of(advertiser_id)
+        self.bids[row] = bid
+        self.bid_cents[row] = dollars_to_cents(bid)
+
+    def set_budget(self, advertiser_id: int, daily_budget: float) -> None:
+        """Change one advertiser's daily budget in place."""
+        if daily_budget < 0.0:
+            raise InvalidAuctionError("daily_budget must be non-negative")
+        row = self.row_of(advertiser_id)
+        self.budget_cents[row] = (
+            UNBUDGETED_CENTS
+            if daily_budget == float("inf")
+            else dollars_to_cents(daily_budget)
+        )
+
+    def add_interest(self, advertiser_id: int, phrase: str) -> None:
+        """Add ``advertiser_id`` to a phrase's membership."""
+        self.row_of(advertiser_id)
+        self._phrases_of[advertiser_id].add(phrase)
+        self._invalidate_phrase(phrase)
+
+    def remove_interest(self, advertiser_id: int, phrase: str) -> None:
+        """Remove ``advertiser_id`` from a phrase's membership."""
+        self.row_of(advertiser_id)
+        self._phrases_of[advertiser_id].discard(phrase)
+        self._overrides_of[advertiser_id].pop(phrase, None)
+        self._invalidate_phrase(phrase)
+
+    def absorb(self, advertiser: Advertiser) -> None:
+        """Adopt an object-side mutation into the arrays.
+
+        The inverse direction of the view: callers that produced a new
+        value through the frozen object API (``with_bid``,
+        ``with_phrases``, a rebuilt ``Advertiser``) push it back here.
+        An unknown advertiser is added; a known one has its columns,
+        phrase memberships, and per-phrase overrides synchronized.
+        """
+        advertiser_id = advertiser.advertiser_id
+        if advertiser_id not in self._row_of:
+            self.add_advertiser(advertiser)
+            return
+        row = self._row_of[advertiser_id]
+        self.bids[row] = advertiser.bid
+        self.bid_cents[row] = dollars_to_cents(advertiser.bid)
+        self.ctr_factors[row] = advertiser.ctr_factor
+        self.budget_cents[row] = (
+            UNBUDGETED_CENTS
+            if advertiser.daily_budget == float("inf")
+            else dollars_to_cents(advertiser.daily_budget)
+        )
+        before = self._phrases_of[advertiser_id]
+        after = set(advertiser.phrases)
+        for phrase in before ^ after:
+            self._invalidate_phrase(phrase)
+        # CTR factor / override changes move the cached per-phrase CTR
+        # arrays of every phrase the advertiser stays in.
+        for phrase in before & after:
+            self._invalidate_phrase(phrase)
+        self._phrases_of[advertiser_id] = after
+        self._overrides_of[advertiser_id] = dict(
+            advertiser.phrase_ctr_factors
+        )
+
+    def add_advertiser(self, advertiser: Advertiser) -> None:
+        """Add a new row (renumbers rows; derived caches drop)."""
+        if advertiser.advertiser_id in self._row_of:
+            raise InvalidAuctionError(
+                f"duplicate advertiser id {advertiser.advertiser_id}"
+            )
+        self._phrases_of[advertiser.advertiser_id] = set(advertiser.phrases)
+        self._overrides_of[advertiser.advertiser_id] = dict(
+            advertiser.phrase_ctr_factors
+        )
+        ordered = sorted(
+            [
+                *(
+                    self.advertiser(int(i)).materialize()
+                    for i in self.ids
+                ),
+                advertiser,
+            ],
+            key=lambda a: a.advertiser_id,
+        )
+        self._rebuild_columns(ordered)
+        self._drop_derived()
+
+    def remove_advertiser(self, advertiser_id: int) -> None:
+        """Drop a row (renumbers rows; derived caches drop)."""
+        self.row_of(advertiser_id)
+        ordered = [
+            self.advertiser(int(i)).materialize()
+            for i in self.ids
+            if int(i) != advertiser_id
+        ]
+        del self._phrases_of[advertiser_id]
+        del self._overrides_of[advertiser_id]
+        self._rebuild_columns(ordered)
+        self._drop_derived()
+
+    # ------------------------------------------------------------------
+    # change-feed integration
+    # ------------------------------------------------------------------
+    def connect(self, feed) -> None:
+        """Subscribe to a change feed and keep derived arrays honest.
+
+        The store attaches a push handler so invalidation happens at
+        publish time, before any consumer can read a stale derived
+        array:
+
+        - ``bid_changed`` / ``budget_changed``: the advertiser's numeric
+          inputs may have moved externally; its phrases' derived CTR /
+          rank caches are dropped (cheap and sound -- over-invalidation
+          only costs a rebuild).
+        - ``phrase_added`` / ``phrase_removed``: membership churn is
+          applied directly (the events carry the member ids).
+        - ``advertiser_removed``: the row is dropped.
+        - ``advertiser_added``: the event names the advertiser and its
+          phrases but carries no bid or budget, so the store cannot
+          build the row from the event alone; callers follow up with
+          :meth:`absorb` of the full object (the property suite pins
+          this contract).
+        """
+        feed.attach(
+            self._on_event,
+            kinds=(
+                "bid_changed",
+                "budget_changed",
+                "advertiser_removed",
+                "phrase_added",
+                "phrase_removed",
+            ),
+        )
+
+    def _on_event(self, event) -> None:
+        kind = event.kind
+        if kind in ("bid_changed", "budget_changed"):
+            self._invalidate_advertiser(event.advertiser_id)
+        elif kind == "advertiser_removed":
+            if event.advertiser_id in self._row_of:
+                self.remove_advertiser(event.advertiser_id)
+        elif kind == "phrase_added":
+            for advertiser_id in sorted(event.advertiser_ids):
+                if advertiser_id in self._row_of:
+                    self.add_interest(advertiser_id, event.phrase)
+        elif kind == "phrase_removed":
+            for advertiser_id, phrases in self._phrases_of.items():
+                phrases.discard(event.phrase)
+                self._overrides_of[advertiser_id].pop(event.phrase, None)
+            self._invalidate_phrase(event.phrase)

@@ -127,6 +127,29 @@ class TopKList:
         result._entries = (ScoredAdvertiser(float(score), int(advertiser_id)),)
         return result
 
+    @classmethod
+    def from_ranked(
+        cls, k: int, entries: Tuple[ScoredAdvertiser, ...]
+    ) -> "TopKList":
+        """Trusted fast path over already-canonical entries.
+
+        The caller guarantees ``entries`` are best-first under
+        ``sort_key``, deduplicated by advertiser id, and at most ``k``
+        long -- exactly what the vectorized columnar kernel
+        (:func:`repro.core.columnar.columnar_top_k`) produces after its
+        lexsort, where re-running the canonicalizing constructor would
+        double the kernel's Python-side cost for nothing.
+
+        Raises:
+            InvalidAuctionError: If ``k`` is not positive.
+        """
+        if k <= 0:
+            raise InvalidAuctionError(f"k must be positive, got {k}")
+        result = cls.__new__(cls)
+        result._k = k
+        result._entries = entries
+        return result
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -234,10 +257,13 @@ def top_k_scan(
     """Single-scan top-k over a stream of scored advertisers.
 
     This is the unshared baseline of Section II-A: one pass keeping a
-    size-k heap, ``O(n log k)`` time for distinct advertiser ids.  An
-    advertiser appearing multiple times keeps only its best score (it can
-    win at most one slot); duplicate appearances of the current heap
-    members are resolved through the final canonicalization.
+    size-k heap.  An advertiser appearing multiple times keeps only its
+    best score (it can win at most one slot); duplicates are resolved by
+    a best-score-per-id pre-pass, so the heap phase only ever sees
+    distinct ids and the whole scan is ``O(n + u log k)`` for ``u``
+    unique ids -- an earlier version rebuilt and re-heapified the whole
+    heap on every repeated id, which made an all-duplicate stream
+    ``O(n * k)``.
 
     Args:
         k: Capacity of the result.
@@ -247,34 +273,23 @@ def top_k_scan(
             end of the pass, so the disabled overhead is two no-op calls
             per scan, not per entry).
     """
-    heap: list[Tuple[Tuple[float, int], ScoredAdvertiser]] = []
-    members: dict[int, Tuple[float, int]] = {}
+    best: dict[int, ScoredAdvertiser] = {}
     entries_seen = 0
     for entry in scored:
         entries_seen += 1
         if not isinstance(entry, ScoredAdvertiser):
             score, advertiser_id = entry
             entry = ScoredAdvertiser(float(score), int(advertiser_id))
-        previous = members.get(entry.advertiser_id)
-        if previous is not None:
-            # Duplicate id: only an improved score matters; rebuild the
-            # heap without the stale entry (rare in auction streams).
-            if entry.sort_key <= previous:
-                continue
-            survivors = [
-                item for item in heap if item[1].advertiser_id != entry.advertiser_id
-            ]
-            heap = survivors
-            heapq.heapify(heap)
-            del members[entry.advertiser_id]
+        previous = best.get(entry.advertiser_id)
+        if previous is None or entry.sort_key > previous.sort_key:
+            best[entry.advertiser_id] = entry
+    heap: list[Tuple[Tuple[float, int], ScoredAdvertiser]] = []
+    for entry in best.values():
         item = (entry.sort_key, entry)
         if len(heap) < k:
             heapq.heappush(heap, item)
-            members[entry.advertiser_id] = entry.sort_key
         elif item > heap[0]:
-            evicted = heapq.heapreplace(heap, item)
-            del members[evicted[1].advertiser_id]
-            members[entry.advertiser_id] = entry.sort_key
+            heapq.heapreplace(heap, item)
     collector.incr(metric_names.TOPK_SCANS)
     collector.incr(metric_names.TOPK_SCAN_ENTRIES, entries_seen)
     return TopKList(k, (entry for _, entry in heap))

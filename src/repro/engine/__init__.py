@@ -28,6 +28,7 @@ from repro.engine.changefeed import (
 from repro.engine.click_model import ClickEvent, DelayedClickModel
 from repro.engine.pipeline import EngineReport, SharedAuctionEngine
 from repro.engine.rounds import RoundBatcher, singleton_rounds
+from repro.engine.sharded import ShardedEngine
 
 __all__ = [
     "AdvertiserAdded",
@@ -47,5 +48,6 @@ __all__ = [
     "RoundBatcher",
     "RoundClosed",
     "SharedAuctionEngine",
+    "ShardedEngine",
     "singleton_rounds",
 ]

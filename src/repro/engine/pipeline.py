@@ -24,6 +24,12 @@ from repro.budgets.incremental import IncrementalThrottleCache
 from repro.budgets.outstanding import ClickDecayModel, NoDecay
 from repro.budgets.throttle import exact_throttled_bid
 from repro.core.advertiser import Advertiser
+from repro.core.columnar import (
+    ArrayScoreMap,
+    ColumnarStore,
+    columnar_top_k,
+    require_numpy,
+)
 from repro.core.ctr import SeparableCTRModel
 from repro.core.money import dollars_to_cents
 from repro.core.topk import ScoredAdvertiser, TopKList, top_k_scan
@@ -36,6 +42,11 @@ from repro.instrument import NULL, Collector, names as metric_names
 from repro.plans.executor import CrossRoundPlanExecutor, PlanExecutor
 from repro.plans.greedy_planner import greedy_shared_plan
 from repro.plans.instance import AggregateQuery, SharedAggregationInstance
+
+try:  # pragma: no cover - numpy ships with the package
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
 
 __all__ = ["SharedAuctionEngine", "EngineReport", "RoundReport"]
 
@@ -135,6 +146,23 @@ class SharedAuctionEngine:
             threshold algorithm per phrase -- honoring per-phrase CTR
             factors (:attr:`Advertiser.phrase_ctr_factors`);
             ``"unshared"`` scans each phrase's advertisers independently.
+        layout: ``"object"`` (default) runs the per-advertiser Python
+            hot paths; ``"columnar"`` transposes the population into a
+            :class:`repro.core.columnar.ColumnarStore` and swaps the
+            three hottest kernels for vectorized equivalents --
+            effective scoring over occurring rows, per-phrase top-k via
+            ``np.argpartition``
+            (:func:`repro.core.columnar.columnar_top_k`), and
+            shared-sort TA over presorted column indices
+            (:class:`repro.sharedsort.columnar.ColumnarThresholdKernel`).
+            Outcomes are byte-identical between layouts (the layout
+            differential suite asserts it over 50 seeds); only the work
+            counters move, exactly as between the cached and uncached
+            engines.  Composes with every mode and with the cross-round
+            caches (a cache keeps its object-path machinery and is fed
+            vectorized scores); ``throttle_mode="bounded"`` stays
+            object-only -- its interval refinement is inherently
+            per-advertiser.  Requires numpy.
         throttle: Apply Section IV bid throttling against outstanding ads.
         throttle_mode: How throttled bids reach the ranking stage.
             ``"exact"`` (default) computes every occurring advertiser's
@@ -239,6 +267,7 @@ class SharedAuctionEngine:
         slot_factors: Sequence[float],
         search_rates: Mapping[str, float],
         mode: str = "shared",
+        layout: str = "object",
         throttle: bool = True,
         throttle_mode: str = "exact",
         throttle_cache: bool = False,
@@ -257,6 +286,16 @@ class SharedAuctionEngine:
     ) -> None:
         if mode not in ("shared", "unshared", "shared-sort"):
             raise InvalidAuctionError(f"unknown engine mode {mode!r}")
+        if layout not in ("object", "columnar"):
+            raise InvalidAuctionError(f"unknown layout {layout!r}")
+        if layout == "columnar":
+            require_numpy()
+            if throttle_mode == "bounded":
+                raise InvalidAuctionError(
+                    "layout='columnar' vectorizes exact scoring; the "
+                    "bounded interval regime refines advertisers one at "
+                    "a time and stays on layout='object'"
+                )
         if throttle_mode not in ("exact", "bounded"):
             raise InvalidAuctionError(
                 f"unknown throttle mode {throttle_mode!r}"
@@ -294,6 +333,7 @@ class SharedAuctionEngine:
             )
         self.advertisers = tuple(advertisers)
         self.mode = mode
+        self.layout = layout
         self.throttle = throttle
         self.throttle_mode = throttle_mode
         self.throttle_cache = throttle_cache
@@ -383,6 +423,22 @@ class SharedAuctionEngine:
         self._executor: Optional[PlanExecutor] = None
         self._sort_plan = None
         self._sort_cache = None
+        self._columnar_exec = None
+        self._columnar_sort = None
+        self._store: Optional[ColumnarStore] = None
+        if layout == "columnar":
+            self._store = ColumnarStore.from_advertisers(self.advertisers)
+            # Full-length scratch: the scoring stage scatters the round's
+            # effective bids / scores into row space so every downstream
+            # kernel indexes by row with no per-id lookups.  Rows outside
+            # the round's occurring set hold stale values by design --
+            # kernels only ever read occurring rows.
+            self._eff_by_row = np.zeros(self._store.size, dtype=np.float64)
+            self._score_by_row = np.zeros(self._store.size, dtype=np.float64)
+            # -1 == "never scored", matching the object path's dict-absent
+            # semantics for the multiplicity change feed.
+            self._last_m_row = np.full(self._store.size, -1, dtype=np.int64)
+            self._occurring_rows = None
         if throttle_mode == "bounded":
             # Bound-driven selection ranks each phrase directly from the
             # throttle cache's intervals; no aggregation plan or shared
@@ -395,27 +451,41 @@ class SharedAuctionEngine:
                 )
                 for phrase, ids in self.phrase_advertisers.items()
             )
-            strategy = "cover" if len(instance.variables) > 64 else "full"
-            plan = greedy_shared_plan(
-                instance,
-                pair_strategy=strategy,
-                planner=planner,
-                collector=self.collector,
-            )
-            # k + 1 so GSP can read the runner-up score.
-            if exec_cache:
-                executor = CrossRoundPlanExecutor(
-                    plan,
-                    self.k + 1,
-                    self.collector,
-                    capacity=exec_cache_capacity,
-                    verify=cache_verify,
-                    autotuner=self.autotuner,
+            if layout == "columnar" and not exec_cache:
+                # The greedy plan's sharing structure collapses to
+                # fragment row slices in array space; the plan DAG is
+                # never built.  The cross-round cache keeps the object
+                # executor (its dirty cones are keyed to DAG nodes) and
+                # is fed vectorized scores instead.
+                from repro.plans.columnar_exec import ColumnarFragmentExecutor
+
+                self._columnar_exec = ColumnarFragmentExecutor(
+                    instance, self._store, self.k + 1, self.collector
                 )
-                executor.connect(self.changefeed)
-                self._executor = executor
             else:
-                self._executor = PlanExecutor(plan, self.k + 1, self.collector)
+                strategy = "cover" if len(instance.variables) > 64 else "full"
+                plan = greedy_shared_plan(
+                    instance,
+                    pair_strategy=strategy,
+                    planner=planner,
+                    collector=self.collector,
+                )
+                # k + 1 so GSP can read the runner-up score.
+                if exec_cache:
+                    executor = CrossRoundPlanExecutor(
+                        plan,
+                        self.k + 1,
+                        self.collector,
+                        capacity=exec_cache_capacity,
+                        verify=cache_verify,
+                        autotuner=self.autotuner,
+                    )
+                    executor.connect(self.changefeed)
+                    self._executor = executor
+                else:
+                    self._executor = PlanExecutor(
+                        plan, self.k + 1, self.collector
+                    )
             # Phrases with identical advertiser sets are A-equivalent and
             # deduplicate to one plan query; map each phrase to the
             # surviving query's name.
@@ -427,6 +497,16 @@ class SharedAuctionEngine:
                 phrase: by_varset[frozenset(ids)]
                 for phrase, ids in self.phrase_advertisers.items()
             }
+        elif mode == "shared-sort" and layout == "columnar" and not sort_cache:
+            # One shared lexsort per round replaces the merge network;
+            # per-phrase CTR presorts live in the store.  As with the
+            # exec cache, the cross-round sort cache keeps the object
+            # network (it adopts live stream objects across rounds).
+            from repro.sharedsort.columnar import ColumnarThresholdKernel
+
+            self._columnar_sort = ColumnarThresholdKernel(
+                self._store, self.k + 1, self.collector
+            )
         elif mode == "shared-sort":
             from repro.sharedsort.cache import CrossRoundSortCache
             from repro.sharedsort.plan import build_shared_sort_plan
@@ -639,13 +719,18 @@ class SharedAuctionEngine:
 
     def _effective_scores(
         self, phrases: Sequence[str], round_index: int
-    ) -> Tuple[Dict[int, float], Dict[int, float]]:
+    ) -> Tuple[Mapping[int, float], Mapping[int, float]]:
         """Stage 2: effective scores ``b̂_i * c_i`` for the occurring set.
 
         Returns:
             ``(scores, effective_bid_cents)`` over exactly the
-            advertisers bidding on ``phrases``.
+            advertisers bidding on ``phrases`` (plain dicts under the
+            object layout, :class:`repro.core.columnar.ArrayScoreMap`
+            adapters under the columnar layout -- values are
+            bit-identical either way).
         """
+        if self._store is not None:
+            return self._effective_scores_columnar(phrases, round_index)
         auctions_of: Dict[int, int] = {}
         for phrase in phrases:
             for advertiser_id in self.phrase_advertisers[phrase]:
@@ -695,27 +780,143 @@ class SharedAuctionEngine:
             self._last_multiplicity.update(auctions_of)
         return scores, effective_bid_cents
 
+    def _effective_scores_columnar(
+        self, phrases: Sequence[str], round_index: int
+    ) -> Tuple[ArrayScoreMap, ArrayScoreMap]:
+        """Stage 2 vectorized: whole-array scoring over occurring rows.
+
+        Bit-identical to the object stage: for an advertiser with no
+        outstanding debt the Section IV exact throttle collapses to the
+        closed form ``min(m * min(b, β), β) / m`` (with an empty ledger
+        the DP/enumeration has a single outcome with spend 0), which is
+        computed here as three int64 array ops and one true division --
+        ``int64/int64`` and Python ``int/int`` both round correctly, so
+        the floats agree bitwise.  Debt-carrying advertisers (a small
+        minority of any round) drop to the object path's exact
+        DP/enumeration per advertiser.
+        """
+        store = self._store
+        assert store is not None
+        counts = np.zeros(store.size, dtype=np.int64)
+        for phrase in phrases:
+            # Rows within one phrase are distinct, so fancy-index += is
+            # an exact per-phrase increment.
+            counts[store.phrase_rows(phrase)] += 1
+        rows = np.flatnonzero(counts)
+        m = counts[rows]
+        ids_sub = store.ids[rows]
+        spent_map = self.budget_manager.spent_snapshot()
+        spent = np.zeros(store.size, dtype=np.int64)
+        if spent_map:
+            spent[store.rows_of(list(spent_map))] = np.fromiter(
+                spent_map.values(), dtype=np.int64, count=len(spent_map)
+            )
+        remaining_sub = np.maximum(store.budget_cents - spent, 0)[rows]
+        bid_sub = store.bid_cents[rows]
+        collector = self.collector
+        cache = self._throttle_cache
+        if self.throttle and cache is not None:
+            # Memoized exact path: the cache owns the throttle.* metric
+            # bookkeeping and the change-feed-driven reuse, both keyed
+            # per advertiser, so scoring stays a per-id loop here.
+            effective_sub = np.empty(len(rows), dtype=np.float64)
+            for position in range(len(rows)):
+                effective_sub[position] = cache.exact_bid(
+                    int(ids_sub[position]),
+                    int(bid_sub[position]),
+                    int(m[position]),
+                    round_index,
+                )
+        elif self.throttle:
+            capped = np.minimum(bid_sub, remaining_sub)
+            effective_sub = np.minimum(m * capped, remaining_sub) / m
+            fallbacks = 0
+            for advertiser_id in sorted(self.budget_manager.outstanding_counts()):
+                position = int(np.searchsorted(ids_sub, advertiser_id))
+                if (
+                    position == len(ids_sub)
+                    or int(ids_sub[position]) != advertiser_id
+                ):
+                    continue  # carries debt but occurs in no phrase
+                problem = self.budget_manager.throttle_problem(
+                    advertiser_id,
+                    int(bid_sub[position]),
+                    int(m[position]),
+                    round_index,
+                )
+                if (
+                    collector.enabled
+                    and problem.bid_cents > 0
+                    and not problem.trivially_unthrottled()
+                ):
+                    collector.incr(metric_names.THROTTLE_EXACT_FALLBACKS)
+                effective_sub[position] = exact_throttled_bid(problem)
+                fallbacks += 1
+            if collector.enabled and fallbacks:
+                collector.incr(
+                    metric_names.COLUMNAR_THROTTLE_FALLBACKS, fallbacks
+                )
+        else:
+            effective_sub = np.minimum(bid_sub, remaining_sub).astype(
+                np.float64
+            )
+        score_sub = effective_sub / 100.0 * store.ctr_factors[rows]
+        self._eff_by_row[rows] = effective_sub
+        self._score_by_row[rows] = score_sub
+        self._occurring_rows = rows
+        if collector.enabled:
+            collector.incr(metric_names.COLUMNAR_SCORE_BATCHES)
+            collector.incr(metric_names.COLUMNAR_SCORE_ROWS, int(len(rows)))
+        if self.changefeed.active:
+            # Same publisher contract as the object path (multiplicity
+            # feeds the throttle problem); the per-round event *set* is
+            # identical, published in ascending-id order.
+            for row in rows[self._last_m_row[rows] != m]:
+                self.changefeed.publish(BidChanged(int(store.ids[row])))
+            self._last_m_row[rows] = m
+        return (
+            ArrayScoreMap(ids_sub, score_sub),
+            ArrayScoreMap(ids_sub, effective_sub),
+        )
+
     def _rank_phrases(
         self,
         phrases: Sequence[str],
-        scores: Dict[int, float],
-        effective_bid_cents: Dict[int, float],
+        scores: Mapping[int, float],
+        effective_bid_cents: Mapping[int, float],
         report: RoundReport,
     ) -> Dict[str, TopKList]:
         """Stage 3: rankings via shared plan, shared sort + TA, or scans."""
         rankings: Dict[str, TopKList] = {}
         if self.mode == "shared":
-            assert self._executor is not None
             canonical = sorted({self._phrase_alias[p] for p in phrases})
-            # A connected CrossRoundPlanExecutor drains its change-feed
-            # subscription inside run_round; the base executor just runs.
-            result = self._executor.run_round(scores, canonical)
+            if self._columnar_exec is not None:
+                result = self._columnar_exec.run_round(
+                    self._score_by_row, canonical
+                )
+            else:
+                assert self._executor is not None
+                # A connected CrossRoundPlanExecutor drains its
+                # change-feed subscription inside run_round; the base
+                # executor just runs.
+                result = self._executor.run_round(scores, canonical)
             rankings = {
                 phrase: result.answers[self._phrase_alias[phrase]]
                 for phrase in phrases
             }
             report.merges += result.merges_performed
             report.scans += result.advertisers_scanned
+        elif self.mode == "shared-sort" and self._columnar_sort is not None:
+            kernel = self._columnar_sort
+            # The shared presort materializes every occurring row once;
+            # report it where the object path reports network pulls.
+            report.merges += kernel.begin_round(
+                self._eff_by_row, self._occurring_rows
+            )
+            for phrase in phrases:
+                ranking, sorted_accesses = kernel.rank_phrase(phrase)
+                rankings[phrase] = ranking
+                report.scans += sorted_accesses
         elif self.mode == "shared-sort":
             assert self._sort_plan is not None
             from repro.sharedsort.threshold import threshold_top_k
@@ -750,6 +951,17 @@ class SharedAuctionEngine:
             # cross-round cache it excludes pulls adopted streams
             # performed in earlier rounds.
             report.merges += live.round_pulls()
+        elif self._store is not None:
+            store = self._store
+            for phrase in phrases:
+                phrase_rows = store.phrase_rows(phrase)
+                report.scans += len(phrase_rows)
+                rankings[phrase] = columnar_top_k(
+                    self.k + 1,
+                    self._score_by_row[phrase_rows],
+                    store.ids[phrase_rows],
+                    self.collector,
+                )
         else:
             for phrase in phrases:
                 ids = self.phrase_advertisers[phrase]
@@ -824,7 +1036,7 @@ class SharedAuctionEngine:
         self,
         phrase: str,
         ranking: TopKList,
-        effective_bid_cents: Dict[int, float],
+        effective_bid_cents: Mapping[int, float],
         round_index: int,
         report: RoundReport,
     ) -> None:

@@ -132,6 +132,17 @@ name                      meaning (paper reference)
 ``cache.bypass_rounds``   rounds a cross-round cache ran fresh because
                           the windowed dirty fraction made caching a
                           net loss.
+``columnar.score_batches``  vectorized scoring batches executed by the
+                          columnar engine (one per round with occurring
+                          phrases under ``layout="columnar"``).
+``columnar.score_rows``   occurring rows scored per vectorized batch --
+                          the columnar layout's unit of scoring work,
+                          comparable to one object-path advertiser loop
+                          iteration each.
+``columnar.throttle_fallbacks``  debt-carrying advertisers the columnar
+                          scorer handed back to the object path's exact
+                          per-advertiser DP/enumeration (the closed-form
+                          array kernel covers only empty-ledger rows).
 ``engine.rounds``         rounds resolved by the engine.
 ``engine.phrases``        phrase auctions resolved.
 ``engine.displays``       ads displayed.
@@ -211,6 +222,9 @@ __all__ = [
     "BUS_EVENTS_CONSUMED",
     "CACHE_AUTOTUNE_RESIZES",
     "CACHE_BYPASS_ROUNDS",
+    "COLUMNAR_SCORE_BATCHES",
+    "COLUMNAR_SCORE_ROWS",
+    "COLUMNAR_THROTTLE_FALLBACKS",
     "ENGINE_ROUNDS",
     "ENGINE_PHRASES",
     "ENGINE_DISPLAYS",
@@ -288,6 +302,11 @@ BUS_EVENTS_PUBLISHED = "bus.events_published"
 BUS_EVENTS_CONSUMED = "bus.events_consumed"
 CACHE_AUTOTUNE_RESIZES = "cache.autotune_resizes"
 CACHE_BYPASS_ROUNDS = "cache.bypass_rounds"
+
+# Columnar (struct-of-arrays) kernels.
+COLUMNAR_SCORE_BATCHES = "columnar.score_batches"
+COLUMNAR_SCORE_ROWS = "columnar.score_rows"
+COLUMNAR_THROTTLE_FALLBACKS = "columnar.throttle_fallbacks"
 
 # Engine rollups.
 ENGINE_ROUNDS = "engine.rounds"

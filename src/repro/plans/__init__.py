@@ -20,9 +20,15 @@ Modules:
 - :mod:`repro.plans.optimal` -- exhaustive optimal planning (small n).
 - :mod:`repro.plans.reductions` -- the Theorem 2/3 set-cover reductions.
 - :mod:`repro.plans.executor` -- runs a plan on live bids each round.
+- :mod:`repro.plans.columnar_exec` -- vectorized fragment-level
+  execution over a columnar store (no plan DAG).
 """
 
 from repro.plans.baselines import fragment_only_plan, no_sharing_plan
+from repro.plans.columnar_exec import (
+    ColumnarExecResult,
+    ColumnarFragmentExecutor,
+)
 from repro.plans.cost import expected_plan_cost, node_materialization_probability
 from repro.plans.dag import Plan, PlanNode
 from repro.plans.executor import (
@@ -40,6 +46,8 @@ from repro.plans.varsets import SubsetIndex, VarSetInterner
 
 __all__ = [
     "AggregateQuery",
+    "ColumnarExecResult",
+    "ColumnarFragmentExecutor",
     "CrossRoundCache",
     "CrossRoundPlanExecutor",
     "ExecutionResult",

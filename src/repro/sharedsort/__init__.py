@@ -21,6 +21,7 @@ only the bids ``b_i`` are shared.  Section III's architecture:
 """
 
 from repro.sharedsort.cache import CrossRoundSortCache
+from repro.sharedsort.columnar import ColumnarThresholdKernel
 from repro.sharedsort.cost import (
     expected_full_sort_cost,
     expected_savings_of_merge,
@@ -37,6 +38,7 @@ from repro.sharedsort.serialize import plan_to_dict, serialize_plan
 from repro.sharedsort.threshold import ThresholdResult, threshold_top_k
 
 __all__ = [
+    "ColumnarThresholdKernel",
     "CrossRoundSortCache",
     "LeafSource",
     "LiveSharedSort",

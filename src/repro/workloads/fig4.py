@@ -85,6 +85,7 @@ def fig4_market(
     membership_probability: float = 0.5,
     median_bid_cents: int = 120,
     median_budget_cents: int = 1500,
+    num_components: int = 1,
     seed: int = 0,
 ) -> Tuple[List[Advertiser], Dict[str, float]]:
     """An engine-ready market over a Fig. 4 sharing structure.
@@ -103,12 +104,63 @@ def fig4_market(
     flips left out of every query are dropped: the engine has no phrase
     to auction them under.
 
+    Args:
+        num_components: Number of disjoint Fig. 4 sub-markets to tile.
+            ``1`` (the default) reproduces the original single draw
+            byte-for-byte.  ``c > 1`` draws ``c`` independent topologies
+            (seeds ``seed*1000 + component``), each with its own
+            advertiser-id range (offset by ``num_advertisers``) and
+            phrase namespace (``c0q0``, ``c1q0``, ...).  Coin-flip
+            membership keeps each sub-market internally connected with
+            overwhelming probability, so the tiled market has ``c``
+            phrase-advertiser connected components -- the scaled shape
+            the sharded engine partitions across workers.  Per-component
+            query/advertiser counts are the other knobs unchanged, so
+            ``num_queries=60, num_advertisers=250, num_components=8``
+            yields a 2000-advertiser, 480-phrase market.
+
     Returns:
         ``(advertisers, search_rates)`` where ``search_rates`` maps each
-        query phrase (``q0``..) to its common ``query_probability`` --
-        the shape :meth:`TrafficGenerator.from_search_rates` and
+        query phrase (``q0``.., or ``c0q0``.. when tiling) to its common
+        ``query_probability`` -- the shape
+        :meth:`TrafficGenerator.from_search_rates` and
         :class:`~repro.engine.pipeline.SharedAuctionEngine` both accept.
     """
+    if num_components < 1:
+        raise ValueError(
+            f"num_components must be >= 1, got {num_components}"
+        )
+    if num_components > 1:
+        advertisers: List[Advertiser] = []
+        search_rates: Dict[str, float] = {}
+        for component in range(num_components):
+            sub_advertisers, sub_rates = fig4_market(
+                query_probability,
+                num_queries=num_queries,
+                num_advertisers=num_advertisers,
+                membership_probability=membership_probability,
+                median_bid_cents=median_bid_cents,
+                median_budget_cents=median_budget_cents,
+                num_components=1,
+                seed=seed * 1000 + component,
+            )
+            offset = component * num_advertisers
+            for advertiser in sub_advertisers:
+                advertisers.append(
+                    Advertiser(
+                        advertiser.advertiser_id + offset,
+                        bid=advertiser.bid,
+                        ctr_factor=advertiser.ctr_factor,
+                        daily_budget=advertiser.daily_budget,
+                        phrases=frozenset(
+                            f"c{component}{phrase}"
+                            for phrase in advertiser.phrases
+                        ),
+                    )
+                )
+            for phrase, rate in sub_rates.items():
+                search_rates[f"c{component}{phrase}"] = rate
+        return advertisers, search_rates
     instance = fig4_instance(
         query_probability,
         num_queries=num_queries,
@@ -118,7 +170,7 @@ def fig4_market(
     )
     rng = random.Random(f"fig4-market-{seed}")
     phrases_by_advertiser: Dict[int, set] = {}
-    search_rates: Dict[str, float] = {}
+    search_rates = {}
     for query in instance.queries:
         search_rates[query.name] = query.search_rate
         for advertiser_id in sorted(query.variables):

@@ -146,3 +146,25 @@ class TestTopKScan:
         via_scan = top_k_scan(k, data)
         via_sort = TopKList(k, data)
         assert via_scan == via_sort
+
+    def test_all_duplicate_stream_keeps_best_score(self):
+        """Regression: a stream that is one id repeated n times.
+
+        An earlier implementation re-heapified on every repeated id,
+        degrading to O(n*k) on exactly this stream; the pre-pass
+        resolves duplicates to their best score in O(n) and must keep
+        only a single entry.
+        """
+        stream = [(float(i % 7), 42) for i in range(5_000)]
+        result = top_k_scan(3, stream)
+        assert result.entries == (ScoredAdvertiser(6.0, 42),)
+
+    def test_duplicates_across_many_ids_keep_per_id_best(self):
+        stream = [
+            (1.0, 1), (9.0, 2), (3.0, 1), (2.0, 2), (3.0, 3), (0.5, 3)
+        ]
+        result = top_k_scan(2, stream)
+        assert result.entries == (
+            ScoredAdvertiser(9.0, 2),
+            ScoredAdvertiser(3.0, 1),
+        )

@@ -1,0 +1,242 @@
+"""Layout differential: columnar kernels vs the object oracle.
+
+``layout="columnar"`` swaps the engine's three hottest kernels --
+effective scoring, per-phrase top-k, and TA sorted access -- for
+vectorized numpy implementations.  The implementation promise is *byte
+identity*, not approximate agreement: the same winners, the same GSP
+prices, the same budget trajectories, round for round, under every mode
+and cache combination.  The object layout is the oracle; these tests run
+both layouts in lockstep on randomized markets across 50 seeds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.core.advertiser import Advertiser
+from repro.engine.pipeline import SharedAuctionEngine
+from repro.errors import InvalidAuctionError
+from repro.instrument import MetricsCollector, names
+from repro.workloads.generator import MarketConfig, generate_market
+
+DIFFERENTIAL_SEEDS = range(50)
+
+# Every engine configuration the columnar layout supports, exercised
+# with the caches both off and on and with the caches' exact soundness
+# cross-check enabled (cache_verify=True is the constructor default).
+CONFIGS = {
+    "unshared": dict(mode="unshared", throttle=False),
+    "unshared+throttle": dict(mode="unshared", throttle=True),
+    "shared": dict(mode="shared"),
+    "shared+caches": dict(
+        mode="shared", exec_cache=True, throttle_cache=True,
+        cache_verify=True,
+    ),
+    "shared-sort": dict(mode="shared-sort"),
+    "shared-sort+cache": dict(
+        mode="shared-sort", sort_cache=True, cache_verify=True
+    ),
+}
+
+
+def _small_market(seed: int):
+    return generate_market(
+        MarketConfig(
+            num_categories=3,
+            phrases_per_category=3,
+            specialists_per_category=5,
+            generalists=3,
+            generalist_categories=2,
+            median_budget_cents=2_000,
+            seed=seed,
+        )
+    )
+
+
+def _with_overrides(advertisers, seed: int):
+    """Give a third of the population per-phrase CTR overrides.
+
+    The shared-sort TA kernel walks per-phrase CTR-ranked lists, so the
+    ``c_i^q`` override path (Section III) needs its own coverage: the
+    phrase-independent rank order and the per-phrase order genuinely
+    differ on these markets.
+    """
+    rng = random.Random(f"overrides-{seed}")
+    result = []
+    for advertiser in advertisers:
+        if rng.random() < 1 / 3 and advertiser.phrases:
+            overrides = {
+                phrase: round(rng.uniform(0.3, 1.8), 3)
+                for phrase in sorted(advertiser.phrases)
+                if rng.random() < 0.5
+            }
+            advertiser = Advertiser(
+                advertiser.advertiser_id,
+                bid=advertiser.bid,
+                ctr_factor=advertiser.ctr_factor,
+                daily_budget=advertiser.daily_budget,
+                phrases=advertiser.phrases,
+                phrase_ctr_factors=overrides,
+            )
+        result.append(advertiser)
+    return result
+
+
+def _build(advertisers, search_rates, layout, seed, collector=None, **kw):
+    return SharedAuctionEngine(
+        advertisers,
+        slot_factors=[0.3, 0.2, 0.1],
+        search_rates=search_rates,
+        layout=layout,
+        seed=seed,
+        collector=collector,
+        **kw,
+    )
+
+
+def _run_lockstep(advertisers, search_rates, seed, rounds=8, **kw):
+    """Drive object and columnar engines round-for-round in lockstep.
+
+    The object engine samples the occurring phrases; both engines then
+    run the identical set with synchronized RNG states, and every
+    outcome surface -- allocations (winners *and* prices), revenue,
+    forgiven value, displays, clicks, and each advertiser's remaining
+    budget -- must match exactly.
+    """
+    collector_object = MetricsCollector()
+    collector_columnar = MetricsCollector()
+    engine_object = _build(
+        advertisers, search_rates, "object", seed, collector_object, **kw
+    )
+    engine_columnar = _build(
+        advertisers, search_rates, "columnar", seed, collector_columnar,
+        **kw,
+    )
+    for round_index in range(rounds):
+        occurring = engine_object.sample_occurring_phrases()
+        engine_columnar._rng.setstate(engine_object._rng.getstate())
+        report_object = engine_object.run_round(occurring)
+        report_columnar = engine_columnar.run_round(occurring)
+        assert report_object.allocations == report_columnar.allocations, (
+            f"layouts diverged in round {round_index} (seed {seed})"
+        )
+        assert report_object.revenue_cents == report_columnar.revenue_cents
+        assert (
+            report_object.forgiven_cents == report_columnar.forgiven_cents
+        )
+        assert report_object.displays == report_columnar.displays
+        assert report_object.clicks == report_columnar.clicks
+        for advertiser in advertisers:
+            assert engine_object.budget_manager.remaining_cents(
+                advertiser.advertiser_id
+            ) == engine_columnar.budget_manager.remaining_cents(
+                advertiser.advertiser_id
+            ), f"budget trajectory diverged in round {round_index}"
+        engine_object._rng.setstate(engine_columnar._rng.getstate())
+    assert (
+        engine_object.budget_manager.spent_snapshot()
+        == engine_columnar.budget_manager.spent_snapshot()
+    )
+    return collector_object, collector_columnar
+
+
+class TestColumnarMatchesObject:
+    """The full 50-seed sweep on the cheap configurations."""
+
+    @pytest.mark.parametrize("seed", DIFFERENTIAL_SEEDS)
+    def test_unshared_with_throttle(self, seed):
+        market = _small_market(seed)
+        _, columnar = _run_lockstep(
+            market.advertisers, market.search_rates, seed,
+            **CONFIGS["unshared+throttle"],
+        )
+        # Rounds where no phrase occurs skip the scoring batch, so the
+        # count is bounded by, not equal to, the number of rounds.
+        assert 1 <= columnar.counter(names.COLUMNAR_SCORE_BATCHES) <= 8
+        assert columnar.counter(names.COLUMNAR_SCORE_ROWS) > 0
+
+    @pytest.mark.parametrize("seed", range(0, 50, 5))
+    def test_unshared_no_throttle(self, seed):
+        market = _small_market(seed)
+        _run_lockstep(
+            market.advertisers, market.search_rates, seed,
+            **CONFIGS["unshared"],
+        )
+
+    @pytest.mark.parametrize("seed", DIFFERENTIAL_SEEDS)
+    def test_shared(self, seed):
+        market = _small_market(seed)
+        _, columnar = _run_lockstep(
+            market.advertisers, market.search_rates, seed,
+            **CONFIGS["shared"],
+        )
+        # The columnar executor really ran fragments, not a fallback.
+        assert columnar.counter(names.PLAN_LEAF_SCANS) > 0
+
+    @pytest.mark.parametrize("seed", range(0, 50, 5))
+    def test_shared_with_caches_verified(self, seed):
+        market = _small_market(seed)
+        _run_lockstep(
+            market.advertisers, market.search_rates, seed,
+            **CONFIGS["shared+caches"],
+        )
+
+    @pytest.mark.parametrize("seed", range(0, 50, 5))
+    def test_shared_sort_with_overrides(self, seed):
+        market = _small_market(seed)
+        advertisers = _with_overrides(market.advertisers, seed)
+        _, columnar = _run_lockstep(
+            advertisers, market.search_rates, seed,
+            **CONFIGS["shared-sort"],
+        )
+        assert columnar.counter(names.TA_RUNS) > 0
+        assert columnar.counter(names.TA_SORTED_ACCESSES) > 0
+
+    @pytest.mark.parametrize("seed", range(0, 50, 10))
+    def test_shared_sort_cache_stays_object_backed(self, seed):
+        # sort_cache keeps the object-side merge network; the columnar
+        # layout feeds it vectorized scores.  Outcomes must not move.
+        market = _small_market(seed)
+        _run_lockstep(
+            market.advertisers, market.search_rates, seed,
+            **CONFIGS["shared-sort+cache"],
+        )
+
+
+class TestLayoutValidation:
+    def test_unknown_layout_rejected(self):
+        market = _small_market(0)
+        with pytest.raises(InvalidAuctionError, match="unknown layout"):
+            _build(market.advertisers, market.search_rates, "rowwise", 0)
+
+    def test_columnar_refuses_bounded_throttle(self):
+        market = _small_market(0)
+        with pytest.raises(InvalidAuctionError, match="bounded"):
+            _build(
+                market.advertisers, market.search_rates, "columnar", 0,
+                throttle_mode="bounded",
+            )
+
+    def test_columnar_full_run_matches_object_end_to_end(self):
+        # A plain .run() (engine-sampled phrases, terminal click flush)
+        # as the CLI drives it, compared on the final report.
+        market = _small_market(3)
+        reports = {}
+        for layout in ("object", "columnar"):
+            engine = _build(
+                market.advertisers, market.search_rates, layout, 3
+            )
+            reports[layout] = engine.run(10)
+        assert (
+            reports["object"].revenue_cents
+            == reports["columnar"].revenue_cents
+        )
+        assert (
+            reports["object"].forgiven_cents
+            == reports["columnar"].forgiven_cents
+        )
+        assert reports["object"].clicks == reports["columnar"].clicks

@@ -302,3 +302,79 @@ class TestThrottleFlags:
     def test_gaming_at_scale_rejects_zero_attackers(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["gaming", "--at-scale", "0"])
+
+
+class TestLayoutAndWorkerFlags:
+    def test_engine_columnar_layout(self, capsys):
+        pytest.importorskip("numpy")
+        assert (
+            main(["engine", "--rounds", "4", "--layout", "columnar"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "+columnar" in out
+
+    def test_engine_columnar_matches_object_revenue(self, capsys):
+        pytest.importorskip("numpy")
+        outputs = {}
+        for layout in ("object", "columnar"):
+            assert (
+                main(
+                    [
+                        "engine", "--rounds", "5", "--seed", "3",
+                        "--layout", layout,
+                    ]
+                )
+                == 0
+            )
+            outputs[layout] = capsys.readouterr().out
+        revenue = {
+            layout: out.splitlines()[-1].split()[-2]
+            for layout, out in outputs.items()
+        }
+        assert revenue["object"] == revenue["columnar"]
+
+    def test_engine_workers_runs_sharded(self, capsys):
+        pytest.importorskip("numpy")
+        assert (
+            main(
+                [
+                    "engine", "--rounds", "4", "--workers", "2",
+                    "--layout", "columnar",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Sharded run" in out
+        assert "+workers=2" in out
+
+    def test_layout_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["engine", "--layout", "rowwise"])
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["engine", "--workers", "0"])
+
+    def test_columnar_rejects_bounded_throttle(self, capsys):
+        assert (
+            main(
+                [
+                    "engine", "--layout", "columnar",
+                    "--throttle-mode", "bounded",
+                ]
+            )
+            == 1
+        )
+        assert "bounded" in capsys.readouterr().err
+
+    def test_workers_reject_serve(self, capsys):
+        assert main(["engine", "--workers", "2", "--serve"]) == 1
+        assert "--serve" in capsys.readouterr().err
+
+    def test_workers_reject_trace_json(self, capsys, tmp_path):
+        trace = str(tmp_path / "trace.json")
+        assert (
+            main(["engine", "--workers", "2", "--trace-json", trace]) == 1
+        )
+        assert "--trace-json" in capsys.readouterr().err
