@@ -49,8 +49,12 @@ TRACKED: Tuple[Tuple[str, str, str, float], ...] = (
     ("BENCH_changefeed", "per_event_seconds", "<=", 1e-4),
     ("BENCH_serving", "gates.exec_cache_work_ratio", "<=", 0.9),
     ("BENCH_serving", "gates.sort_cache_work_ratio", "<=", 0.9),
+    ("BENCH_serving", "columnar_serving.outcomes_identical", "is_true", 0),
+    ("BENCH_serving", "columnar_serving.speedup_per_query", ">=", 2.0),
     ("BENCH_columnar", "kernels.outcomes_identical", "is_true", 0),
     ("BENCH_columnar", "kernels.speedup", ">=", 3.0),
+    ("BENCH_columnar", "matching.outcomes_identical", "is_true", 0),
+    ("BENCH_columnar", "matching.kernel_speedup", ">=", 3.0),
     ("BENCH_columnar", "sharded.single_shard_identical", "is_true", 0),
 )
 

@@ -183,7 +183,13 @@ def test_serving_qps_latency_and_cache_amortization(benchmark):
     again, _ = work_session(mode="shared", exec_cache=True, cache_verify=False)
     assert again == counters_by_label["shared +exec-cache"]
 
-    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    # Merge-preserve: test_bench_columnar_serving.py owns the
+    # "columnar_serving" key in the same file.
+    merged = {}
+    if BENCH_JSON.exists():
+        merged = json.loads(BENCH_JSON.read_text())
+    merged.update(record)
+    BENCH_JSON.write_text(json.dumps(merged, indent=2) + "\n")
 
     # Timed kernel: one steady-state cached serving tick, end to end.
     loop = make_loop(mode="shared", exec_cache=True, cache_verify=False)

@@ -122,9 +122,14 @@ def compare_throttled_bids(
     step = 0
     while True:
         a, b = first.bounds, second.bounds
-        if a.lo > b.hi:
+        # Separation must clear the same 1e-9 near-tie margin used
+        # below: a collapsed interval's endpoints carry float noise
+        # from a different summation order than the exact DP, so two
+        # mathematically equal values can land strictly disjoint by a
+        # few ulps -- which must resolve by id, not by that noise.
+        if a.lo > b.hi + 1e-9:
             return 1
-        if b.lo > a.hi:
+        if b.lo > a.hi + 1e-9:
             return -1
         refinable = [bid for bid in (first, second) if not bid.exact]
         if not refinable:

@@ -7,11 +7,16 @@ advertiser-slot bipartite graph weighted by expected realized bid
 slot, and run the Hungarian algorithm on the pruned ``O(k^2) x k`` graph.
 
 This module implements the Hungarian algorithm from scratch (Kuhn 1955,
-in the potential/augmenting-path formulation, ``O(n^3)``) for rectangular
-maximum-weight matchings where every right-hand vertex (slot) must be
-matched if possible but weights may be skipped when beneficial is not
-needed here: all weights are non-negative, so a maximum-weight perfect
-matching on the padded square matrix is also value-maximal.
+in the potential/augmenting-path formulation, ``O(n^3)``).  The solver
+works on square matrices, so :func:`hungarian_max_weight` pads the
+rectangular ``m x k`` advertiser-slot matrix to ``n x n`` with
+``n = max(m, k)`` zero-weight dummy cells and converts weights to costs
+(``big - weight``).  The padding argument: every weight is
+non-negative, so a minimum-cost *perfect* matching on the padded square
+matrix never loses value by routing a real vertex through a dummy cell
+unless no positive-weight partner remains -- hence it restricts to a
+maximum-weight matching of the original rectangle, with
+``weight <= 0`` pairs reported as unassigned.
 """
 
 from __future__ import annotations

@@ -17,23 +17,44 @@ Two regimes are implemented:
   matching on the pruned graph with the Hungarian algorithm.  A
   brute-force exact matcher over the *unpruned* graph is also provided for
   cross-validation.
+
+The non-separable path additionally has a *columnar* kernel
+(:func:`determine_winners_nonseparable_columnar`): the ``n x k`` weight
+matrix is built as one outer-product-shaped numpy op
+(``ctr_matrix * bids[:, None]``), each slot's top-k prune is an
+``np.argpartition`` column selection with the same boundary-tie
+expansion discipline as :func:`repro.core.columnar.columnar_top_k`, and
+the pruned ``O(k^2) x k`` graph feeds the *same*
+:func:`repro.core.matching.hungarian_max_weight`.  Per-element float
+products are IEEE-identical to the object path's
+``model.ctr(i, j) * a.bid`` and the per-slot selection reproduces
+``top_k_scan`` byte for byte, so the object path stays the exact
+differential oracle, not an approximate one.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.advertiser import Advertiser
 from repro.core.auction import Allocation, AuctionSpec
+from repro.core.columnar import columnar_top_k, require_numpy
 from repro.core.ctr import CTRModel, MatrixCTRModel, SeparableCTRModel
 from repro.core.matching import hungarian_max_weight
 from repro.core.topk import ScoredAdvertiser, TopKList, top_k_scan
 from repro.errors import InvalidAuctionError
 
+try:  # pragma: no cover - numpy ships with the package
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
 __all__ = [
     "determine_winners",
     "determine_winners_separable",
     "determine_winners_nonseparable",
+    "determine_winners_nonseparable_columnar",
+    "nonseparable_weight_matrix",
     "allocation_from_topk",
     "prune_candidates",
 ]
@@ -142,6 +163,113 @@ def determine_winners_nonseparable(
     for row, j in enumerate(assignment):
         if j is not None:
             slots[j] = candidates[row].advertiser_id
+    return Allocation(tuple(slots), total)
+
+
+def nonseparable_weight_matrix(
+    spec: AuctionSpec,
+) -> Tuple["np.ndarray", "np.ndarray"]:
+    """The Section V bipartite weights as arrays (advertisers in spec order).
+
+    Returns:
+        ``(ids, weights)``: the advertiser ids (int64, spec order) and
+        the ``n x k`` float64 matrix with ``weights[i, j] =
+        ctr_ij * b_i``.  The CTR matrix is gathered row-wise from a
+        :class:`MatrixCTRModel` (one C-level conversion) or through
+        ``model.ctr`` calls for any other model; the bid product is one
+        vectorized broadcast, elementwise IEEE-identical to the object
+        path's per-cell ``model.ctr(i, j) * a.bid``.
+
+    The matrix is static market data (bids and CTRs, not budgets), so
+    callers serving repeated auctions can build it once and hand it to
+    :func:`determine_winners_nonseparable_columnar` -- that is what the
+    Section V kernel benchmark measures.
+    """
+    require_numpy()
+    model = spec.ctr_model
+    k = spec.num_slots
+    ads = spec.advertisers
+    ids = np.fromiter(
+        (a.advertiser_id for a in ads), dtype=np.int64, count=len(ads)
+    )
+    bids = np.fromiter(
+        (a.bid for a in ads), dtype=np.float64, count=len(ads)
+    )
+    if isinstance(model, MatrixCTRModel):
+        rows = model.rows
+        ctr = np.array(
+            [rows[a.advertiser_id][:k] for a in ads], dtype=np.float64
+        ).reshape(len(ads), k)
+    else:
+        ctr = np.empty((len(ads), k), dtype=np.float64)
+        for row, a in enumerate(ads):
+            for j in range(k):
+                ctr[row, j] = model.ctr(a.advertiser_id, j)
+    return ids, ctr * bids[:, None]
+
+
+def _prune_candidate_rows(
+    ids: "np.ndarray", weights: "np.ndarray", num_slots: int
+) -> List[int]:
+    """Vectorized Section V prune: union of each slot's exact top-k rows.
+
+    Each slot's selection is :func:`repro.core.columnar.columnar_top_k`
+    over its weight column -- ``np.argpartition`` plus the boundary-tie
+    expansion that reproduces ``top_k_scan``'s ``(-weight, id)``
+    selection byte for byte -- so the union equals
+    :func:`prune_candidates`' exactly.  Returned row indices are in
+    ascending-id order, matching the object prune's candidate order
+    (which fixes the Hungarian input row order, hence the assignment).
+    """
+    keep: Dict[int, int] = {}
+    for j in range(num_slots):
+        for entry in columnar_top_k(num_slots, weights[:, j], ids):
+            keep.setdefault(entry.advertiser_id, 0)
+    row_of = {int(advertiser_id): row for row, advertiser_id in enumerate(ids)}
+    return [row_of[advertiser_id] for advertiser_id in sorted(keep)]
+
+
+def determine_winners_nonseparable_columnar(
+    spec: AuctionSpec,
+    prune: bool = True,
+    precomputed: Optional[Tuple["np.ndarray", "np.ndarray"]] = None,
+) -> Allocation:
+    """Vectorized non-separable winner determination (Section V).
+
+    Exactly :func:`determine_winners_nonseparable` -- same prune gate,
+    same candidate set and order, same Hungarian call on bitwise-equal
+    weights -- with the graph built and pruned in array space.  The
+    object path is the differential oracle
+    (``tests/core/test_columnar_matching.py`` asserts allocation
+    equality including ``expected_value`` bit-for-bit).
+
+    Args:
+        spec: The auction; its CTR model may be any :class:`CTRModel`.
+        prune: Apply the top-k-per-slot pruning when the population
+            exceeds ``k * k`` (the object path's gate).
+        precomputed: Optional ``(ids, weights)`` from
+            :func:`nonseparable_weight_matrix` for the same spec, so
+            repeated auctions over static bids/CTRs skip the matrix
+            build.
+    """
+    require_numpy()
+    k = spec.num_slots
+    if precomputed is not None:
+        ids, weights = precomputed
+    else:
+        ids, weights = nonseparable_weight_matrix(spec)
+    n = len(ids)
+    if not n:
+        return Allocation(tuple([None] * k), 0.0)
+    if prune and n > k * k:
+        candidate_rows = _prune_candidate_rows(ids, weights, k)
+        ids = ids[candidate_rows]
+        weights = weights[candidate_rows]
+    assignment, total = hungarian_max_weight(weights.tolist())
+    slots: List[int | None] = [None] * k
+    for row, j in enumerate(assignment):
+        if j is not None:
+            slots[j] = int(ids[row])
     return Allocation(tuple(slots), total)
 
 

@@ -159,10 +159,16 @@ class SharedAuctionEngine:
             differential suite asserts it over 50 seeds); only the work
             counters move, exactly as between the cached and uncached
             engines.  Composes with every mode and with the cross-round
-            caches (a cache keeps its object-path machinery and is fed
-            vectorized scores); ``throttle_mode="bounded"`` stays
-            object-only -- its interval refinement is inherently
-            per-advertiser.  Requires numpy.
+            caches, which run columnar-native: ``exec_cache`` keeps
+            fragment top-k lists alive across rounds with dirty-row
+            mask invalidation
+            (:class:`repro.plans.columnar_exec.ColumnarFragmentExecutor`
+            in cross-round mode) and ``sort_cache`` incrementally
+            repairs the shared descending-bid order
+            (:class:`repro.sharedsort.columnar.ColumnarSortCache`).
+            ``throttle_mode="bounded"`` stays object-only -- its
+            interval refinement is inherently per-advertiser.  Requires
+            numpy.
         throttle: Apply Section IV bid throttling against outstanding ads.
         throttle_mode: How throttled bids reach the ranking stage.
             ``"exact"`` (default) computes every occurring advertiser's
@@ -451,17 +457,26 @@ class SharedAuctionEngine:
                 )
                 for phrase, ids in self.phrase_advertisers.items()
             )
-            if layout == "columnar" and not exec_cache:
+            if layout == "columnar":
                 # The greedy plan's sharing structure collapses to
                 # fragment row slices in array space; the plan DAG is
-                # never built.  The cross-round cache keeps the object
-                # executor (its dirty cones are keyed to DAG nodes) and
-                # is fed vectorized scores instead.
+                # never built.  With exec_cache the executor keeps the
+                # fragment lists alive across rounds and rescans only
+                # fragments touching a dirty row -- the DAG-node
+                # ancestor cone becomes a row-mask lookup.
                 from repro.plans.columnar_exec import ColumnarFragmentExecutor
 
                 self._columnar_exec = ColumnarFragmentExecutor(
-                    instance, self._store, self.k + 1, self.collector
+                    instance,
+                    self._store,
+                    self.k + 1,
+                    self.collector,
+                    cross_round=exec_cache,
+                    verify=cache_verify,
+                    autotuner=self.autotuner,
                 )
+                if exec_cache:
+                    self._columnar_exec.connect(self.changefeed)
             else:
                 strategy = "cover" if len(instance.variables) > 64 else "full"
                 plan = greedy_shared_plan(
@@ -497,15 +512,30 @@ class SharedAuctionEngine:
                 phrase: by_varset[frozenset(ids)]
                 for phrase, ids in self.phrase_advertisers.items()
             }
-        elif mode == "shared-sort" and layout == "columnar" and not sort_cache:
+        elif mode == "shared-sort" and layout == "columnar":
             # One shared lexsort per round replaces the merge network;
-            # per-phrase CTR presorts live in the store.  As with the
-            # exec cache, the cross-round sort cache keeps the object
-            # network (it adopts live stream objects across rounds).
-            from repro.sharedsort.columnar import ColumnarThresholdKernel
+            # per-phrase CTR presorts live in the store.  With
+            # sort_cache the shared order persists across rounds and
+            # only dirty rows are re-ranked into it.
+            from repro.sharedsort.columnar import (
+                ColumnarSortCache,
+                ColumnarThresholdKernel,
+            )
 
+            columnar_sort_cache = None
+            if sort_cache:
+                columnar_sort_cache = ColumnarSortCache(
+                    self._store,
+                    self.collector,
+                    verify=cache_verify,
+                    autotuner=self.autotuner,
+                )
+                columnar_sort_cache.connect(self.changefeed)
             self._columnar_sort = ColumnarThresholdKernel(
-                self._store, self.k + 1, self.collector
+                self._store,
+                self.k + 1,
+                self.collector,
+                cache=columnar_sort_cache,
             )
         elif mode == "shared-sort":
             from repro.sharedsort.cache import CrossRoundSortCache
@@ -891,8 +921,12 @@ class SharedAuctionEngine:
         if self.mode == "shared":
             canonical = sorted({self._phrase_alias[p] for p in phrases})
             if self._columnar_exec is not None:
+                # In cross-round mode the executor drains its
+                # change-feed subscription inside run_round, exactly
+                # like the object CrossRoundPlanExecutor below.
                 result = self._columnar_exec.run_round(
-                    self._score_by_row, canonical
+                    self._score_by_row, canonical,
+                    rows=self._occurring_rows,
                 )
             else:
                 assert self._executor is not None
@@ -908,8 +942,9 @@ class SharedAuctionEngine:
             report.scans += result.advertisers_scanned
         elif self.mode == "shared-sort" and self._columnar_sort is not None:
             kernel = self._columnar_sort
-            # The shared presort materializes every occurring row once;
-            # report it where the object path reports network pulls.
+            # The shared presort materializes every occurring row once
+            # (only the repaired rows, under the sort cache); report it
+            # where the object path reports network pulls.
             report.merges += kernel.begin_round(
                 self._eff_by_row, self._occurring_rows
             )

@@ -24,24 +24,42 @@ sufficient because ``⊕`` is associative and commutative -- answers are
 byte-identical to the plan executor's, as the layout differential
 asserts.
 
-Cross-round caching (``exec_cache=True``) stays on the object executor:
-its dirty-cone bookkeeping is keyed to plan DAG nodes.  The engine
-therefore uses this executor only for ``layout="columnar"`` without the
-exec cache; with the cache it keeps the object plan and feeds it
-vectorized scores.
+Cross-round caching (``exec_cache=True``) runs in *array space*
+(``cross_round=True``): instead of the object executor's per-variable
+score dicts and DAG-node ancestor-cone walks, the executor keeps a
+full-length last-seen score column, a seen mask, per-row and
+per-fragment epoch arrays, and a per-fragment dirty flag.  Draining the
+:class:`repro.engine.changefeed.ChangeFeed` yields declared-dirty
+advertiser ids; one vectorized compare against the snapshot refines the
+declaration to the rows whose score actually moved (and, under
+``verify=True``, cross-checks that no undeclared row moved -- the same
+declared-vs-diffed soundness contract as
+:class:`repro.plans.executor.CrossRoundPlanExecutor`).  The
+"invalidation cone" of a dirty row is simply its fragment: a
+row-to-fragment index map turns the dirty rows into dirty fragments in
+O(|dirty|), clean fragments replay their cached
+:class:`~repro.core.topk.TopKList` with zero scans, and a per-query
+operand-identity memo skips the final merges when every fragment list
+is literally the same object as last time (the columnar analogue of
+the object cache's merge-free revalidation).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.columnar import ColumnarStore, columnar_top_k
+from repro.core.columnar import ColumnarStore, columnar_top_k, require_numpy
 from repro.core.topk import TopKList, top_k_merge
 from repro.errors import InvalidPlanError
 from repro.instrument import NULL, Collector, names as metric_names
 from repro.plans.fragments import identify_fragments
 from repro.plans.instance import SharedAggregationInstance
+
+try:  # pragma: no cover - numpy ships with the package
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
 
 __all__ = ["ColumnarExecResult", "ColumnarFragmentExecutor"]
 
@@ -57,11 +75,27 @@ class ColumnarExecResult:
         advertisers_scanned: Rows read by fragment materializations
             (each needed fragment is scanned exactly once per round --
             the sharing the paper's cost model counts).
+        nodes_reused: Cross-round mode only: cached fragment /
+            trivial-leaf lists served without a scan because no member
+            row was dirty.
+        nodes_invalidated: Cross-round mode only: resident cached
+            fragments newly marked dirty by this round's dirty rows.
+        nodes_revalidated: Cross-round mode only: merges skipped
+            because every operand of a query's fold was identical (by
+            object identity) to the last time the query was answered.
+        bypassed: Cross-round mode only: the autotuner judged the
+            observed dirty fraction too high for caching to pay and the
+            round ran fresh (scores were still absorbed, so the cached
+            state stays sound for later rounds).
     """
 
     answers: Dict[str, TopKList]
     merges_performed: int = 0
     advertisers_scanned: int = 0
+    nodes_reused: int = 0
+    nodes_invalidated: int = 0
+    nodes_revalidated: int = 0
+    bypassed: bool = False
 
 
 class ColumnarFragmentExecutor:
@@ -77,7 +111,29 @@ class ColumnarFragmentExecutor:
         k: Result capacity (the engine passes ``slots + 1`` for GSP).
         collector: Counts ``plan.merges`` per fragment merge and
             ``plan.leaf_scans`` per row read, so shared-mode work tables
-            keep their meaning under the columnar layout.
+            keep their meaning under the columnar layout.  In
+            cross-round mode additionally ``plan.nodes_reused`` /
+            ``plan.nodes_invalidated`` / ``plan.revalidations``.
+        cross_round: Keep fragment lists alive between rounds and
+            rescore only fragments touching a dirty row (see the module
+            docstring).  ``False`` (the default) answers each round
+            from scratch with only a within-round fragment memo.
+        verify: Cross-round mode only: keep the exact score diff as a
+            soundness cross-check on the declared dirty sets -- an
+            undeclared score change raises ``InvalidPlanError``.
+            ``False`` trusts the declaration and keeps the last-seen
+            snapshot for undeclared rows, so a later covering event
+            still repairs the cache.
+        autotuner: Optional duck-typed
+            :class:`repro.engine.autotune.CacheAutotuner` (cross-round
+            mode only).  Consulted per round for the bypass decision
+            and fed the observed dirty fraction.  LRU sizing does not
+            apply -- the resident set is bounded by the fragment count,
+            exactly like the sort cache's stream set.
+
+    Attributes:
+        rounds: Cross-round rounds absorbed.
+        bypass_rounds: Rounds answered fresh on autotuner advice.
     """
 
     def __init__(
@@ -86,12 +142,18 @@ class ColumnarFragmentExecutor:
         store: ColumnarStore,
         k: int,
         collector: Collector = NULL,
+        cross_round: bool = False,
+        verify: bool = True,
+        autotuner=None,
     ) -> None:
         if k <= 0:
             raise InvalidPlanError(f"k must be positive, got {k}")
         self.k = k
         self.store = store
         self.collector = collector
+        self.cross_round = cross_round
+        self.verify = verify
+        self.autotuner = autotuner
         fragments = identify_fragments(instance)
         self._fragment_rows: List = [
             store.rows_of(sorted(fragment.variables))
@@ -111,9 +173,101 @@ class ColumnarFragmentExecutor:
             query.name: next(iter(query.variables))
             for query in instance.trivial_queries
         }
+        self.rounds = 0
+        self.bypass_rounds = 0
+        self._subscription = None
+        self._pending_dirty: Set[int] = set()
+        if cross_round:
+            require_numpy()
+            size = store.size
+            count = len(fragments)
+            # Last absorbed score per row plus a seen mask: the array
+            # analogue of the object executor's ``_last_scores`` dict
+            # (absent key == never seen == always dirty).
+            self._last_scores = np.zeros(size, dtype=np.float64)
+            self._seen = np.zeros(size, dtype=bool)
+            # Epochs bump exactly when a value actually changes -- the
+            # same monotone versioning tests probe via ``leaf_epoch``.
+            self._row_epoch = np.zeros(size, dtype=np.int64)
+            self._frag_epoch = np.zeros(count, dtype=np.int64)
+            self._frag_dirty = np.ones(count, dtype=bool)
+            self._frag_value: List[Optional[TopKList]] = [None] * count
+            # The vectorized invalidation cone: each row belongs to at
+            # most one fragment, so dirty rows map to dirty fragments
+            # with one fancy-index write.
+            self._fragment_of_row = np.full(size, -1, dtype=np.int64)
+            for index, rows in enumerate(self._fragment_rows):
+                self._fragment_of_row[rows] = index
+            self._trivial_value: Dict[str, TopKList] = {}
+            self._trivial_epoch: Dict[str, int] = {}
+            # Per-query merge memo: the operand tuple (by identity) and
+            # the merged answer it produced.
+            self._answer_ops: Dict[str, Tuple[TopKList, ...]] = {}
+            self._answer_value: Dict[str, TopKList] = {}
+            self._dirty_rows_last = np.zeros(0, dtype=np.int64)
 
+    # ------------------------------------------------------------------
+    # change-feed consumption (cross-round mode)
+    # ------------------------------------------------------------------
+    def connect(self, feed) -> None:
+        """Subscribe to a change feed; dirty sets then arrive as events.
+
+        Same contract as
+        :meth:`repro.plans.executor.CrossRoundPlanExecutor.connect`:
+        :meth:`run_round` drains the subscription at the top of every
+        round, unions the events' dirty advertisers into a pending set,
+        and absorbs the ids the round actually scored; passing
+        ``dirty=`` explicitly is then an error.
+        """
+        if not self.cross_round:
+            raise InvalidPlanError(
+                "connect requires cross_round=True (the uncached "
+                "executor keeps no state to invalidate)"
+            )
+        if self._subscription is not None:
+            raise InvalidPlanError("executor is already connected to a feed")
+        self._subscription = feed.subscribe(
+            name="columnar-exec-cache",
+            kinds=(
+                "bid_changed",
+                "budget_changed",
+                "advertiser_added",
+                "advertiser_removed",
+            ),
+        )
+
+    @property
+    def pending_dirty(self) -> frozenset:
+        """Advertisers declared dirty by drained events and not yet
+        absorbed by a round that scored them (cross-round mode)."""
+        return frozenset(self._pending_dirty)
+
+    def fragment_epoch(self, index: int) -> int:
+        """Monotone rescore count of one fragment (cross-round mode)."""
+        return int(self._frag_epoch[index])
+
+    def row_epoch(self, row: int) -> int:
+        """Monotone change count of one row's absorbed score."""
+        return int(self._row_epoch[row])
+
+    def dirty_rows_last_round(self) -> "np.ndarray":
+        """Row indices the last round treated as dirty (ascending).
+
+        Exposed for the differential suites: the hypothesis property
+        asserts these rows' advertiser ids equal the object executor's
+        dirty cone leaves, round for round.
+        """
+        return self._dirty_rows_last
+
+    # ------------------------------------------------------------------
+    # round execution
+    # ------------------------------------------------------------------
     def run_round(
-        self, score_by_row, names: Sequence[str]
+        self,
+        score_by_row,
+        names: Sequence[str],
+        rows=None,
+        dirty: Optional[Iterable[int]] = None,
     ) -> ColumnarExecResult:
         """Answer the round's requested queries.
 
@@ -122,11 +276,32 @@ class ColumnarFragmentExecutor:
                 only rows belonging to the requested queries are read
                 (the engine fills exactly the occurring rows).
             names: The requested (canonical) query names.
+            rows: The round's scored row indices (ascending) -- the
+                union of the requested queries' member rows.  The
+                engine passes its occurring-row array; ``None`` derives
+                it from ``names`` (one-off callers and tests).
+            dirty: Cross-round mode only: explicitly declared dirty
+                advertiser ids.  ``None`` with no connected feed
+                auto-diffs every scored row.  Mutually exclusive with a
+                connected feed.
 
         Raises:
             InvalidPlanError: If a name matches no query of the
-                instance.
+                instance, or (cross-round ``verify=True``) a score
+                changed without being declared dirty.
         """
+        if not self.cross_round:
+            if dirty is not None:
+                raise InvalidPlanError(
+                    "dirty declarations require cross_round=True"
+                )
+            return self._run_fresh(score_by_row, names)
+        return self._run_cross_round(score_by_row, names, rows, dirty)
+
+    def _run_fresh(
+        self, score_by_row, names: Sequence[str]
+    ) -> ColumnarExecResult:
+        """One round from scratch, with only a within-round memo."""
         result = ColumnarExecResult(answers={})
         fragment_lists: Dict[int, TopKList] = {}
         collector = self.collector
@@ -148,24 +323,250 @@ class ColumnarFragmentExecutor:
             for index in cover:
                 ranked = fragment_lists.get(index)
                 if ranked is None:
-                    rows = self._fragment_rows[index]
-                    ranked = columnar_top_k(
-                        self.k,
-                        score_by_row[rows],
-                        self.store.ids[rows],
+                    ranked = self._scan_fragment(
+                        index, score_by_row, result
                     )
                     fragment_lists[index] = ranked
-                    result.advertisers_scanned += len(rows)
-                    if collector.enabled:
-                        collector.incr(
-                            metric_names.PLAN_LEAF_SCANS, len(rows)
-                        )
                 parts.append(ranked)
-            answer = parts[0]
-            for part in parts[1:]:
-                answer = top_k_merge(answer, part)
-                result.merges_performed += 1
+            result.answers[name] = self._fold(parts, result)
+        return result
+
+    def _run_cross_round(
+        self,
+        score_by_row,
+        names: Sequence[str],
+        rows,
+        dirty: Optional[Iterable[int]],
+    ) -> ColumnarExecResult:
+        self.rounds += 1
+        store = self.store
+        if self._subscription is not None:
+            if dirty is not None:
+                raise InvalidPlanError(
+                    "dirty sets arrive via the change feed once connected; "
+                    "do not also declare them by argument"
+                )
+            for event in self._subscription.drain():
+                self._pending_dirty |= event.dirty_advertisers
+            declared_ids: Optional[Set[int]] = set(self._pending_dirty)
+        elif dirty is not None:
+            declared_ids = set(dirty)
+        else:
+            declared_ids = None
+        if rows is None:
+            rows = self._rows_for(names)
+        else:
+            rows = np.asarray(rows, dtype=np.int64)
+
+        changed_count, invalidated = self._absorb_scores(
+            score_by_row, rows, declared_ids
+        )
+        autotuner = self.autotuner
+        if autotuner is not None and autotuner.should_bypass():
+            # Fresh, cache-free execution: the scores were still
+            # absorbed above (and dirty fragments stay marked), so the
+            # resident lists remain sound for whenever caching resumes.
+            result = self._run_fresh(score_by_row, names)
+            result.nodes_invalidated = invalidated
+            result.bypassed = True
+            self.bypass_rounds += 1
+            autotuner.record_bypass()
+            if self.collector.enabled and invalidated:
+                self.collector.incr(
+                    metric_names.PLAN_NODES_INVALIDATED, invalidated
+                )
+            working_set = result.advertisers_scanned
+        else:
+            result = self._run_cached(score_by_row, names)
+            result.nodes_invalidated = invalidated
+            if self.collector.enabled and invalidated:
+                self.collector.incr(
+                    metric_names.PLAN_NODES_INVALIDATED, invalidated
+                )
+            working_set = result.nodes_reused + result.advertisers_scanned
+        if declared_ids is not None and self._pending_dirty:
+            # Scored advertisers are absorbed; events for everyone else
+            # survive until they next occur.
+            scored = np.zeros(store.size, dtype=bool)
+            scored[rows] = True
+            self._pending_dirty = {
+                advertiser_id
+                for advertiser_id in self._pending_dirty
+                if advertiser_id not in store
+                or not scored[store.row_of(advertiser_id)]
+            }
+        if autotuner is not None:
+            autotuner.observe_round(changed_count, int(len(rows)), working_set)
+        return result
+
+    def _rows_for(self, names: Sequence[str]) -> "np.ndarray":
+        """Scored-row union of the requested queries (sorted, unique)."""
+        mask = np.zeros(self.store.size, dtype=bool)
+        for name in names:
+            trivial_variable = self._trivial.get(name)
+            if trivial_variable is not None:
+                mask[self.store.row_of(trivial_variable)] = True
+                continue
+            cover = self._fragments_of.get(name)
+            if cover is None:
+                raise InvalidPlanError(f"unknown query {name!r}")
+            for index in cover:
+                mask[self._fragment_rows[index]] = True
+        return np.flatnonzero(mask)
+
+    def _absorb_scores(
+        self, score_by_row, rows, declared_ids: Optional[Set[int]]
+    ) -> Tuple[int, int]:
+        """Diff the scored rows against the snapshot; mark dirty fragments.
+
+        The array-space transcription of
+        ``CrossRoundPlanExecutor._absorb_scores``: first-sight rows are
+        always dirty; declared rows are dirty iff their score actually
+        moved; an undeclared move raises under ``verify=True`` and
+        keeps the stale snapshot under ``verify=False`` (so a later
+        covering event still repairs the cache).
+
+        Returns:
+            ``(changed, invalidated)``: rows whose score actually
+            changed, and resident cached fragments newly invalidated.
+        """
+        store = self.store
+        sub = score_by_row[rows]
+        seen = self._seen[rows]
+        changed = seen & (sub != self._last_scores[rows])
+        if declared_ids is None:
+            dirty_sub = ~seen | changed
+        else:
+            declared = np.zeros(store.size, dtype=bool)
+            if declared_ids:
+                present = sorted(
+                    advertiser_id
+                    for advertiser_id in declared_ids
+                    if advertiser_id in store
+                )
+                if present:
+                    declared[store.rows_of(present)] = True
+            declared_sub = declared[rows]
+            if self.verify:
+                bad = changed & ~declared_sub
+                if bad.any():
+                    row = int(rows[int(np.flatnonzero(bad)[0])])
+                    raise InvalidPlanError(
+                        f"unsound dirty set: score of "
+                        f"{int(store.ids[row])} changed "
+                        f"({float(self._last_scores[row])} -> "
+                        f"{float(score_by_row[row])}) but the variable "
+                        "was not declared dirty"
+                    )
+            dirty_sub = ~seen | (declared_sub & changed)
+        dirty_rows = rows[dirty_sub]
+        self._dirty_rows_last = dirty_rows
+        if not len(dirty_rows):
+            return 0, 0
+        self._last_scores[dirty_rows] = score_by_row[dirty_rows]
+        self._seen[dirty_rows] = True
+        self._row_epoch[dirty_rows] += 1
+        fragment_ids = self._fragment_of_row[dirty_rows]
+        fragment_ids = np.unique(fragment_ids[fragment_ids >= 0])
+        invalidated = 0
+        for index in fragment_ids:
+            index = int(index)
+            if not self._frag_dirty[index] and (
+                self._frag_value[index] is not None
+            ):
+                invalidated += 1
+            self._frag_dirty[index] = True
+        return int(len(dirty_rows)), invalidated
+
+    def _run_cached(
+        self, score_by_row, names: Sequence[str]
+    ) -> ColumnarExecResult:
+        """Serve requested queries, rescanning only dirty fragments."""
+        result = ColumnarExecResult(answers={})
+        collector = self.collector
+        for name in names:
+            trivial_variable = self._trivial.get(name)
+            if trivial_variable is not None:
+                row = self.store.row_of(trivial_variable)
+                epoch = int(self._row_epoch[row])
+                cached = self._trivial_value.get(name)
+                if cached is not None and self._trivial_epoch[name] == epoch:
+                    result.answers[name] = cached
+                    result.nodes_reused += 1
+                    if collector.enabled:
+                        collector.incr(metric_names.PLAN_NODES_REUSED)
+                    continue
+                answer = TopKList.singleton(
+                    self.k, float(score_by_row[row]), trivial_variable
+                )
+                self._trivial_value[name] = answer
+                self._trivial_epoch[name] = epoch
+                result.answers[name] = answer
+                result.advertisers_scanned += 1
                 if collector.enabled:
-                    collector.incr(metric_names.PLAN_MERGES)
+                    collector.incr(metric_names.PLAN_LEAF_SCANS)
+                continue
+            cover = self._fragments_of.get(name)
+            if cover is None:
+                raise InvalidPlanError(f"unknown query {name!r}")
+            parts: List[TopKList] = []
+            for index in cover:
+                if self._frag_dirty[index] or self._frag_value[index] is None:
+                    ranked = self._scan_fragment(index, score_by_row, result)
+                    self._frag_value[index] = ranked
+                    self._frag_dirty[index] = False
+                    self._frag_epoch[index] += 1
+                else:
+                    ranked = self._frag_value[index]
+                    result.nodes_reused += 1
+                    if collector.enabled:
+                        collector.incr(metric_names.PLAN_NODES_REUSED)
+                parts.append(ranked)
+            if len(parts) == 1:
+                result.answers[name] = parts[0]
+                continue
+            ops = tuple(parts)
+            previous = self._answer_ops.get(name)
+            if previous is not None and all(
+                a is b for a, b in zip(previous, ops)
+            ):
+                # Merge-free revalidation: every operand is literally
+                # the list the last fold consumed, so the fold's value
+                # is unchanged.
+                result.answers[name] = self._answer_value[name]
+                skipped = len(parts) - 1
+                result.nodes_revalidated += skipped
+                if collector.enabled:
+                    collector.incr(metric_names.PLAN_REVALIDATIONS, skipped)
+                continue
+            answer = self._fold(parts, result)
+            self._answer_ops[name] = ops
+            self._answer_value[name] = answer
             result.answers[name] = answer
         return result
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _scan_fragment(
+        self, index: int, score_by_row, result: ColumnarExecResult
+    ) -> TopKList:
+        rows = self._fragment_rows[index]
+        ranked = columnar_top_k(
+            self.k, score_by_row[rows], self.store.ids[rows]
+        )
+        result.advertisers_scanned += len(rows)
+        if self.collector.enabled:
+            self.collector.incr(metric_names.PLAN_LEAF_SCANS, len(rows))
+        return ranked
+
+    def _fold(
+        self, parts: List[TopKList], result: ColumnarExecResult
+    ) -> TopKList:
+        answer = parts[0]
+        for part in parts[1:]:
+            answer = top_k_merge(answer, part)
+            result.merges_performed += 1
+            if self.collector.enabled:
+                self.collector.incr(metric_names.PLAN_MERGES)
+        return answer

@@ -147,7 +147,11 @@ class TestMain:
                 "gates": {
                     "exec_cache_work_ratio": 0.3,
                     "sort_cache_work_ratio": 0.3,
-                }
+                },
+                "columnar_serving": {
+                    "outcomes_identical": True,
+                    "speedup_per_query": 5.0,
+                },
             },
         )
         self._write(
@@ -155,6 +159,10 @@ class TestMain:
             "BENCH_columnar",
             {
                 "kernels": {"speedup": 4.0, "outcomes_identical": True},
+                "matching": {
+                    "kernel_speedup": 10.0,
+                    "outcomes_identical": True,
+                },
                 "sharded": {"single_shard_identical": True},
             },
         )
@@ -163,7 +171,7 @@ class TestMain:
     def test_healthy_root_passes_check(self, tmp_path, capsys):
         root = self._healthy_root(tmp_path)
         assert bench_report.main(["--root", str(root), "--check"]) == 0
-        assert "13/13 tracked ok" in capsys.readouterr().out
+        assert "17/17 tracked ok" in capsys.readouterr().out
         assert (root / "bench_tables.txt").exists()
 
     def test_output_is_byte_stable(self, tmp_path):
@@ -182,6 +190,10 @@ class TestMain:
             "BENCH_columnar",
             {
                 "kernels": {"speedup": 1.0, "outcomes_identical": True},
+                "matching": {
+                    "kernel_speedup": 10.0,
+                    "outcomes_identical": True,
+                },
                 "sharded": {"single_shard_identical": True},
             },
         )

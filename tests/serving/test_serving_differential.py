@@ -13,7 +13,10 @@ real claim about the composition, not a tautology.
 This suite checks the theorem empirically over 50 seeded markets per
 engine configuration -- shared and shared-sort, each with its
 cross-round cache off and on (``verify=True``, so any event-uncovered
-staleness raises instead of silently diverging).
+staleness raises instead of silently diverging), and under the
+columnar layout with its native caches (the per-query drain feeds the
+row-granular dirty masks, so serving is where the vectorized kernels
+and the incremental caches genuinely compose).
 """
 
 from __future__ import annotations
@@ -29,6 +32,15 @@ SEEDS = range(50)
 QUERIES_PER_SEED = 30
 SLOT_FACTORS = [0.3, 0.2]
 
+try:
+    import numpy
+except ImportError:  # pragma: no cover - numpy ships with the package
+    numpy = None
+
+needs_numpy = pytest.mark.skipif(
+    numpy is None, reason="columnar layout requires numpy"
+)
+
 CONFIGS = [
     pytest.param({"mode": "shared"}, id="shared-uncached"),
     pytest.param(
@@ -39,6 +51,26 @@ CONFIGS = [
     pytest.param(
         {"mode": "shared-sort", "sort_cache": True, "cache_verify": True},
         id="shared-sort-cache",
+    ),
+    pytest.param(
+        {
+            "mode": "shared",
+            "exec_cache": True,
+            "cache_verify": True,
+            "layout": "columnar",
+        },
+        id="columnar-exec-cache",
+        marks=needs_numpy,
+    ),
+    pytest.param(
+        {
+            "mode": "shared-sort",
+            "sort_cache": True,
+            "cache_verify": True,
+            "layout": "columnar",
+        },
+        id="columnar-sort-cache",
+        marks=needs_numpy,
     ),
 ]
 
@@ -153,14 +185,20 @@ def test_trajectories_actually_move():
 
 
 def test_serving_outcomes_agree_across_configs():
-    """All four configurations serve the same trace identically --
-    modes and caches change work, never outcomes."""
+    """Every configuration serves the same trace identically -- modes,
+    caches, and layouts change work, never outcomes."""
     market = small_market(7)
     arrivals = arrivals_for(market, 7)
     baseline = serve_trace(market, arrivals, 7, mode="shared")
-    for config in (
+    configs = [
         {"mode": "shared", "exec_cache": True},
         {"mode": "shared-sort"},
         {"mode": "shared-sort", "sort_cache": True},
-    ):
+    ]
+    if numpy is not None:
+        configs += [
+            {"mode": "shared", "layout": "columnar", "exec_cache": True},
+            {"mode": "shared-sort", "layout": "columnar", "sort_cache": True},
+        ]
+    for config in configs:
         assert serve_trace(market, arrivals, 7, **config) == baseline

@@ -1,0 +1,224 @@
+"""Unit tests for :class:`repro.sharedsort.columnar.ColumnarSortCache`.
+
+The cache's whole claim is an identity: the incrementally repaired
+permutation equals a fresh ``(-effective_bid, id)`` lexsort, byte for
+byte, under any sequence of partial-occurrence rounds.  These tests
+drive the cache directly with synthetic score streams -- the engine
+differential (``tests/engine/test_layout_differential.py``) covers the
+wired-up path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.advertiser import Advertiser
+from repro.core.columnar import ColumnarStore
+from repro.engine.changefeed import BidChanged, ChangeFeed
+from repro.errors import InvalidPlanError
+from repro.instrument import MetricsCollector, names
+from repro.sharedsort.columnar import ColumnarSortCache
+
+
+def _store(n: int) -> ColumnarStore:
+    return ColumnarStore(
+        [
+            Advertiser(i, 1.0, phrases=frozenset({"p"}))
+            for i in range(n)
+        ]
+    )
+
+
+def _reference_order(effective_by_row, rows):
+    """A fresh lexsort: the permutation the cache must reproduce."""
+    rows = np.asarray(rows, dtype=np.int64)
+    return rows[np.lexsort((rows, -effective_by_row[rows]))]
+
+
+class TestRepairIdentity:
+    def test_randomized_rounds_match_fresh_lexsort(self):
+        # Partial occurrence, tie-heavy bids, varying dirty-set sizes:
+        # after every round the cached global order over all rows ever
+        # scored equals the reference lexsort exactly.
+        rng = random.Random(7)
+        n = 40
+        store = _store(n)
+        cache = ColumnarSortCache(store)
+        effective = np.zeros(n, dtype=np.float64)
+        ever_scored: set[int] = set()
+        for _ in range(30):
+            rows = sorted(rng.sample(range(n), rng.randint(1, n)))
+            dirty = {
+                row for row in rows if rng.random() < 0.4
+            } | {row for row in rows if row not in ever_scored}
+            for row in dirty:
+                # A small value pool so equal-bid runs are common and
+                # the id-level insert discipline is genuinely exercised.
+                effective[row] = float(rng.randint(1, 8) * 100)
+            ever_scored.update(rows)
+            order, _ = cache.order_for_round(
+                effective, np.asarray(rows, dtype=np.int64), dirty=dirty
+            )
+            expected = _reference_order(effective, sorted(ever_scored))
+            assert order.tolist() == expected.tolist()
+
+    def test_large_dirty_fraction_takes_resort_path_identically(self):
+        # Above the 1/4 dirty-fraction heuristic the cache re-sorts
+        # instead of merge-inserting; the permutation must not change.
+        n = 12
+        store = _store(n)
+        cache = ColumnarSortCache(store)
+        effective = np.asarray([float(100 * (i % 3 + 1)) for i in range(n)])
+        rows = np.arange(n, dtype=np.int64)
+        cache.order_for_round(effective, rows, dirty=set(range(n)))
+        dirty = set(range(0, n, 2))  # half the population: resort
+        for row in dirty:
+            effective[row] += 250.0
+        order, repaired = cache.order_for_round(effective, rows, dirty=dirty)
+        assert repaired == n  # the whole order was rebuilt
+        assert order.tolist() == _reference_order(effective, rows).tolist()
+
+    def test_clean_round_repairs_nothing(self):
+        n = 10
+        store = _store(n)
+        cache = ColumnarSortCache(store)
+        effective = np.asarray([float(100 + 10 * i) for i in range(n)])
+        rows = np.arange(n, dtype=np.int64)
+        _, first = cache.order_for_round(effective, rows, dirty=set(range(n)))
+        assert first == n
+        order, repaired = cache.order_for_round(effective, rows, dirty=set())
+        assert repaired == 0
+        assert order.tolist() == _reference_order(effective, rows).tolist()
+
+
+class TestCounters:
+    def test_first_round_charges_no_reuse_counters(self):
+        collector = MetricsCollector()
+        store = _store(6)
+        cache = ColumnarSortCache(store, collector)
+        effective = np.asarray([100.0, 200.0, 300.0, 400.0, 500.0, 600.0])
+        rows = np.arange(6, dtype=np.int64)
+        cache.order_for_round(effective, rows, dirty=set(range(6)))
+        assert collector.counter(names.SORT_STREAMS_REUSED) == 0
+        assert collector.counter(names.SORT_STREAMS_INVALIDATED) == 0
+
+    def test_repair_round_counts_rows_kept_and_reranked(self):
+        collector = MetricsCollector()
+        store = _store(10)
+        cache = ColumnarSortCache(store, collector)
+        effective = np.asarray([float(1000 - i) for i in range(10)])
+        rows = np.arange(10, dtype=np.int64)
+        cache.order_for_round(effective, rows, dirty=set(range(10)))
+        effective[3] = 5.0
+        cache.order_for_round(effective, rows, dirty={3})
+        assert collector.counter(names.SORT_STREAMS_REUSED) == 9
+        assert collector.counter(names.SORT_STREAMS_INVALIDATED) == 1
+        assert cache.rows_reused == 9
+        assert cache.rows_repaired == 1
+
+
+class TestVerify:
+    def test_undeclared_change_raises(self):
+        store = _store(4)
+        cache = ColumnarSortCache(store, verify=True)
+        effective = np.asarray([400.0, 300.0, 200.0, 100.0])
+        rows = np.arange(4, dtype=np.int64)
+        cache.order_for_round(effective, rows, dirty=set(range(4)))
+        effective[2] = 9999.0
+        with pytest.raises(InvalidPlanError, match="unsound change feed"):
+            cache.order_for_round(effective, rows, dirty=set())
+
+    def test_unverified_keeps_undeclared_snapshot(self):
+        # verify=False trusts the declaration: an undeclared change is
+        # invisible, so the order keeps the row at its snapshot rank.
+        store = _store(4)
+        cache = ColumnarSortCache(store, verify=False)
+        effective = np.asarray([400.0, 300.0, 200.0, 100.0])
+        rows = np.arange(4, dtype=np.int64)
+        cache.order_for_round(effective, rows, dirty=set(range(4)))
+        effective[3] = 9999.0  # would be rank 0 if absorbed
+        order, _ = cache.order_for_round(effective, rows, dirty=set())
+        assert order.tolist() == [0, 1, 2, 3]
+        # Declaring it next round repairs it to the top.
+        order, _ = cache.order_for_round(effective, rows, dirty={3})
+        assert order.tolist() == [3, 0, 1, 2]
+
+
+class TestChangeFeed:
+    def test_events_drive_dirtiness_and_pending_survives(self):
+        store = _store(5)
+        cache = ColumnarSortCache(store)
+        feed = ChangeFeed()
+        cache.connect(feed)
+        effective = np.asarray([500.0, 400.0, 300.0, 200.0, 100.0])
+        all_rows = np.arange(5, dtype=np.int64)
+        cache.order_for_round(effective, all_rows)
+        feed.publish(BidChanged(advertiser_id=1))
+        feed.publish(BidChanged(advertiser_id=4))
+        effective[1] = 50.0
+        effective[4] = 600.0
+        # Row 4 does not occur this round: its event must survive.
+        order, _ = cache.order_for_round(
+            effective, np.asarray([0, 1, 2, 3], dtype=np.int64)
+        )
+        assert cache.pending_dirty == frozenset({4})
+        # Row 4 keeps its snapshot rank (100, between rows 3 and 1).
+        assert order.tolist() == [0, 2, 3, 4, 1]
+        order, _ = cache.order_for_round(effective, all_rows)
+        assert cache.pending_dirty == frozenset()
+        assert order.tolist() == [4, 0, 2, 3, 1]
+
+    def test_connected_feed_rejects_dirty_argument(self):
+        store = _store(3)
+        cache = ColumnarSortCache(store)
+        cache.connect(ChangeFeed())
+        effective = np.asarray([300.0, 200.0, 100.0])
+        with pytest.raises(InvalidPlanError, match="change feed"):
+            cache.order_for_round(
+                effective, np.arange(3, dtype=np.int64), dirty={0}
+            )
+
+    def test_double_connect_rejected(self):
+        cache = ColumnarSortCache(_store(2))
+        cache.connect(ChangeFeed())
+        with pytest.raises(InvalidPlanError, match="already connected"):
+            cache.connect(ChangeFeed())
+
+
+class _ForceBypass:
+    def __init__(self):
+        self.bypasses = 0
+        self.observed = []
+
+    def should_bypass(self):
+        return True
+
+    def record_bypass(self):
+        self.bypasses += 1
+
+    def observe_round(self, dirty, population, working_set):
+        self.observed.append((dirty, population, working_set))
+
+
+class TestAutotunerBypass:
+    def test_bypass_resorts_without_counters_but_stays_identical(self):
+        collector = MetricsCollector()
+        tuner = _ForceBypass()
+        store = _store(8)
+        cache = ColumnarSortCache(store, collector, autotuner=tuner)
+        effective = np.asarray([float(800 - 100 * i) for i in range(8)])
+        rows = np.arange(8, dtype=np.int64)
+        cache.order_for_round(effective, rows, dirty=set(range(8)))
+        assert tuner.bypasses == 0  # never bypass the first build
+        effective[5] = 1000.0
+        order, _ = cache.order_for_round(effective, rows, dirty={5})
+        assert tuner.bypasses == 1
+        assert cache.bypass_rounds == 1
+        assert order.tolist() == _reference_order(effective, rows).tolist()
+        # A bypass round is fresh work: no reuse was claimed.
+        assert collector.counter(names.SORT_STREAMS_REUSED) == 0
+        assert len(tuner.observed) == 2

@@ -348,6 +348,55 @@ class TestLayoutAndWorkerFlags:
         assert "Sharded run" in out
         assert "+workers=2" in out
 
+    def test_engine_columnar_serve(self, capsys):
+        # The serving loop runs natively on the columnar layout.
+        pytest.importorskip("numpy")
+        assert (
+            main(
+                [
+                    "engine", "--serve", "--queries", "40",
+                    "--layout", "columnar",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Serving run" in out
+        assert "+columnar" in out
+
+    def test_engine_columnar_exec_cache(self, capsys):
+        # exec_cache is columnar-native: the fragment executor keeps
+        # its lists across rounds instead of falling back to objects.
+        pytest.importorskip("numpy")
+        assert (
+            main(
+                [
+                    "engine", "--rounds", "5", "--layout", "columnar",
+                    "--exec-cache",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "+columnar" in out and "+exec-cache" in out
+
+    def test_engine_columnar_sort_cache_serving(self, capsys):
+        # The headline combination: per-query serving with the
+        # columnar incremental sort cache on.
+        pytest.importorskip("numpy")
+        assert (
+            main(
+                [
+                    "engine", "--serve", "--queries", "40",
+                    "--mode", "shared-sort", "--layout", "columnar",
+                    "--sort-cache",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "+columnar" in out and "+sort-cache" in out
+
     def test_layout_choices_enforced(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["engine", "--layout", "rowwise"])
